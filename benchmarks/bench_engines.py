@@ -1,0 +1,40 @@
+"""Engine microbenchmarks: reference vs vectorized simulation throughput.
+
+Not a paper artifact — this documents the speedup that makes the full
+experiment harness practical (the vectorized engine is typically 1-2
+orders of magnitude faster than the per-event reference engine it is
+property-tested against).
+"""
+
+import pytest
+
+from repro.core.config import scaled_config
+from repro.sim.engine import run_reference
+from repro.sim.vector import run_vector
+from repro.trace.spec2000 import load_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return load_trace("gzip", length=120_000)
+
+
+def test_reference_engine_throughput(benchmark, trace):
+    result = benchmark.pedantic(
+        run_reference, args=(trace, scaled_config()),
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert result.metrics.dynamic_branches == len(trace)
+
+
+def test_vector_engine_throughput(benchmark, trace):
+    result = benchmark.pedantic(
+        run_vector, args=(trace, scaled_config()),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.metrics.dynamic_branches == len(trace)
+
+
+def test_trace_generation_throughput(benchmark):
+    trace = benchmark.pedantic(
+        load_trace, args=("gzip",), kwargs={"length": 120_000},
+        rounds=3, iterations=1, warmup_rounds=0)
+    assert len(trace) == 120_000

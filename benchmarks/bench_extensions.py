@@ -1,0 +1,87 @@
+"""Extension benches: the beyond-the-paper experiments.
+
+* behavior classes (Section 2's consistency claim, with data),
+* the Dynamo-flush conjecture (Section 5),
+* region re-optimization batching (Section 4.3's ~half claim),
+* parameter ablations, and
+* the hot-region deployment threshold sweep.
+"""
+
+from repro.experiments import (
+    ext_ablations,
+    ext_batching,
+    ext_behaviors,
+    ext_flush,
+    ext_hotregion,
+)
+
+
+def test_ext_behaviors(benchmark, ctx, once):
+    output = once(benchmark, ext_behaviors.run, ctx)
+    print()
+    print(output)
+    assert "memory independence" in output
+
+
+def test_ext_flush(benchmark, ctx, once):
+    output = once(benchmark, ext_flush.run, ctx)
+    print()
+    print(output)
+    assert "conjecture" in output
+
+
+def test_ext_batching(benchmark, ctx, once):
+    output = once(benchmark, ext_batching.run, ctx)
+    print()
+    print(output)
+    assert "multi-change" in output
+
+
+def test_ext_ablations(benchmark, ctx, once):
+    output = once(benchmark, ext_ablations.run, ctx)
+    print()
+    print(output)
+    assert "oscillation limit" in output
+
+
+def test_ext_hotregion(benchmark, ctx, once):
+    output = once(benchmark, ext_hotregion.run, ctx)
+    print()
+    print(output)
+    assert "ungated" in output
+
+
+def test_ext_distiller(benchmark, ctx, once):
+    from repro.experiments import ext_distiller
+
+    output = once(benchmark, ext_distiller.run, ctx)
+    print()
+    print(output)
+    assert "reduction" in output
+
+
+def test_ext_uarch(benchmark, ctx, once):
+    from repro.experiments import ext_uarch
+
+    output = once(benchmark, ext_uarch.run, ctx)
+    print()
+    print(output)
+    assert "CPI" in output
+
+
+def test_ext_codegen(benchmark, ctx, once):
+    from repro.experiments import ext_codegen
+
+    output = once(benchmark, ext_codegen.run, ctx)
+    print()
+    print(output)
+    assert "measured" in output
+
+
+def test_ext_phases(benchmark, ctx, once):
+    from repro.experiments import ext_phases
+
+    output = once(benchmark, ext_phases.run, ctx)
+    print()
+    print(output)
+    assert "phase flush" in output

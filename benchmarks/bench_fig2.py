@@ -1,0 +1,14 @@
+"""Figure 2 bench: the speculation-opportunity trade-off.
+
+Regenerates the self-training Pareto markers, cross-input triangles and
+initial-behavior crosses, and prints the series the paper plots.
+"""
+
+from repro.experiments import fig2_opportunity
+
+
+def test_fig2_opportunity(benchmark, ctx, once):
+    output = once(benchmark, fig2_opportunity.run, ctx)
+    print()
+    print(output)
+    assert "offline" in output

@@ -1,0 +1,10 @@
+"""Figure 3 bench: initially-invariant branches that change (gap)."""
+
+from repro.experiments import fig3_changing_branches
+
+
+def test_fig3_changing_branches(benchmark, ctx, once):
+    output = once(benchmark, fig3_changing_branches.run, ctx)
+    print()
+    print(output)
+    assert "Figure 3" in output

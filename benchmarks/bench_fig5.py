@@ -1,0 +1,11 @@
+"""Figure 5 bench: reactive control vs self-training, with the
+no-eviction / no-revisit end points."""
+
+from repro.experiments import fig5_reactive_model
+
+
+def test_fig5_reactive_model(benchmark, ctx, once):
+    output = once(benchmark, fig5_reactive_model.run, ctx)
+    print()
+    print(output)
+    assert "reactive" in output

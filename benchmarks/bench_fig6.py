@@ -1,0 +1,10 @@
+"""Figure 6 bench: misprediction behavior around evictions."""
+
+from repro.experiments import fig6_transition_behavior
+
+
+def test_fig6_transition_behavior(benchmark, ctx, once):
+    output = once(benchmark, fig6_transition_behavior.run, ctx)
+    print()
+    print(output)
+    assert "evictions pooled" in output

@@ -1,0 +1,11 @@
+"""Figure 7 bench: MSSP speedup, closed vs open loop (the headline
+timing result — reactivity decides between speedup and slowdown)."""
+
+from repro.experiments import fig7_reactivity_performance
+
+
+def test_fig7_reactivity(benchmark, ctx, once):
+    output = once(benchmark, fig7_reactivity_performance.run, ctx)
+    print()
+    print(output)
+    assert "open-loop deficit" in output

@@ -1,0 +1,10 @@
+"""Figure 8 bench: MSSP speedup vs (re)optimization latency."""
+
+from repro.experiments import fig8_latency
+
+
+def test_fig8_latency(benchmark, ctx, once):
+    output = once(benchmark, fig8_latency.run, ctx)
+    print()
+    print(output)
+    assert "MEAN" in output

@@ -1,0 +1,10 @@
+"""Figure 9 bench: correlated behavior changes in vortex."""
+
+from repro.experiments import fig9_correlation
+
+
+def test_fig9_correlation(benchmark, ctx, once):
+    output = once(benchmark, fig9_correlation.run, ctx)
+    print()
+    print(output)
+    assert "correlated groups" in output

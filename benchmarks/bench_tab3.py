@@ -1,0 +1,10 @@
+"""Table 3 bench: model transition data across the suite."""
+
+from repro.experiments import tab3_transitions
+
+
+def test_tab3_transitions(benchmark, ctx, once):
+    output = once(benchmark, tab3_transitions.run, ctx)
+    print()
+    print(output)
+    assert "tot evicts" in output

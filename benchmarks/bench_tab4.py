@@ -1,0 +1,10 @@
+"""Table 4 bench: the seven-configuration sensitivity sweep."""
+
+from repro.experiments import tab4_sensitivity
+
+
+def test_tab4_sensitivity(benchmark, ctx, once):
+    output = once(benchmark, tab4_sensitivity.run, ctx)
+    print()
+    print(output)
+    assert "no eviction" in output

@@ -1,0 +1,50 @@
+"""Benches for the static tables/diagrams (Tables 1, 2, 5; Figure 4).
+
+These regenerate configuration artifacts rather than measurements; they
+are included so ``pytest benchmarks/`` reproduces every table and figure
+in the paper from one command.
+"""
+
+from repro.experiments import (
+    fig4_model,
+    tab1_inputs,
+    tab2_parameters,
+    tab5_machine,
+)
+
+
+def test_tab1_inputs(benchmark, ctx, once):
+    output = once(benchmark, tab1_inputs.run, ctx)
+    print()
+    print(output)
+    assert "evaluation input" in output
+
+
+def test_tab2_parameters(benchmark, ctx, once):
+    output = once(benchmark, tab2_parameters.run, ctx)
+    print()
+    print(output)
+    assert "Monitor period" in output
+
+
+def test_tab5_machine(benchmark, ctx, once):
+    output = once(benchmark, tab5_machine.run, ctx)
+    print()
+    print(output)
+    assert "Leading Core" in output
+
+
+def test_fig4_model(benchmark, ctx, once):
+    output = once(benchmark, fig4_model.run, ctx)
+    print()
+    print(output)
+    assert "MONITOR" in output
+
+
+def test_fig1_approximation(benchmark, ctx, once):
+    from repro.experiments import fig1_approximation
+
+    output = once(benchmark, fig1_approximation.run, ctx)
+    print()
+    print(output)
+    assert "Figure 1" in output

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+it (run with ``-s`` to see the output).  A module-scoped context shares
+generated traces across benchmarks in the same file; the ``--bench-full``
+flag switches from the quick subset to the full 12-benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-full", action="store_true", default=False,
+        help="run benchmarks over the full 12-benchmark suite at full "
+             "trace lengths (slower; default is the quick subset)")
+
+
+@pytest.fixture(scope="session")
+def ctx(request) -> ExperimentContext:
+    full = request.config.getoption("--bench-full")
+    return ExperimentContext(quick=not full)
+
+
+@pytest.fixture(scope="session")
+def once():
+    """Run the workload exactly once inside pytest-benchmark (these are
+    second-scale end-to-end harnesses, not microbenchmarks)."""
+    def runner(benchmark, fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return runner

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""MSSP timing demo: why speculation control decides win vs loss.
+
+Runs the task-granularity MSSP machine (Section 4 of the paper) on a
+mid-run checkpoint of one benchmark under closed-loop and open-loop
+control, then sweeps the re-optimization latency — the Figure 7 and
+Figure 8 experiments in miniature, with a breakdown of where the cycles
+went.
+
+Run:  python examples/mssp_speedup.py [benchmark]
+"""
+
+import sys
+
+from repro.mssp import (
+    closed_loop_config,
+    open_loop_config,
+    simulate_mssp,
+)
+from repro.mssp.simulator import checkpoint_trace
+
+
+def describe(label: str, result) -> None:
+    t = result.timing
+    print(f"{label:28s} speedup {result.speedup:5.2f}x   "
+          f"misspec tasks {result.tasks_misspeculated:5d}/{result.tasks}  "
+          f"squash {t.squash_cycles/1e6:6.2f}M cyc  "
+          f"stall {t.stall_cycles/1e6:5.2f}M cyc  "
+          f"distilled to {result.mean_distillation:.0%}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    print(f"== {name}: 300k-branch window from mid-run "
+          f"(checkpointed, controller starts cold) ==\n")
+    trace = checkpoint_trace(name)
+
+    print("-- control policy (Figure 7) --")
+    describe("closed loop", simulate_mssp(trace, closed_loop_config()))
+    describe("open loop (no eviction)",
+             simulate_mssp(trace, open_loop_config()))
+    describe("closed, monitor x10",
+             simulate_mssp(trace, closed_loop_config(monitor_period=1000)))
+    describe("open,   monitor x10",
+             simulate_mssp(trace, open_loop_config(monitor_period=1000)))
+
+    print("\n-- re-optimization latency (Figure 8, closed loop) --")
+    for latency in (0, 200, 2_000, 20_000):
+        result = simulate_mssp(
+            trace, closed_loop_config(optimization_latency=latency))
+        describe(f"latency {latency:>6,} instrs", result)
+
+    print("\nA task misspeculates if ANY speculation inside it fails, "
+          "and costs detection lag + ~400-cycle recovery + re-execution;"
+          "\nthe open loop keeps paying that forever on branches that "
+          "changed behavior, which is the paper's core argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — a reproduction of *Reactive Techniques for Controlling
+Software Speculation* (Craig Zilles and Naveen Neelakantam, CGO 2005).
+
+The package implements, from scratch:
+
+* the paper's reactive speculation controller (:mod:`repro.core`),
+* a synthetic branch-behavior substrate standing in for the paper's
+  SPEC2000int traces (:mod:`repro.trace`),
+* the non-reactive baselines it is compared against
+  (:mod:`repro.profiling`),
+* functional simulation engines (:mod:`repro.sim`),
+* a task-granularity MSSP timing simulator (:mod:`repro.mssp`),
+* hardware branch predictors used for contrast (:mod:`repro.hw`),
+* analysis utilities (:mod:`repro.analysis`), and
+* one experiment driver per table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import load_trace, scaled_config, run_reactive
+
+    trace = load_trace("gcc")
+    result = run_reactive(trace, scaled_config())
+    print(result.metrics.summary())
+"""
+
+from repro.core import (
+    ControllerBank,
+    ControllerConfig,
+    ReactiveBranchController,
+    paper_config,
+    scaled_config,
+)
+from repro.trace import (
+    BENCHMARK_NAMES,
+    Trace,
+    build_model,
+    generate_trace,
+    load_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "ControllerBank",
+    "ControllerConfig",
+    "ReactiveBranchController",
+    "Trace",
+    "__version__",
+    "build_model",
+    "generate_trace",
+    "load_trace",
+    "paper_config",
+    "run_reactive",
+    "scaled_config",
+]
+
+
+def run_reactive(trace, config=None, engine="vector"):
+    """Run the reactive controller over a trace (convenience wrapper).
+
+    See :func:`repro.sim.runner.run_reactive` for details; imported
+    lazily to keep ``import repro`` light.
+    """
+    from repro.sim.runner import run_reactive as _run
+
+    return _run(trace, config=config, engine=engine)

@@ -1,0 +1,50 @@
+"""Post-run analyses: Pareto framing, bias timelines, eviction-vicinity
+behavior, correlated-change tracking, table rendering, calibration."""
+
+from repro.analysis.calibration import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    Deviation,
+    PaperTable3Row,
+    compare_table3,
+)
+from repro.analysis.correlation import (
+    BranchTrack,
+    correlated_change_groups,
+    flipping_tracks,
+)
+from repro.analysis.tables import (
+    ascii_tracks,
+    format_count,
+    format_rate,
+    render_kv,
+    render_table,
+)
+from repro.analysis.timeline import BiasTimeline, bias_timeline, biased_intervals
+from repro.analysis.transitions import (
+    EvictionVicinity,
+    eviction_vicinities,
+    vicinity_distribution,
+)
+
+__all__ = [
+    "BiasTimeline",
+    "BranchTrack",
+    "Deviation",
+    "EvictionVicinity",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PaperTable3Row",
+    "ascii_tracks",
+    "bias_timeline",
+    "biased_intervals",
+    "compare_table3",
+    "correlated_change_groups",
+    "eviction_vicinities",
+    "flipping_tracks",
+    "format_count",
+    "format_rate",
+    "render_kv",
+    "render_table",
+    "vicinity_distribution",
+]

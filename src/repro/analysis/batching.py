@@ -1,0 +1,98 @@
+"""Region-level re-optimization batching (Section 4.3).
+
+Every SELECT/EVICT transition asks the optimizer to regenerate a code
+region (a function or loop body in the distiller).  Because branch
+behavior changes are correlated (Figure 9) and several branches share a
+region, requests cluster: the paper reports that "about half of the
+time it is necessary to re-optimize a code region there is more than
+one change to make".  This module coalesces a run's re-optimization
+requests by region and time window and measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.summary import ReactiveRunResult
+from repro.trace.model import BenchmarkModel
+
+__all__ = ["ReoptimizationEvent", "coalesce_reoptimizations",
+           "batching_summary", "region_map"]
+
+
+@dataclass(frozen=True)
+class ReoptimizationEvent:
+    """One regeneration of one region's code.
+
+    ``changes`` is how many branch-level requests (selects/evicts) the
+    regeneration absorbed.
+    """
+
+    region: int
+    instr: int
+    changes: int
+
+
+def region_map(model: BenchmarkModel) -> dict[int, int]:
+    """branch_id -> region_id for a benchmark model."""
+    mapping: dict[int, int] = {}
+    for region in model.regions:
+        for branch in region.branches:
+            mapping[branch.branch_id] = region.region_id
+    return mapping
+
+
+def coalesce_reoptimizations(result: ReactiveRunResult,
+                             branch_to_region: dict[int, int],
+                             window: int = 20_000,
+                             ) -> list[ReoptimizationEvent]:
+    """Group a run's re-optimization requests into region regenerations.
+
+    Requests for the same region within ``window`` instructions of the
+    first request of the batch are absorbed into one regeneration — the
+    optimizer rebuilds the whole region once, applying every pending
+    change (this is what makes the optimization latency cheap to share).
+    """
+    per_region: dict[int, list[int]] = {}
+    for summary in result.branches:
+        region = branch_to_region.get(summary.branch)
+        if region is None:
+            continue
+        for tr in summary.transitions:
+            if tr.kind.requires_reoptimization:
+                per_region.setdefault(region, []).append(tr.instr)
+
+    events: list[ReoptimizationEvent] = []
+    for region, stamps in per_region.items():
+        stamps.sort()
+        batch_start: int | None = None
+        batch_size = 0
+        for instr in stamps:
+            if batch_start is None or instr - batch_start > window:
+                if batch_start is not None:
+                    events.append(ReoptimizationEvent(
+                        region, batch_start, batch_size))
+                batch_start = instr
+                batch_size = 1
+            else:
+                batch_size += 1
+        if batch_start is not None:
+            events.append(ReoptimizationEvent(
+                region, batch_start, batch_size))
+    events.sort(key=lambda e: e.instr)
+    return events
+
+
+def batching_summary(events: list[ReoptimizationEvent]) -> dict[str, float]:
+    """Summary statistics: how much regeneration work batching saves."""
+    if not events:
+        return {"regenerations": 0, "requests": 0,
+                "multi_change_fraction": 0.0, "requests_saved": 0.0}
+    requests = sum(e.changes for e in events)
+    multi = sum(1 for e in events if e.changes > 1)
+    return {
+        "regenerations": len(events),
+        "requests": requests,
+        "multi_change_fraction": multi / len(events),
+        "requests_saved": 1.0 - len(events) / requests,
+    }

@@ -1,0 +1,108 @@
+"""Paper-published targets and calibration checks.
+
+The synthetic benchmark models are calibrated against the statistics the
+paper publishes (Tables 3 and 4).  This module is the single source of
+those numbers; tests and EXPERIMENTS.md both compare against it.
+
+All comparisons are *shape* comparisons: this reproduction's substrate
+is synthetic, so per-benchmark absolute numbers are expected to land in
+the neighborhood of the paper's, not on top of them (see DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.summary import ReactiveRunResult
+
+__all__ = ["PaperTable3Row", "PAPER_TABLE3", "PAPER_TABLE4",
+           "compare_table3", "Deviation"]
+
+
+@dataclass(frozen=True)
+class PaperTable3Row:
+    """One row of the paper's Table 3 (paper scale)."""
+
+    touch: int
+    bias: int
+    evict: int
+    total_evicts: int
+    pct_spec: float
+    misspec_dist: int
+
+    @property
+    def pct_bias(self) -> float:
+        return self.bias / self.touch
+
+    @property
+    def pct_evict(self) -> float:
+        return self.evict / self.touch
+
+
+#: Table 3, "Model Transition Data", verbatim from the paper.
+PAPER_TABLE3: dict[str, PaperTable3Row] = {
+    "bzip2": PaperTable3Row(282, 109, 6, 15, 0.441, 26_400),
+    "crafty": PaperTable3Row(1124, 396, 138, 276, 0.251, 109_366),
+    "eon": PaperTable3Row(403, 95, 3, 3, 0.383, 105_552),
+    "gap": PaperTable3Row(3011, 1045, 167, 201, 0.525, 36_728),
+    "gcc": PaperTable3Row(7943, 2068, 11, 12, 0.663, 20_802),
+    "gzip": PaperTable3Row(314, 66, 7, 12, 0.354, 43_043),
+    "mcf": PaperTable3Row(366, 210, 22, 47, 0.336, 12_896),
+    "parser": PaperTable3Row(1552, 284, 53, 124, 0.263, 50_643),
+    "perl": PaperTable3Row(1968, 1075, 58, 64, 0.634, 55_382),
+    "twolf": PaperTable3Row(1542, 440, 19, 22, 0.321, 165_711),
+    "vortex": PaperTable3Row(3484, 1671, 67, 104, 0.885, 92_163),
+    "vpr": PaperTable3Row(758, 340, 16, 38, 0.316, 65_588),
+}
+
+#: Table 4, "Model Sensitivity": average (correct, incorrect) rates.
+PAPER_TABLE4: dict[str, tuple[float, float]] = {
+    "no revisit": (0.358, 0.00007),
+    "lower eviction threshold": (0.429, 0.00015),
+    "eviction by sampling": (0.436, 0.00021),
+    "baseline": (0.448, 0.00023),
+    "sampling in monitor": (0.448, 0.00025),
+    "more frequent revisit": (0.461, 0.00033),
+    "no eviction": (0.539, 0.01979),
+}
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """A measured-vs-paper comparison for one quantity."""
+
+    benchmark: str
+    quantity: str
+    paper: float
+    measured: float
+
+    @property
+    def delta(self) -> float:
+        return self.measured - self.paper
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+
+def compare_table3(results: dict[str, ReactiveRunResult]) -> list[Deviation]:
+    """Deviations of a suite run from the paper's Table 3 fractions.
+
+    Compares the scale-free quantities: fraction of static branches
+    biased, fraction evicted, and dynamic speculation coverage.
+    """
+    deviations: list[Deviation] = []
+    for name, result in results.items():
+        paper = PAPER_TABLE3.get(name)
+        if paper is None:
+            continue
+        stats = result.stats
+        deviations.extend([
+            Deviation(name, "pct_bias", paper.pct_bias, stats.pct_biased),
+            Deviation(name, "pct_evict", paper.pct_evict, stats.pct_evicted),
+            Deviation(name, "pct_spec", paper.pct_spec,
+                      stats.pct_speculated),
+        ])
+    return deviations

@@ -1,0 +1,124 @@
+"""Correlated behavior changes across static branches (Figure 9).
+
+Figure 9 of the paper plots, for vortex, the 139 static branches that
+have significant periods of both being biased (>99%) and unbiased; each
+branch is a horizontal track showing when it is characterized biased,
+and groups of branches visibly change together.  Correlated changes mean
+a dynamic optimizer re-optimizes a *region* once rather than per branch:
+the paper reports that about half of re-optimizations batch more than
+one change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.timeline import bias_timeline, biased_intervals
+from repro.trace.stream import Trace
+
+__all__ = ["BranchTrack", "flipping_tracks", "correlated_change_groups"]
+
+
+@dataclass(frozen=True)
+class BranchTrack:
+    """One horizontal track of Figure 9.
+
+    ``intervals`` are the instruction spans during which the branch is
+    characterized biased; ``biased_fraction`` is the fraction of its
+    blocks spent biased.
+    """
+
+    branch: int
+    intervals: tuple[tuple[int, int], ...]
+    biased_fraction: float
+    total_instr: int
+
+    @property
+    def flips(self) -> int:
+        """Number of biased/unbiased boundary crossings."""
+        return max(0, 2 * len(self.intervals) - 1)
+
+
+def flipping_tracks(trace: Trace, threshold: float = 0.99,
+                    block: int = 1000, min_blocks: int = 4,
+                    min_fraction: float = 0.05) -> list[BranchTrack]:
+    """Branches with significant periods both biased and unbiased.
+
+    A branch qualifies when at least ``min_fraction`` of its blocks are
+    biased *and* at least ``min_fraction`` are unbiased — the Figure 9
+    selection ("significant periods of both").  Branches with fewer than
+    ``min_blocks`` blocks are skipped.
+    """
+    tracks: list[BranchTrack] = []
+    groups = trace.groups()
+    total_instr = trace.total_instructions
+    for branch_id, idx in groups:
+        if len(idx) < min_blocks * block:
+            continue
+        timeline = bias_timeline(trace, branch_id, block)
+        blockwise = np.maximum(timeline.taken_fraction,
+                               1.0 - timeline.taken_fraction)
+        biased_frac = float((blockwise >= threshold).mean())
+        if not min_fraction <= biased_frac <= 1.0 - min_fraction:
+            continue
+        intervals = tuple(biased_intervals(timeline, threshold))
+        tracks.append(BranchTrack(
+            branch=branch_id,
+            intervals=intervals,
+            biased_fraction=biased_frac,
+            total_instr=total_instr,
+        ))
+    return tracks
+
+
+def correlated_change_groups(tracks: list[BranchTrack],
+                             tolerance_frac: float = 0.02,
+                             ) -> list[list[int]]:
+    """Cluster branches whose biased/unbiased boundaries coincide.
+
+    Two branches are grouped when each boundary of one lies within
+    ``tolerance_frac`` of the run length of some boundary of the other
+    (single-linkage over boundary proximity).  Returns groups of two or
+    more branches, largest first.
+    """
+    if not tracks:
+        return []
+    tolerance = max(1, int(tracks[0].total_instr * tolerance_frac))
+
+    def boundaries(track: BranchTrack) -> np.ndarray:
+        points: list[int] = []
+        for start, end in track.intervals:
+            points.extend((start, end))
+        return np.array(sorted(points), dtype=np.int64)
+
+    bounds = {t.branch: boundaries(t) for t in tracks}
+
+    def close(a: np.ndarray, b: np.ndarray) -> bool:
+        if len(a) == 0 or len(b) == 0 or len(a) != len(b):
+            return False
+        return bool(np.all(np.abs(a - b) <= tolerance))
+
+    # Single-linkage union-find over pairwise boundary matching.
+    parent = {t.branch: t.branch for t in tracks}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    branches = [t.branch for t in tracks]
+    for i, a in enumerate(branches):
+        for b in branches[i + 1:]:
+            if close(bounds[a], bounds[b]):
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    parent[ra] = rb
+    groups: dict[int, list[int]] = {}
+    for b in branches:
+        groups.setdefault(find(b), []).append(b)
+    result = [sorted(g) for g in groups.values() if len(g) >= 2]
+    result.sort(key=len, reverse=True)
+    return result

@@ -1,0 +1,101 @@
+"""Working-set phase detection over branch traces.
+
+The paper positions itself against phase-based adaptation (Dhodapkar &
+Smith, Sherwood et al. — its references [2, 11, 12]): phases are large
+units amortizing reconfiguration, whereas the reactive controller
+tracks *individual* branches.  This module implements the classic
+working-set signature detector so the relationship can be measured: a
+bit-vector signature of the branches touched in each window, with a
+phase change declared when consecutive signatures' relative distance
+exceeds a threshold.
+
+Combined with the flush machinery (:mod:`repro.sim.flush`) it yields a
+*phase-triggered flush* policy — Dynamo's preemptive flushing with a
+principled trigger — sitting between fixed-period flushing and the
+paper's per-branch closed loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.stream import Trace
+
+__all__ = ["PhaseSignatureDetector", "detect_phase_changes",
+           "signature_distances"]
+
+
+@dataclass
+class PhaseSignatureDetector:
+    """Streaming working-set signature comparison.
+
+    ``bits`` is the signature width (branch ids hash into it);
+    ``threshold`` the relative-distance above which a window starts a
+    new phase.
+    """
+
+    bits: int = 1024
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError("bits must be positive")
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self._previous: np.ndarray | None = None
+
+    def signature(self, branch_ids: np.ndarray) -> np.ndarray:
+        sig = np.zeros(self.bits, dtype=bool)
+        hashed = (branch_ids.astype(np.uint64) * np.uint64(2654435761))
+        sig[(hashed % np.uint64(self.bits)).astype(np.int64)] = True
+        return sig
+
+    def distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Relative signature distance |A xor B| / |A or B|."""
+        union = int(np.logical_or(a, b).sum())
+        if union == 0:
+            return 0.0
+        return int(np.logical_xor(a, b).sum()) / union
+
+    def observe_window(self, branch_ids: np.ndarray) -> bool:
+        """Feed one window; returns True when a phase change fires."""
+        sig = self.signature(branch_ids)
+        changed = False
+        if self._previous is not None:
+            changed = self.distance(self._previous, sig) > self.threshold
+        self._previous = sig
+        return changed
+
+
+def signature_distances(trace: Trace, window: int = 10_000,
+                        bits: int = 1024) -> np.ndarray:
+    """Distance between each pair of consecutive window signatures."""
+    detector = PhaseSignatureDetector(bits=bits, threshold=1.0)
+    ids = trace.branch_ids
+    distances = []
+    previous: np.ndarray | None = None
+    for start in range(0, len(trace) - window + 1, window):
+        sig = detector.signature(ids[start:start + window])
+        if previous is not None:
+            distances.append(detector.distance(previous, sig))
+        previous = sig
+    return np.array(distances)
+
+
+def detect_phase_changes(trace: Trace, window: int = 10_000,
+                         bits: int = 1024,
+                         threshold: float = 0.5) -> list[int]:
+    """Event indices at which a working-set phase change is detected.
+
+    The index points at the first event of the window that differed —
+    the moment an optimizer reacting to phases would flush.
+    """
+    detector = PhaseSignatureDetector(bits=bits, threshold=threshold)
+    ids = trace.branch_ids
+    changes: list[int] = []
+    for start in range(0, len(trace) - window + 1, window):
+        if detector.observe_window(ids[start:start + window]):
+            changes.append(start)
+    return changes

@@ -1,0 +1,87 @@
+"""Plain-text rendering for experiment outputs.
+
+Every experiment driver prints its table/figure data through these
+helpers so the harness output is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "render_kv", "ascii_tracks", "format_rate",
+           "format_count"]
+
+
+def format_rate(value: float, digits: int = 4) -> str:
+    """A percentage with sensible precision ('inf'-safe)."""
+    if value != value:  # NaN
+        return "n/a"
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{digits}%}"
+
+
+def format_count(value: float) -> str:
+    """Thousands-separated integer-ish value ('inf'-safe)."""
+    if value == float("inf"):
+        return "inf"
+    return f"{value:,.0f}"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple[str, object]],
+              title: str | None = None) -> str:
+    """Render key/value pairs, aligned."""
+    items = [(str(k), str(v)) for k, v in pairs]
+    width = max((len(k) for k, _ in items), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for k, v in items:
+        lines.append(f"{k.ljust(width)}  {v}")
+    return "\n".join(lines)
+
+
+def ascii_tracks(intervals_by_row: Sequence[tuple[str, Sequence[tuple[int, int]]]],
+                 total: int, width: int = 72) -> str:
+    """Figure 9 style horizontal tracks.
+
+    Each row is ``(label, [(start, end), ...])`` in instruction
+    coordinates; intervals render as ``#`` runs on a ``.`` background.
+    """
+    if total <= 0:
+        raise ValueError("total must be positive")
+    lines = []
+    label_width = max((len(label) for label, _ in intervals_by_row),
+                      default=0)
+    for label, intervals in intervals_by_row:
+        row = ["."] * width
+        for start, end in intervals:
+            a = min(width - 1, max(0, int(start / total * width)))
+            b = min(width, max(a + 1, int(end / total * width)))
+            for i in range(a, b):
+                row[i] = "#"
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Per-branch bias timelines (Figure 3 and the Figure 9 machinery).
+
+The paper plots branch bias averaged over blocks of 1000 dynamic
+instances (Figure 3) and characterizes branches as biased/unbiased over
+time (Figure 9).  These helpers compute those block timelines from a
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.stream import Trace
+
+__all__ = ["BiasTimeline", "bias_timeline", "biased_intervals"]
+
+
+@dataclass(frozen=True)
+class BiasTimeline:
+    """Blockwise bias of one static branch.
+
+    ``bias[i]`` is the fraction of block ``i``'s outcomes matching the
+    branch's *overall* majority direction; ``taken_fraction[i]`` the raw
+    taken fraction.  ``instr[i]`` is the global instruction stamp at the
+    block's first execution.
+    """
+
+    branch: int
+    block: int
+    bias: np.ndarray
+    taken_fraction: np.ndarray
+    instr: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.bias)
+
+
+def bias_timeline(trace: Trace, branch: int, block: int = 1000) -> BiasTimeline:
+    """Blockwise bias of ``branch`` over its executions in ``trace``.
+
+    A trailing partial block is dropped (matching the paper's fixed
+    1000-instance averaging).
+    """
+    if block <= 0:
+        raise ValueError("block must be positive")
+    idx = trace.groups().indices_of(branch)
+    outcomes = trace.taken[idx]
+    n_blocks = len(outcomes) // block
+    if n_blocks == 0:
+        raise ValueError(
+            f"branch {branch} has only {len(outcomes)} executions; "
+            f"need at least one block of {block}")
+    trimmed = outcomes[: n_blocks * block].reshape(n_blocks, block)
+    taken_fraction = trimmed.mean(axis=1)
+    overall_taken = outcomes.mean() >= 0.5
+    bias = taken_fraction if overall_taken else 1.0 - taken_fraction
+    starts = idx[: n_blocks * block : block]
+    return BiasTimeline(
+        branch=branch,
+        block=block,
+        bias=bias,
+        taken_fraction=taken_fraction,
+        instr=trace.instrs[starts],
+    )
+
+
+def biased_intervals(timeline: BiasTimeline,
+                     threshold: float = 0.99) -> list[tuple[int, int]]:
+    """Instruction intervals during which the branch is 'characterized
+    biased' (blockwise majority-direction bias >= ``threshold``).
+
+    Returns ``(start_instr, end_instr)`` pairs; the final interval is
+    closed at the last block's stamp.  Bias is measured against the
+    *blockwise* majority (direction-agnostic), matching Figure 9's
+    characterization: a branch that reverses perfectly is still biased.
+    """
+    blockwise = np.maximum(timeline.taken_fraction,
+                           1.0 - timeline.taken_fraction)
+    mask = blockwise >= threshold
+    intervals: list[tuple[int, int]] = []
+    start: int | None = None
+    for i, biased in enumerate(mask):
+        if biased and start is None:
+            start = int(timeline.instr[i])
+        elif not biased and start is not None:
+            intervals.append((start, int(timeline.instr[i])))
+            start = None
+    if start is not None:
+        intervals.append((start, int(timeline.instr[-1])))
+    return intervals

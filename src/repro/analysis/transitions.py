@@ -1,0 +1,101 @@
+"""Eviction-transition analysis (Figure 6 and Table 3 support).
+
+Figure 6 of the paper looks at the 64 executions around each transition
+out of the biased state and asks: what does the branch do next?  Two
+behaviors dominate — the bias *softens* (same direction, lower
+percentage) or the branch becomes *perfectly biased the other way*.
+Only the ~20% of full reversals need fast reaction; the rest misspeculate
+on only a fraction of executions, which is why the model tolerates large
+optimization latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.states import TransitionKind
+from repro.sim.summary import ReactiveRunResult
+from repro.trace.stream import Trace
+
+__all__ = ["EvictionVicinity", "eviction_vicinities",
+           "vicinity_distribution"]
+
+
+@dataclass(frozen=True)
+class EvictionVicinity:
+    """Misprediction behavior around one eviction.
+
+    ``misprediction_rate`` is the fraction of the ``window`` executions
+    *after* the eviction decision whose outcome disagrees with the
+    direction that was being speculated (the paper's "fraction of
+    branches not in the original bias direction").
+    """
+
+    branch: int
+    exec_index: int
+    window: int
+    misprediction_rate: float
+
+    @property
+    def reversed(self) -> bool:
+        """Perfectly (or near-perfectly) biased the other way."""
+        return self.misprediction_rate >= 0.95
+
+    @property
+    def softened(self) -> bool:
+        """Still leaning the original way, just less strongly."""
+        return self.misprediction_rate < 0.5
+
+
+def eviction_vicinities(result: ReactiveRunResult, trace: Trace,
+                        window: int = 64) -> list[EvictionVicinity]:
+    """One :class:`EvictionVicinity` per eviction in ``result``.
+
+    The speculated direction is recovered as the majority direction of
+    the executions between the preceding selection and the eviction
+    (those executions ran under the speculation, so their majority is
+    the locked direction for any branch biased enough to be selected).
+    """
+    groups = trace.groups()
+    vicinities: list[EvictionVicinity] = []
+    for summary in result.branches:
+        if not summary.evictions:
+            continue
+        idx = groups.indices_of(summary.branch)
+        outcomes = trace.taken[idx]
+        select_exec = 0
+        for tr in summary.transitions:
+            if tr.kind is TransitionKind.SELECT:
+                select_exec = tr.exec_index
+            elif tr.kind is TransitionKind.EVICT:
+                episode = outcomes[select_exec:tr.exec_index + 1]
+                if len(episode) == 0:
+                    continue
+                direction = episode.mean() >= 0.5
+                after = outcomes[tr.exec_index + 1:
+                                 tr.exec_index + 1 + window]
+                if len(after) == 0:
+                    continue
+                mispredict = float((after != direction).mean())
+                vicinities.append(EvictionVicinity(
+                    branch=summary.branch,
+                    exec_index=tr.exec_index,
+                    window=len(after),
+                    misprediction_rate=mispredict,
+                ))
+    return vicinities
+
+
+def vicinity_distribution(vicinities: list[EvictionVicinity],
+                          bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of post-eviction misprediction rates (Figure 6's data).
+
+    Returns ``(bin_edges, fraction_of_evictions)``.
+    """
+    rates = np.array([v.misprediction_rate for v in vicinities])
+    if len(rates) == 0:
+        return (np.linspace(0, 1, bins + 1), np.zeros(bins))
+    counts, edges = np.histogram(rates, bins=bins, range=(0.0, 1.0))
+    return edges, counts / counts.sum()

@@ -1,0 +1,98 @@
+"""Workload characterization: summarize what a trace looks like.
+
+Used by the trace CLI and tests to sanity-check generated workloads the
+way the paper characterizes its benchmarks (branch counts, bias
+distribution, hot/cold skew).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.stream import Trace
+
+__all__ = ["WorkloadStats", "characterize", "bias_histogram"]
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary statistics of one trace."""
+
+    name: str
+    input_name: str
+    events: int
+    instructions: int
+    touched: int
+    taken_rate: float
+    instr_per_branch: float
+    median_execs: float
+    max_execs: int
+    top10_share: float
+    pct_biased_99: float        # static branches with bias >= 99%
+    dyn_biased_99: float        # dynamic share under those branches
+
+    def summary(self) -> str:
+        return "\n".join([
+            f"{self.name} / {self.input_name}",
+            f"  events            {self.events:,}",
+            f"  instructions      {self.instructions:,} "
+            f"({self.instr_per_branch:.1f} per branch)",
+            f"  static branches   {self.touched:,} "
+            f"(median {self.median_execs:,.0f} execs, "
+            f"max {self.max_execs:,})",
+            f"  hottest 10 carry  {self.top10_share:.1%} of events",
+            f"  taken rate        {self.taken_rate:.1%}",
+            f"  bias >= 99%       {self.pct_biased_99:.1%} of branches, "
+            f"{self.dyn_biased_99:.1%} of events",
+        ])
+
+
+def characterize(trace: Trace) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for ``trace``."""
+    groups = trace.groups()
+    counts = groups.counts.astype(np.int64)
+    taken = trace.taken
+    biased_static = 0
+    biased_dynamic = 0
+    for branch_id, idx in groups:
+        t = int(taken[idx].sum())
+        majority = max(t, len(idx) - t)
+        if majority / len(idx) >= 0.99:
+            biased_static += 1
+            biased_dynamic += len(idx)
+    top10 = np.sort(counts)[::-1][:10].sum()
+    return WorkloadStats(
+        name=trace.name,
+        input_name=trace.input_name,
+        events=len(trace),
+        instructions=trace.total_instructions,
+        touched=len(groups),
+        taken_rate=float(taken.mean()),
+        instr_per_branch=trace.total_instructions / len(trace),
+        median_execs=float(np.median(counts)),
+        max_execs=int(counts.max()),
+        top10_share=float(top10 / len(trace)),
+        pct_biased_99=biased_static / len(groups),
+        dyn_biased_99=biased_dynamic / len(trace),
+    )
+
+
+def bias_histogram(trace: Trace, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-branch bias (majority fraction), event-weighted.
+
+    Returns ``(bin_edges, dynamic_share_per_bin)`` over [0.5, 1.0].
+    """
+    groups = trace.groups()
+    taken = trace.taken
+    biases = []
+    weights = []
+    for _branch, idx in groups:
+        t = int(taken[idx].sum())
+        biases.append(max(t, len(idx) - t) / len(idx))
+        weights.append(len(idx))
+    counts, edges = np.histogram(
+        np.array(biases), bins=bins, range=(0.5, 1.0),
+        weights=np.array(weights, dtype=np.float64))
+    return edges, counts / counts.sum()

@@ -1,0 +1,45 @@
+"""Non-branch speculated behaviors (Section 2's consistency claim):
+load-value invariance and memory (in)dependence, expressed as ordinary
+behavior traces the whole toolchain consumes unchanged."""
+
+from repro.behaviors.base import behavior_trace_from_streams
+from repro.behaviors.memdep import (
+    DependencePair,
+    alias_stream,
+    memory_dependence_trace,
+)
+from repro.behaviors.suite import (
+    behavior_config,
+    reference_memdep_trace,
+    reference_value_trace,
+)
+from repro.behaviors.values import (
+    ConstantValue,
+    PhaseValue,
+    RegimeChangeValue,
+    SmallSetValue,
+    StrideValue,
+    ValueGenerator,
+    invariance_stream,
+    value_invariance_trace,
+    value_stream,
+)
+
+__all__ = [
+    "ConstantValue",
+    "DependencePair",
+    "PhaseValue",
+    "RegimeChangeValue",
+    "SmallSetValue",
+    "StrideValue",
+    "ValueGenerator",
+    "alias_stream",
+    "behavior_config",
+    "behavior_trace_from_streams",
+    "invariance_stream",
+    "memory_dependence_trace",
+    "reference_memdep_trace",
+    "reference_value_trace",
+    "value_invariance_trace",
+    "value_stream",
+]

@@ -1,0 +1,84 @@
+"""Memory (in)dependence as a speculated behavior.
+
+The other behavior class Section 2 cites (Moshovos et al. [10]): a load
+that in practice never aliases nearby stores can be hoisted above them
+(EPIC advanced loads do exactly this), with a misspeculation when an
+aliasing store actually intervenes.  The binary behavior per dynamic
+load is "no intervening store wrote my address".
+
+The address model is deliberately simple but mechanistic: each
+load/store pair works over an address space; the load reads a fixed
+slot, stores write a (possibly time-varying) distribution of slots.
+The held-stream is derived by actually checking address collisions
+within a window, so alias burstiness falls out of the address behavior
+rather than being postulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behaviors.base import behavior_trace_from_streams
+from repro.trace.stream import Trace
+
+__all__ = ["DependencePair", "alias_stream", "memory_dependence_trace"]
+
+
+@dataclass(frozen=True)
+class DependencePair:
+    """One static (store, load) pair under consideration for hoisting.
+
+    ``spread`` is how many distinct slots the store writes uniformly;
+    the load always reads slot 0, so the per-instance alias probability
+    is ``1/spread``.  ``phase_len``/``phase_spread`` optionally switch
+    the store to a different spread after each phase (aliasing that
+    turns on mid-run — the time-varying case).
+    """
+
+    name: str
+    spread: int
+    phase_len: int | None = None
+    phase_spread: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.spread < 1:
+            raise ValueError("spread must be >= 1")
+        if (self.phase_len is None) != (self.phase_spread is None):
+            raise ValueError(
+                "phase_len and phase_spread must be given together")
+        if self.phase_len is not None and self.phase_len <= 0:
+            raise ValueError("phase_len must be positive")
+        if self.phase_spread is not None and self.phase_spread < 1:
+            raise ValueError("phase_spread must be >= 1")
+
+
+def alias_stream(pair: DependencePair, n: int, seed: int = 0) -> np.ndarray:
+    """held[i] = the i-th dynamic instance did NOT alias.
+
+    Store addresses are drawn mechanically; the load address is slot 0.
+    In alternating phases (when configured) the store switches spread,
+    changing the alias rate.
+    """
+    rng = np.random.default_rng(seed)
+    if pair.phase_len is None:
+        spreads = np.full(n, pair.spread, dtype=np.int64)
+    else:
+        phase = (np.arange(n, dtype=np.int64) // pair.phase_len) % 2
+        spreads = np.where(phase == 0, pair.spread, pair.phase_spread)
+    store_addr = (rng.random(n) * spreads).astype(np.int64)
+    return store_addr != 0  # load reads slot 0
+
+
+def memory_dependence_trace(pairs: list[DependencePair],
+                            execs_per_pair: int = 20_000,
+                            seed: int = 0,
+                            name: str = "mem-dependence") -> Trace:
+    """A behavior trace over a population of store/load pairs."""
+    if not pairs:
+        raise ValueError("need at least one dependence pair")
+    streams = [alias_stream(p, execs_per_pair, seed=seed * 104729 + i)
+               for i, p in enumerate(pairs)]
+    return behavior_trace_from_streams(
+        streams, name=name, input_name="memdep", seed=seed)

@@ -1,0 +1,77 @@
+"""Reference workloads for the non-branch behavior classes.
+
+Small, mixed populations exercising the same phenomenology as the
+branch substrate: mostly-stable speculatable units, a few time-varying
+ones, and units that should never be speculated.  Used by the
+``ext-behaviors`` experiment and its tests to demonstrate the paper's
+"qualitatively consistent with other program behaviors" claim.
+"""
+
+from __future__ import annotations
+
+from repro.behaviors.memdep import DependencePair, memory_dependence_trace
+from repro.behaviors.values import (
+    ConstantValue,
+    PhaseValue,
+    RegimeChangeValue,
+    SmallSetValue,
+    StrideValue,
+    value_invariance_trace,
+)
+from repro.core.config import ControllerConfig
+from repro.trace.stream import Trace
+
+__all__ = ["reference_value_trace", "reference_memdep_trace",
+           "behavior_config"]
+
+
+def reference_value_trace(execs_per_load: int = 20_000,
+                          seed: int = 0) -> Trace:
+    """A mixed load population: invariant constants, a 'frequently 32'
+    load, phase-rebuilt pointers, and array walks.
+
+    Phase lengths scale with the per-load execution count so the
+    time-varying loads change behavior mid-run at any trace size.
+    """
+    phase = max(200, execs_per_load // 3)
+    generators = (
+        [ConstantValue(value=32)] * 6
+        + [SmallSetValue(dominant_p=0.999)] * 3
+        + [SmallSetValue(dominant_p=0.97)] * 2
+        + [PhaseValue(phase_len=phase)] * 3
+        + [PhaseValue(phase_len=max(50, execs_per_load // 40))] * 2
+        + [RegimeChangeValue(stable_len=max(300, execs_per_load // 2))] * 2
+        + [StrideValue()] * 4
+    )
+    return value_invariance_trace(generators, execs_per_load, seed=seed)
+
+
+def reference_memdep_trace(execs_per_pair: int = 20_000,
+                           seed: int = 0) -> Trace:
+    """A mixed store/load population: never-aliasing pairs, rarely
+    aliasing ones, pairs whose aliasing switches on mid-run, and heavy
+    aliasers.  Phase lengths scale with the execution count."""
+    phase = max(200, execs_per_pair // 3)
+    pairs = (
+        [DependencePair("disjoint", spread=10**9)] * 6
+        + [DependencePair("rare", spread=2_000)] * 3
+        + [DependencePair("phase", spread=10**9,
+                          phase_len=phase, phase_spread=3)] * 2
+        + [DependencePair("heavy", spread=3)] * 3
+    )
+    return memory_dependence_trace(pairs, execs_per_pair, seed=seed)
+
+
+def behavior_config() -> ControllerConfig:
+    """Controller parameters for the 20k-execution behavior units
+    (Table 2 ratios at this population's lifetimes)."""
+    return ControllerConfig(
+        monitor_period=300,
+        selection_threshold=0.995,
+        evict_counter_max=500,
+        misspec_increment=50,
+        correct_decrement=1,
+        revisit_period=3_000,
+        oscillation_limit=5,
+        optimization_latency=1_000,
+    )

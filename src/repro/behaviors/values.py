@@ -1,0 +1,159 @@
+"""Load-value invariance as a speculated behavior.
+
+A classic software speculation (Lipasti et al. [8]; MSSP's approximate
+code folds "frequently 32" values into constants, Figure 1): if a load
+almost always produces the same value, the optimizer can substitute the
+constant and let the checker catch the rare change.  The binary behavior
+per dynamic load is "produced the same value as last time" — generated
+here from explicit *value* sequences so the held-stream statistics are
+grounded in value behavior, not assumed directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behaviors.base import behavior_trace_from_streams
+from repro.trace.stream import Trace
+
+__all__ = [
+    "ValueGenerator",
+    "ConstantValue",
+    "PhaseValue",
+    "StrideValue",
+    "SmallSetValue",
+    "RegimeChangeValue",
+    "value_stream",
+    "invariance_stream",
+    "value_invariance_trace",
+]
+
+
+class ValueGenerator(ABC):
+    """Produces the value sequence of one static load."""
+
+    @abstractmethod
+    def values(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` dynamic values (int64)."""
+
+
+@dataclass(frozen=True)
+class ConstantValue(ValueGenerator):
+    """A truly invariant load (e.g. a configuration constant)."""
+
+    value: int = 32
+
+    def values(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.value, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class PhaseValue(ValueGenerator):
+    """Invariant within phases, changing at phase boundaries — the
+    value analog of a time-varying branch (a cached pointer that is
+    rebuilt occasionally)."""
+
+    phase_len: int
+    n_phases: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.phase_len <= 0:
+            raise ValueError("phase_len must be positive")
+
+    def values(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        phase = np.arange(n, dtype=np.int64) // self.phase_len
+        base = rng.integers(0, 2**31, size=min(
+            self.n_phases, int(phase[-1]) + 1 if n else 1))
+        return base[np.minimum(phase, len(base) - 1)]
+
+
+@dataclass(frozen=True)
+class StrideValue(ValueGenerator):
+    """A strided load (array walk): never invariant."""
+
+    start: int = 0
+    stride: int = 8
+
+    def values(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self.start + self.stride * np.arange(n, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class SmallSetValue(ValueGenerator):
+    """Values drawn from a small set with one dominant member — the
+    'frequently 32' case of the paper's Figure 1."""
+
+    dominant_p: float = 0.98
+    set_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dominant_p <= 1.0:
+            raise ValueError("dominant_p must be a probability")
+        if self.set_size < 2:
+            raise ValueError("set_size must be at least 2")
+
+    def values(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        others = rng.integers(1, self.set_size, size=n)
+        dominant = rng.random(n) < self.dominant_p
+        return np.where(dominant, 0, others).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class RegimeChangeValue(ValueGenerator):
+    """Invariant for a stable prefix, then churning over a small set —
+    the value analog of an initially-biased branch that goes bad (e.g.
+    a cached size field once the data structure starts growing)."""
+
+    stable_len: int
+    set_size: int = 3
+
+    def __post_init__(self) -> None:
+        if self.stable_len <= 0:
+            raise ValueError("stable_len must be positive")
+        if self.set_size < 2:
+            raise ValueError("set_size must be at least 2")
+
+    def values(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros(n, dtype=np.int64)
+        if n > self.stable_len:
+            churn = rng.integers(1, self.set_size + 1,
+                                 size=n - self.stable_len)
+            out[self.stable_len:] = churn
+        return out
+
+
+def value_stream(generator: ValueGenerator, n: int,
+                 seed: int = 0) -> np.ndarray:
+    """The raw value sequence of one load."""
+    return generator.values(n, np.random.default_rng(seed))
+
+
+def invariance_stream(values: np.ndarray) -> np.ndarray:
+    """held[i] = 'value i equals value i-1' (held[0] is False: there is
+    nothing to reuse on the first execution)."""
+    held = np.zeros(len(values), dtype=bool)
+    if len(values) > 1:
+        held[1:] = values[1:] == values[:-1]
+    return held
+
+
+def value_invariance_trace(generators: list[ValueGenerator],
+                           execs_per_load: int = 20_000,
+                           seed: int = 0,
+                           name: str = "value-invariance") -> Trace:
+    """A behavior trace over a population of static loads.
+
+    Each generator becomes one static unit whose held-stream is the
+    value-invariance of its generated values.
+    """
+    if not generators:
+        raise ValueError("need at least one value generator")
+    streams = []
+    for i, gen in enumerate(generators):
+        values = value_stream(gen, execs_per_load, seed=seed * 7919 + i)
+        streams.append(invariance_stream(values))
+    return behavior_trace_from_streams(
+        streams, name=name, input_name="values", seed=seed)

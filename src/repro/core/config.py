@@ -1,0 +1,169 @@
+"""Controller configuration: Table 2 parameters plus every variant the
+paper's sensitivity analysis exercises (Section 3.3 / Table 4).
+
+Two presets are provided:
+
+* :func:`paper_config` — the exact values of Table 2, appropriate for
+  paper-scale runs (billions of instructions).
+* :func:`scaled_config` — the default for this reproduction's scaled runs
+  (millions of dynamic branches); all *per-execution-count* thresholds are
+  divided by 10 so the ratio of threshold to branch lifetime matches the
+  paper (see DESIGN.md §6).
+
+Sensitivity variants are expressed as derived configs
+(:meth:`ControllerConfig.without_eviction` etc.) so experiment drivers and
+tests share one source of truth for what each Table 4 row means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ControllerConfig", "paper_config", "scaled_config", "SENSITIVITY_VARIANTS"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Parameters of the reactive speculation-control model (Table 2).
+
+    Quantities named ``*_period`` are measured in per-branch *executions*;
+    ``optimization_latency`` is measured in global *instructions* (the
+    functional model has no notion of time; the paper uses instructions as
+    a proxy for cycles).
+    """
+
+    # -- Table 2 core parameters ------------------------------------------
+    monitor_period: int = 10_000
+    selection_threshold: float = 0.995
+    evict_counter_max: int = 10_000
+    misspec_increment: int = 50
+    correct_decrement: int = 1
+    revisit_period: int = 1_000_000
+    oscillation_limit: int = 5
+    optimization_latency: int = 1_000_000
+
+    # -- arcs (Figure 4b vs 4a) -------------------------------------------
+    eviction_enabled: bool = True
+    revisit_enabled: bool = True
+
+    # -- sensitivity-analysis variants -------------------------------------
+    monitor_sample_stride: int = 1
+    evict_by_sampling: bool = False
+    evict_sample_period: int = 10_000
+    evict_sample_len: int = 1_000
+    evict_bias_threshold: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.monitor_period <= 0:
+            raise ValueError("monitor_period must be positive")
+        if not 0.5 < self.selection_threshold <= 1.0:
+            raise ValueError("selection_threshold must be in (0.5, 1.0]")
+        if self.evict_counter_max <= 0:
+            raise ValueError("evict_counter_max must be positive")
+        if self.misspec_increment <= 0 or self.correct_decrement <= 0:
+            raise ValueError("counter steps must be positive")
+        if self.revisit_period <= 0:
+            raise ValueError("revisit_period must be positive")
+        if self.oscillation_limit <= 0:
+            raise ValueError("oscillation_limit must be positive")
+        if self.optimization_latency < 0:
+            raise ValueError("optimization_latency must be non-negative")
+        if self.monitor_sample_stride <= 0:
+            raise ValueError("monitor_sample_stride must be positive")
+        if self.evict_sample_len > self.evict_sample_period:
+            raise ValueError("evict_sample_len cannot exceed evict_sample_period")
+        if not 0.5 < self.evict_bias_threshold <= 1.0:
+            raise ValueError("evict_bias_threshold must be in (0.5, 1.0]")
+
+    # -- derived configs for the sensitivity analysis ----------------------
+    def without_eviction(self) -> "ControllerConfig":
+        """Open-loop on the biased side: no ``biased -> monitor`` arc."""
+        return replace(self, eviction_enabled=False)
+
+    def without_revisit(self) -> "ControllerConfig":
+        """No ``unbiased -> monitor`` arc."""
+        return replace(self, revisit_enabled=False)
+
+    def with_lower_eviction_threshold(self, maximum: int) -> "ControllerConfig":
+        return replace(self, evict_counter_max=maximum)
+
+    def with_eviction_by_sampling(self) -> "ControllerConfig":
+        return replace(self, evict_by_sampling=True)
+
+    def with_monitor_sampling(self, stride: int) -> "ControllerConfig":
+        return replace(self, monitor_sample_stride=stride)
+
+    def with_revisit_period(self, period: int) -> "ControllerConfig":
+        return replace(self, revisit_period=period)
+
+    def with_optimization_latency(self, latency: int) -> "ControllerConfig":
+        return replace(self, optimization_latency=latency)
+
+    def decide_once(self, monitor_period: int | None = None) -> "ControllerConfig":
+        """The Figure 4a model: monitor once, never evict, never revisit."""
+        cfg = replace(self, eviction_enabled=False, revisit_enabled=False)
+        if monitor_period is not None:
+            cfg = replace(cfg, monitor_period=monitor_period)
+        return cfg
+
+    @property
+    def min_evictions_to_trigger(self) -> int:
+        """Lower bound on misspeculations before an eviction can fire."""
+        return -(-self.evict_counter_max // self.misspec_increment)
+
+
+def paper_config() -> ControllerConfig:
+    """The exact Table 2 parameters."""
+    return ControllerConfig()
+
+
+def scaled_config() -> ControllerConfig:
+    """Table 2 scaled for this reproduction's shorter runs (DESIGN.md §6).
+
+    The scaling preserves the paper's *ratios* against per-branch
+    lifetimes rather than dividing uniformly: in the paper, a hot branch
+    executes ~10M times against a 10k monitor period (0.1%), a 1M revisit
+    period (~10%) and an eviction trigger of >=200 misspeculations; in
+    this reproduction's ~1-2.4M-event traces a hot branch executes
+    ~20k-50k times, so the same ratios give a 500-execution monitor, a
+    5,000-execution revisit, and an eviction trigger of >=10
+    misspeculations.  The optimization latency scales with total run
+    length (instructions shrink ~3000x): 2k instructions here plays the
+    role of the paper's 1M.
+    """
+    return ControllerConfig(
+        monitor_period=500,
+        selection_threshold=0.995,
+        evict_counter_max=500,
+        misspec_increment=50,
+        correct_decrement=1,
+        revisit_period=5_000,
+        oscillation_limit=5,
+        optimization_latency=2_000,
+        evict_sample_period=250,
+        evict_sample_len=50,
+    )
+
+
+def _sensitivity_variants(base: ControllerConfig) -> dict[str, ControllerConfig]:
+    """The seven configurations of Table 4, derived from ``base``.
+
+    The 'lower eviction threshold' row divides the eviction ceiling by 10,
+    matching the paper's 10,000 -> 1,000 at paper scale.
+    """
+    lower = max(3 * base.misspec_increment, base.evict_counter_max // 10)
+    return {
+        "no revisit": base.without_revisit(),
+        "lower eviction threshold": base.with_lower_eviction_threshold(lower),
+        "eviction by sampling": base.with_eviction_by_sampling(),
+        "baseline": base,
+        "sampling in monitor": base.with_monitor_sampling(8),
+        "more frequent revisit": base.with_revisit_period(
+            max(1, base.revisit_period // 10)),
+        "no eviction": base.without_eviction(),
+    }
+
+
+def SENSITIVITY_VARIANTS(base: ControllerConfig | None = None) -> dict[str, ControllerConfig]:
+    """Named Table 4 configurations (ordered as in the paper's table)."""
+    return _sensitivity_variants(base if base is not None else scaled_config())

@@ -1,0 +1,67 @@
+"""Saturating counters used by the reactive speculation controller.
+
+The paper's eviction mechanism (Section 3.1) is an asymmetric saturating
+counter: it counts *up* by a large increment on each misspeculation and
+*down* by a small decrement on each correct speculation, floored at zero
+and capped at a maximum.  A branch is evicted from the biased state when
+the counter reaches its maximum.  With the paper's parameters
+(+50 / -1 / max 10,000) at least 200 misspeculations are required to
+trigger an eviction, which provides hysteresis against short bursts of
+misspeculation by otherwise well-behaved branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SaturatingCounter"]
+
+
+@dataclass
+class SaturatingCounter:
+    """An integer counter clamped to ``[0, maximum]``.
+
+    Parameters
+    ----------
+    maximum:
+        Saturation ceiling; :meth:`up` never moves the value above it.
+    up_step:
+        Amount added by :meth:`up` (misspeculation increment).
+    down_step:
+        Amount subtracted by :meth:`down` (correct-speculation decrement).
+    value:
+        Initial value (defaults to zero).
+    """
+
+    maximum: int
+    up_step: int = 1
+    down_step: int = 1
+    value: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.maximum <= 0:
+            raise ValueError(f"maximum must be positive, got {self.maximum}")
+        if self.up_step <= 0 or self.down_step <= 0:
+            raise ValueError("up_step and down_step must be positive")
+        if not 0 <= self.value <= self.maximum:
+            raise ValueError(
+                f"value {self.value} outside [0, {self.maximum}]")
+
+    def up(self) -> int:
+        """Increment by ``up_step``, saturating at ``maximum``."""
+        self.value = min(self.maximum, self.value + self.up_step)
+        return self.value
+
+    def down(self) -> int:
+        """Decrement by ``down_step``, flooring at zero."""
+        self.value = max(0, self.value - self.down_step)
+        return self.value
+
+    def reset(self) -> None:
+        """Return the counter to zero."""
+        self.value = 0
+
+    @property
+    def saturated(self) -> bool:
+        """True once the counter has reached its ceiling."""
+        return self.value >= self.maximum

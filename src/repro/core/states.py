@@ -1,0 +1,82 @@
+"""Finite-state-machine vocabulary for branch-behavior characterization.
+
+Figure 4 of the paper contrasts two classifiers:
+
+* **Decide-once** (Figure 4a): ``MONITOR`` flows into ``BIASED`` or
+  ``UNBIASED`` and never leaves.  This models both offline profiling and
+  initial-behavior training, and is what the paper calls *open loop*.
+* **Reactive** (Figure 4b): two additional arcs return to ``MONITOR`` —
+  an *eviction* arc out of ``BIASED`` (taken when the branch misspeculates
+  at an undesirable rate) and a *revisit* arc out of ``UNBIASED`` (taken
+  periodically).  These two arcs are the paper's central contribution;
+  everything else about the model is secondary.
+
+``DISABLED`` is the terminal state used by the oscillation limit: a branch
+that has oscillated in and out of ``BIASED`` too many times is permanently
+excluded from speculation (the paper "will not optimize a sixth time").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["BranchState", "TransitionKind", "Transition"]
+
+
+class BranchState(enum.Enum):
+    """Classifier state of a single static branch."""
+
+    MONITOR = "monitor"
+    BIASED = "biased"
+    UNBIASED = "unbiased"
+    DISABLED = "disabled"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TransitionKind(enum.Enum):
+    """Why a state transition happened.
+
+    ``SELECT`` and ``EVICT`` are the transitions that require the code to
+    be re-optimized (and therefore pay the optimization latency);
+    ``REJECT``, ``REVISIT`` and ``DISABLE`` are bookkeeping only.
+    """
+
+    SELECT = "select"    # monitor -> biased   (speculation deployed)
+    REJECT = "reject"    # monitor -> unbiased
+    EVICT = "evict"      # biased  -> monitor  (speculation removed)
+    REVISIT = "revisit"  # unbiased -> monitor
+    DISABLE = "disable"  # monitor -> disabled (oscillation limit reached)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def requires_reoptimization(self) -> bool:
+        """True for transitions that change the deployed code."""
+        return self in (TransitionKind.SELECT, TransitionKind.EVICT)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A recorded state transition of one static branch.
+
+    Attributes
+    ----------
+    branch:
+        Static branch identifier.
+    kind:
+        Which arc of the FSM was taken.
+    exec_index:
+        Per-branch execution count at which the transition fired
+        (0-based index of the triggering execution).
+    instr:
+        Global instruction counter at the transition.
+    """
+
+    branch: int
+    kind: TransitionKind
+    exec_index: int
+    instr: int

@@ -1,0 +1,147 @@
+"""Aggregate statistics over a :class:`~repro.core.controller.ControllerBank`.
+
+These are the quantities the paper reports in Table 3 ("Model Transition
+Data"): how many static branches were touched, how many ever entered the
+biased state, how many were evicted (and how often), what fraction of
+dynamic branches was speculated, and the mean distance between
+misspeculations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.core.states import Transition, TransitionKind
+
+__all__ = ["BranchRecord", "TransitionStats", "collect_transition_stats"]
+
+
+class BranchRecord(Protocol):
+    """What a per-branch record must expose for aggregation.
+
+    Satisfied by both :class:`~repro.core.controller.ReactiveBranchController`
+    and :class:`~repro.sim.summary.BranchSummary`.
+    """
+
+    exec_count: int
+    correct: int
+    incorrect: int
+    evictions: int
+
+    @property
+    def ever_biased(self) -> bool: ...
+
+    @property
+    def ever_evicted(self) -> bool: ...
+
+    @property
+    def transitions(self) -> Iterable[Transition]: ...
+
+
+@dataclass(frozen=True)
+class TransitionStats:
+    """One row of Table 3.
+
+    Attributes
+    ----------
+    touched:
+        Static conditional branches executed at least once.
+    entered_biased:
+        Static branches that entered the biased state at least once.
+    evicted:
+        Static branches evicted from the biased state at least once.
+    total_evictions:
+        Total eviction transitions (a branch may be evicted repeatedly).
+    reoptimizations:
+        Total transitions requiring code regeneration (selects + evicts).
+    disabled:
+        Static branches shut off by the oscillation limit.
+    dynamic_branches:
+        Total dynamic conditional branch executions observed.
+    correct / incorrect:
+        Dynamic speculation outcomes.
+    instructions:
+        Instructions covered by the run (for misspeculation distance).
+    """
+
+    touched: int
+    entered_biased: int
+    evicted: int
+    total_evictions: int
+    reoptimizations: int
+    disabled: int
+    dynamic_branches: int
+    correct: int
+    incorrect: int
+    instructions: int
+
+    @property
+    def pct_biased(self) -> float:
+        """Fraction of touched static branches that ever became biased."""
+        return self.entered_biased / self.touched if self.touched else 0.0
+
+    @property
+    def pct_evicted(self) -> float:
+        """Fraction of touched static branches ever evicted."""
+        return self.evicted / self.touched if self.touched else 0.0
+
+    @property
+    def evictions_per_evicted(self) -> float:
+        """Mean number of evictions among branches evicted at least once."""
+        return self.total_evictions / self.evicted if self.evicted else 0.0
+
+    @property
+    def pct_speculated(self) -> float:
+        """Fraction of dynamic branches executed as (correct or incorrect)
+        speculations — the '% spec' column of Table 3."""
+        if not self.dynamic_branches:
+            return 0.0
+        return (self.correct + self.incorrect) / self.dynamic_branches
+
+    @property
+    def misspec_distance(self) -> float:
+        """Mean instructions between misspeculations ('misspec dist')."""
+        if not self.incorrect:
+            return float("inf")
+        return self.instructions / self.incorrect
+
+
+def collect_transition_stats(branches: Iterable[BranchRecord],
+                             instructions: int) -> TransitionStats:
+    """Summarize per-branch records of a finished run into a Table 3 row.
+
+    ``branches`` may be a :class:`~repro.core.controller.ControllerBank`
+    (iterating controllers) or any iterable of branch records;
+    ``instructions`` is the total instruction count of the run.
+    """
+    touched = entered = evicted = total_evictions = 0
+    reopts = disabled = 0
+    dynamic = correct = incorrect = 0
+    for ctrl in branches:
+        touched += 1
+        dynamic += ctrl.exec_count
+        correct += ctrl.correct
+        incorrect += ctrl.incorrect
+        if ctrl.ever_biased:
+            entered += 1
+        if ctrl.ever_evicted:
+            evicted += 1
+        total_evictions += ctrl.evictions
+        for tr in ctrl.transitions:
+            if tr.kind.requires_reoptimization:
+                reopts += 1
+            if tr.kind is TransitionKind.DISABLE:
+                disabled += 1
+    return TransitionStats(
+        touched=touched,
+        entered_biased=entered,
+        evicted=evicted,
+        total_evictions=total_evictions,
+        reoptimizations=reopts,
+        disabled=disabled,
+        dynamic_branches=dynamic,
+        correct=correct,
+        incorrect=incorrect,
+        instructions=instructions,
+    )

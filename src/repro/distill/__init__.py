@@ -1,0 +1,83 @@
+"""The distiller: MSSP's code approximation, made concrete.
+
+A miniature Alpha-flavored ISA, a region interpreter defining the
+semantics, and the approximation pipeline (assume branch direction /
+assume load value, then constant propagation + dead-code elimination).
+``figure1`` encodes the paper's worked example end to end.
+"""
+
+from repro.distill.figure1 import (
+    figure1_assumptions,
+    figure1_distilled,
+    figure1a,
+)
+from repro.distill.isa import (
+    Imm,
+    Instruction,
+    Opcode,
+    Reg,
+    addq,
+    and_,
+    beq,
+    bne,
+    cmpeq,
+    cmplt,
+    lda,
+    ldq,
+    li,
+    mov,
+    or_,
+    subq,
+    xor,
+)
+from repro.distill.region import (
+    CodeRegion,
+    ExecutionResult,
+    MachineState,
+    run_region,
+)
+from repro.distill.transforms import (
+    DistillReport,
+    assume_branch,
+    assume_load_value,
+    common_subexpression_eliminate,
+    constant_propagate,
+    copy_propagate,
+    dead_code_eliminate,
+    distill,
+)
+
+__all__ = [
+    "CodeRegion",
+    "DistillReport",
+    "ExecutionResult",
+    "Imm",
+    "Instruction",
+    "MachineState",
+    "Opcode",
+    "Reg",
+    "addq",
+    "and_",
+    "assume_branch",
+    "assume_load_value",
+    "beq",
+    "bne",
+    "cmpeq",
+    "cmplt",
+    "common_subexpression_eliminate",
+    "constant_propagate",
+    "copy_propagate",
+    "dead_code_eliminate",
+    "distill",
+    "figure1_assumptions",
+    "figure1_distilled",
+    "figure1a",
+    "lda",
+    "ldq",
+    "li",
+    "mov",
+    "or_",
+    "run_region",
+    "subq",
+    "xor",
+]

@@ -1,0 +1,175 @@
+"""A miniature Alpha-flavored instruction set.
+
+The paper's Figure 1 shows MSSP's code approximation on real Alpha
+assembly (``ldq``/``lda``/``beq``/``cmplt``/``bne``).  This module
+defines just enough of an ISA to express such regions, interpret them,
+and transform them: integer registers, loads, address generation, ALU
+ops, compares and conditional side-exit branches.
+
+Instructions are immutable records; a region is a straight-line
+sequence whose conditional branches are *side exits* (the trace-region
+/ MSSP-task shape: control either falls through every branch or leaves
+the region).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Opcode", "Operand", "Reg", "Imm", "Instruction",
+           "ldq", "lda", "mov", "li", "addq", "subq", "and_", "or_",
+           "xor", "cmplt", "cmpeq", "beq", "bne"]
+
+
+class Opcode(enum.Enum):
+    """Supported operations."""
+
+    LDQ = "ldq"      # dest <- memory[src0 + imm]
+    LDA = "lda"      # dest <- src0 + imm      (address generation)
+    LI = "li"        # dest <- imm
+    MOV = "mov"      # dest <- src0
+    ADDQ = "addq"    # dest <- src0 + src1
+    SUBQ = "subq"    # dest <- src0 - src1
+    AND = "and"      # dest <- src0 & src1
+    OR = "or"        # dest <- src0 | src1
+    XOR = "xor"      # dest <- src0 ^ src1
+    CMPLT = "cmplt"  # dest <- 1 if src0 < src1 else 0
+    CMPEQ = "cmpeq"  # dest <- 1 if src0 == src1 else 0
+    BEQ = "beq"      # side exit if src0 == 0
+    BNE = "bne"      # side exit if src0 != 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Operand:
+    """Base class for instruction operands."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Reg(Operand):
+    """An integer register, ``r0``..``r31``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= 31:
+            raise ValueError(f"register index {self.index} out of range")
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm(Operand):
+    """An immediate integer operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+_BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE})
+_LOAD_OPS = frozenset({Opcode.LDQ})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction.
+
+    ``dest`` is None for branches; ``srcs`` are the value inputs (for
+    LDQ the base register; the displacement lives in ``imm``).
+    ``target`` names a branch's exit label.
+    """
+
+    opcode: Opcode
+    dest: Reg | None = None
+    srcs: tuple[Operand, ...] = ()
+    imm: int = 0
+    target: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.is_branch:
+            if self.dest is not None:
+                raise ValueError("branches have no destination register")
+            if self.target is None:
+                raise ValueError("branches need a target label")
+            if len(self.srcs) != 1:
+                raise ValueError("branches take exactly one source")
+        else:
+            if self.dest is None:
+                raise ValueError(f"{self.opcode} needs a destination")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in _BRANCH_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in _LOAD_OPS
+
+    def source_registers(self) -> tuple[Reg, ...]:
+        return tuple(s for s in self.srcs if isinstance(s, Reg))
+
+    def __str__(self) -> str:
+        if self.opcode in (Opcode.LDQ, Opcode.LDA):
+            return (f"{self.opcode} {self.dest}, "
+                    f"{self.imm}({self.srcs[0]})")
+        if self.is_branch:
+            return f"{self.opcode} {self.srcs[0]}, {self.target}"
+        if self.opcode is Opcode.LI:
+            return f"{self.opcode} {self.dest}, #{self.imm}"
+        operands = ", ".join(str(s) for s in self.srcs)
+        return f"{self.opcode} {self.dest}, {operands}"
+
+
+# ---------------------------------------------------------------------------
+# Assembly-style constructors.
+
+def ldq(dest: Reg, disp: int, base: Reg) -> Instruction:
+    """``ldq dest, disp(base)`` — load from memory."""
+    return Instruction(Opcode.LDQ, dest=dest, srcs=(base,), imm=disp)
+
+
+def lda(dest: Reg, disp: int, base: Reg) -> Instruction:
+    """``lda dest, disp(base)`` — address generation."""
+    return Instruction(Opcode.LDA, dest=dest, srcs=(base,), imm=disp)
+
+
+def li(dest: Reg, value: int) -> Instruction:
+    """Load immediate."""
+    return Instruction(Opcode.LI, dest=dest, imm=value)
+
+
+def mov(dest: Reg, src: Operand) -> Instruction:
+    return Instruction(Opcode.MOV, dest=dest, srcs=(src,))
+
+
+def _binary(opcode: Opcode):
+    def build(dest: Reg, a: Operand, b: Operand) -> Instruction:
+        return Instruction(opcode, dest=dest, srcs=(a, b))
+    build.__name__ = opcode.value
+    return build
+
+
+addq = _binary(Opcode.ADDQ)
+subq = _binary(Opcode.SUBQ)
+and_ = _binary(Opcode.AND)
+or_ = _binary(Opcode.OR)
+xor = _binary(Opcode.XOR)
+cmplt = _binary(Opcode.CMPLT)
+cmpeq = _binary(Opcode.CMPEQ)
+
+
+def beq(src: Reg, target: str) -> Instruction:
+    """Side exit when ``src == 0``."""
+    return Instruction(Opcode.BEQ, srcs=(src,), target=target)
+
+
+def bne(src: Reg, target: str) -> Instruction:
+    """Side exit when ``src != 0``."""
+    return Instruction(Opcode.BNE, srcs=(src,), target=target)

@@ -1,0 +1,171 @@
+"""Code regions and their reference interpreter.
+
+A :class:`CodeRegion` is a single-entry instruction sequence with
+*forward* branches: a branch either jumps to a later label inside the
+region (the ``if`` shape of the paper's Figure 1) or names a label that
+does not exist in the region, which makes it a *side exit* (the
+trace-region shape MSSP tasks use).  Backward branches are rejected —
+regions are loop bodies/traces, and keeping control flow forward lets
+liveness and constant propagation run in single linear passes.
+
+The interpreter defines the semantics every transformation must
+preserve (on states satisfying the speculated assumptions); it is what
+the property tests run approximated regions against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distill.isa import Imm, Instruction, Opcode, Operand, Reg
+
+__all__ = ["CodeRegion", "MachineState", "ExecutionResult", "run_region"]
+
+
+@dataclass(frozen=True)
+class CodeRegion:
+    """A straight-line region with forward branches.
+
+    ``labels`` maps label names to instruction indices (a label at
+    ``len(instructions)`` marks the region end and is allowed as a
+    branch target).  ``live_out`` lists the registers whose values the
+    surrounding code consumes after the region.
+    """
+
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+    live_out: frozenset[Reg] = frozenset()
+
+    def __post_init__(self) -> None:
+        n = len(self.instructions)
+        for label, index in self.labels.items():
+            if not 0 <= index <= n:
+                raise ValueError(
+                    f"label {label!r} at {index} outside region")
+        for i, instr in enumerate(self.instructions):
+            if instr.is_branch and instr.target in self.labels:
+                if self.labels[instr.target] <= i:
+                    raise ValueError(
+                        f"backward branch at {i} to {instr.target!r}; "
+                        "regions must be forward-only")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def is_side_exit(self, instr: Instruction) -> bool:
+        """True when the branch leaves the region entirely."""
+        return instr.is_branch and instr.target not in self.labels
+
+    def branch_indices(self) -> tuple[int, ...]:
+        return tuple(i for i, ins in enumerate(self.instructions)
+                     if ins.is_branch)
+
+    def listing(self) -> str:
+        """Assembly-style text with labels."""
+        by_index: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for i, instr in enumerate(self.instructions):
+            for label in by_index.get(i, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {instr}")
+        for label in by_index.get(len(self.instructions), ()):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+
+@dataclass
+class MachineState:
+    """Registers and memory for the reference interpreter."""
+
+    registers: dict[int, int] = field(default_factory=dict)
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def read(self, operand: Operand) -> int:
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, Reg):
+            return self.registers.get(operand.index, 0)
+        raise TypeError(f"unreadable operand {operand!r}")
+
+    def write(self, reg: Reg, value: int) -> None:
+        self.registers[reg.index] = value
+
+    def load(self, address: int) -> int:
+        return self.memory.get(address, 0)
+
+    def copy(self) -> "MachineState":
+        return MachineState(dict(self.registers), dict(self.memory))
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of running a region.
+
+    ``exit_label`` is None for fall-through completion, otherwise the
+    side exit taken.  ``live_out_values`` snapshots the declared
+    live-out registers (only meaningful on fall-through).
+    """
+
+    state: MachineState
+    exit_label: str | None
+    live_out_values: dict[int, int]
+
+
+def run_region(region: CodeRegion, state: MachineState) -> ExecutionResult:
+    """Execute ``region`` on (a copy of) ``state``."""
+    st = state.copy()
+    pc = 0
+    n = len(region.instructions)
+    while pc < n:
+        instr = region.instructions[pc]
+        op = instr.opcode
+        if instr.is_branch:
+            condition = st.read(instr.srcs[0])
+            taken = (condition == 0) if op is Opcode.BEQ \
+                else (condition != 0)
+            if taken:
+                target_index = region.labels.get(instr.target)
+                if target_index is None:
+                    return ExecutionResult(st, instr.target, {})
+                pc = target_index
+                continue
+            pc += 1
+            continue
+        if op is Opcode.LDQ:
+            address = st.read(instr.srcs[0]) + instr.imm
+            st.write(instr.dest, st.load(address))
+        elif op is Opcode.LDA:
+            st.write(instr.dest, st.read(instr.srcs[0]) + instr.imm)
+        elif op is Opcode.LI:
+            st.write(instr.dest, instr.imm)
+        elif op is Opcode.MOV:
+            st.write(instr.dest, st.read(instr.srcs[0]))
+        elif op is Opcode.ADDQ:
+            st.write(instr.dest,
+                     st.read(instr.srcs[0]) + st.read(instr.srcs[1]))
+        elif op is Opcode.SUBQ:
+            st.write(instr.dest,
+                     st.read(instr.srcs[0]) - st.read(instr.srcs[1]))
+        elif op is Opcode.AND:
+            st.write(instr.dest,
+                     st.read(instr.srcs[0]) & st.read(instr.srcs[1]))
+        elif op is Opcode.OR:
+            st.write(instr.dest,
+                     st.read(instr.srcs[0]) | st.read(instr.srcs[1]))
+        elif op is Opcode.XOR:
+            st.write(instr.dest,
+                     st.read(instr.srcs[0]) ^ st.read(instr.srcs[1]))
+        elif op is Opcode.CMPLT:
+            st.write(instr.dest,
+                     int(st.read(instr.srcs[0]) < st.read(instr.srcs[1])))
+        elif op is Opcode.CMPEQ:
+            st.write(instr.dest,
+                     int(st.read(instr.srcs[0]) == st.read(instr.srcs[1])))
+        else:  # pragma: no cover - all opcodes handled
+            raise NotImplementedError(op)
+        pc += 1
+    live = {r.index: st.registers.get(r.index, 0)
+            for r in region.live_out}
+    return ExecutionResult(st, None, live)

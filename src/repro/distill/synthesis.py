@@ -1,0 +1,182 @@
+"""Synthetic code regions for distillation studies.
+
+Generates regions with the structures the distiller exploits:
+
+* *guard blocks* — a biased branch jumps over a cold path (error
+  handling, slow paths); assuming it taken deletes the whole body;
+* *check blocks* — a condition is computed only to guard a rarely-taken
+  side exit; assuming the exit not taken kills the branch and its
+  condition chain;
+* *foldable loads* — an invariant load feeding an ALU chain; assuming
+  its value constant-folds the chain away;
+* *essential work* — computation into live-out registers that no
+  assumption may remove (the transform-correctness anchor).
+
+Used to measure the distillation-ratio distribution that grounds the
+MSSP timing model's ``max_elimination`` constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distill.isa import (
+    Instruction,
+    Reg,
+    addq,
+    beq,
+    bne,
+    cmpeq,
+    cmplt,
+    ldq,
+    xor,
+)
+from repro.distill.region import CodeRegion
+from repro.distill.transforms import distill
+
+__all__ = ["SynthesisConfig", "StudyEntry", "synthesize_region",
+           "distillation_study"]
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Block mix of a synthetic region."""
+
+    guard_blocks: int = 2
+    check_blocks: int = 2
+    foldable_loads: int = 2
+    essential_ops: int = 4
+    cold_path_len: int = 4
+    chain_len: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("guard_blocks", "check_blocks", "foldable_loads",
+                     "essential_ops", "cold_path_len", "chain_len"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+#: Registers reserved per role to keep the generator simple.
+_BASE = Reg(16)
+_ACC = Reg(8)
+_SCRATCH = [Reg(i) for i in range(1, 8)]
+
+
+def synthesize_region(config: SynthesisConfig,
+                      seed: int = 0) -> tuple[CodeRegion,
+                                              dict[int, bool],
+                                              dict[int, int]]:
+    """Build a region plus the assumption sets its profile would give.
+
+    Returns ``(region, branch_assumptions, value_assumptions)`` using
+    original-region instruction indices, ready for
+    :func:`~repro.distill.transforms.distill`.
+    """
+    rng = np.random.default_rng(seed)
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    branch_assumptions: dict[int, bool] = {}
+    value_assumptions: dict[int, int] = {}
+    disp = 0
+
+    def fresh_disp() -> int:
+        nonlocal disp
+        disp += 8
+        return disp
+
+    def scratch() -> Reg:
+        return _SCRATCH[int(rng.integers(0, len(_SCRATCH)))]
+
+    blocks = (["guard"] * config.guard_blocks
+              + ["check"] * config.check_blocks
+              + ["fold"] * config.foldable_loads
+              + ["work"] * config.essential_ops)
+    rng.shuffle(blocks)
+
+    for b, kind in enumerate(blocks):
+        if kind == "guard":
+            # Biased-taken branch over a cold path that mutates the
+            # accumulator (live code; only the assumption removes it).
+            cond = scratch()
+            instructions.append(ldq(cond, fresh_disp(), _BASE))
+            branch_index = len(instructions)
+            label = f"over{b}"
+            instructions.append(bne(cond, label))
+            branch_assumptions[branch_index] = True
+            for _ in range(config.cold_path_len):
+                instructions.append(addq(_ACC, _ACC, cond))
+            labels[label] = len(instructions)
+        elif kind == "check":
+            # Condition chain guarding a rarely-taken side exit.
+            cond = scratch()
+            instructions.append(ldq(cond, fresh_disp(), _BASE))
+            t = scratch()
+            instructions.append(cmpeq(t, cond, _ACC))
+            branch_index = len(instructions)
+            instructions.append(bne(t, f"exit{b}"))  # side exit
+            branch_assumptions[branch_index] = False
+        elif kind == "fold":
+            # Invariant load feeding an ALU chain into the accumulator;
+            # assuming the value folds the whole chain to an immediate.
+            value_reg = scratch()
+            load_index = len(instructions)
+            instructions.append(ldq(value_reg, fresh_disp(), _BASE))
+            value_assumptions[load_index] = int(rng.integers(0, 64))
+            t = scratch()
+            instructions.append(xor(t, value_reg, value_reg))
+            for _ in range(config.chain_len - 1):
+                instructions.append(xor(t, t, value_reg))
+            instructions.append(addq(_ACC, _ACC, t))
+        else:  # essential work: accumulate a fresh load
+            t = scratch()
+            instructions.append(ldq(t, fresh_disp(), _BASE))
+            instructions.append(addq(_ACC, _ACC, t))
+
+    # A final essential comparison keeps the accumulator live.
+    t = _SCRATCH[0]
+    instructions.append(cmplt(t, _ACC, _BASE))
+    instructions.append(beq(t, "done"))  # side exit
+    region = CodeRegion(tuple(instructions), labels,
+                        live_out=frozenset({_ACC}))
+    return region, branch_assumptions, value_assumptions
+
+
+@dataclass(frozen=True)
+class StudyEntry:
+    """One region's distillation outcome.
+
+    Reduction is measured against the *cleaned* original (the same
+    cleanup passes with no assumptions), so it only credits
+    instructions the assumptions removed — not generator junk.
+    """
+
+    original_len: int
+    cleaned_len: int
+    distilled_len: int
+
+    @property
+    def reduction(self) -> float:
+        if not self.cleaned_len:
+            return 0.0
+        return 1.0 - self.distilled_len / self.cleaned_len
+
+
+def distillation_study(n_regions: int = 50, seed: int = 0,
+                       config: SynthesisConfig | None = None,
+                       ) -> list[StudyEntry]:
+    """Distill a population of synthetic regions."""
+    config = config or SynthesisConfig()
+    entries = []
+    for i in range(n_regions):
+        region, branches, values = synthesize_region(config,
+                                                     seed=seed + i)
+        cleaned = distill(region).approximated
+        distilled = distill(region, branches, values).approximated
+        entries.append(StudyEntry(
+            original_len=len(region),
+            cleaned_len=len(cleaned),
+            distilled_len=len(distilled),
+        ))
+    return entries

@@ -1,0 +1,308 @@
+"""Approximation and cleanup transformations (the MSSP distiller).
+
+MSSP's speculative program is built by *approximating* the original
+code under profiled assumptions and then letting classical optimization
+collect the exposed slack (Figure 1): assuming a biased branch's
+direction deletes the branch (no check — the external verifier catches
+violations), assuming a load's value replaces it with a constant, and
+then constant propagation + dead-code elimination erase the
+computation that only existed to feed the removed checks.
+
+All passes preserve semantics *on states satisfying the assumptions*
+(property-tested against the reference interpreter); on violating
+states the approximated region diverges, which is exactly a
+misspeculation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distill.isa import Imm, Instruction, Opcode, Reg, li
+from repro.distill.region import CodeRegion
+
+__all__ = ["assume_branch", "assume_load_value", "constant_propagate",
+           "copy_propagate", "common_subexpression_eliminate",
+           "dead_code_eliminate", "distill", "DistillReport"]
+
+
+def _relabeled(instructions: list[Instruction | None],
+               labels: dict[str, int],
+               live_out: frozenset[Reg]) -> CodeRegion:
+    """Rebuild a region after marking instructions None (deleted)."""
+    index_map: dict[int, int] = {}
+    kept: list[Instruction] = []
+    for old_index, instr in enumerate(instructions):
+        index_map[old_index] = len(kept)
+        if instr is not None:
+            kept.append(instr)
+    index_map[len(instructions)] = len(kept)
+    new_labels = {label: index_map[index]
+                  for label, index in labels.items()}
+    return CodeRegion(tuple(kept), new_labels, live_out)
+
+
+def assume_branch(region: CodeRegion, branch_index: int,
+                  taken: bool) -> CodeRegion:
+    """Assume a branch's direction and delete it.
+
+    Assuming *not taken* simply removes the branch (fall-through is now
+    unconditional).  Assuming *taken* removes the branch and the
+    fall-through instructions up to its (in-region) label; if another
+    branch can still jump into that range the transformation is
+    rejected (expressing it would need an unconditional jump, which
+    this mini-ISA deliberately omits).  Assuming a side exit taken is
+    also rejected: the region past it would be unreachable, which is a
+    region-formation decision, not an approximation.
+    """
+    instr = region.instructions[branch_index]
+    if not instr.is_branch:
+        raise ValueError(f"instruction {branch_index} is not a branch")
+    work: list[Instruction | None] = list(region.instructions)
+    if not taken:
+        work[branch_index] = None
+        return _relabeled(work, region.labels, region.live_out)
+    if region.is_side_exit(instr):
+        raise ValueError(
+            "cannot assume a side exit taken; the region past it would "
+            "be unreachable")
+    target_index = region.labels[instr.target]
+    join_points = {
+        region.labels[other.target]
+        for i, other in enumerate(region.instructions)
+        if other.is_branch and i != branch_index
+        and other.target in region.labels}
+    for index in range(branch_index + 1, target_index):
+        if index in join_points:
+            raise ValueError(
+                f"another branch joins at index {index}; cannot delete "
+                "the fall-through path of a taken-assumed branch")
+    for index in range(branch_index, target_index):
+        work[index] = None
+    return _relabeled(work, region.labels, region.live_out)
+
+
+def assume_load_value(region: CodeRegion, load_index: int,
+                      value: int) -> CodeRegion:
+    """Assume a load's (invariant) value: replace it with an immediate.
+
+    The load disappears; constant propagation then folds the value into
+    its users (the paper's ``cmplt r1, 32, r4``).
+    """
+    instr = region.instructions[load_index]
+    if not instr.is_load:
+        raise ValueError(f"instruction {load_index} is not a load")
+    work: list[Instruction | None] = list(region.instructions)
+    work[load_index] = li(instr.dest, value)
+    return _relabeled(work, region.labels, region.live_out)
+
+
+_FOLDABLE = {
+    Opcode.ADDQ: lambda a, b: a + b,
+    Opcode.SUBQ: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.CMPLT: lambda a, b: int(a < b),
+    Opcode.CMPEQ: lambda a, b: int(a == b),
+}
+
+
+def constant_propagate(region: CodeRegion) -> CodeRegion:
+    """Forward constant propagation and folding.
+
+    Known constants (from ``li`` and folded ops) replace register
+    sources with immediates; fully-constant ALU ops fold to ``li``.
+    Constant knowledge is discarded at every in-region label (a join
+    may be reached along a path that did not establish the constant)
+    and kept across branches (the fall-through path dominates).
+    """
+    label_indices = set(region.labels.values())
+    constants: dict[int, int] = {}
+    out: list[Instruction] = []
+    for index, instr in enumerate(region.instructions):
+        if index in label_indices:
+            constants.clear()
+        new_srcs = tuple(
+            Imm(constants[s.index])
+            if isinstance(s, Reg) and s.index in constants else s
+            for s in instr.srcs)
+        instr = Instruction(instr.opcode, instr.dest, new_srcs,
+                            instr.imm, instr.target)
+        folder = _FOLDABLE.get(instr.opcode)
+        if folder is not None and all(
+                isinstance(s, Imm) for s in instr.srcs):
+            value = folder(instr.srcs[0].value, instr.srcs[1].value)
+            instr = li(instr.dest, value)
+        if instr.opcode is Opcode.MOV and isinstance(instr.srcs[0], Imm):
+            instr = li(instr.dest, instr.srcs[0].value)
+        if instr.opcode is Opcode.LDA and isinstance(instr.srcs[0], Imm):
+            instr = li(instr.dest, instr.srcs[0].value + instr.imm)
+        # Track the destination's constant-ness.
+        if instr.dest is not None:
+            if instr.opcode is Opcode.LI:
+                constants[instr.dest.index] = instr.imm
+            else:
+                constants.pop(instr.dest.index, None)
+        out.append(instr)
+    return CodeRegion(tuple(out), dict(region.labels), region.live_out)
+
+
+def copy_propagate(region: CodeRegion) -> CodeRegion:
+    """Forward copy propagation: after ``mov rd, rs``, uses of ``rd``
+    become uses of ``rs`` until either register is redefined.
+
+    Like constant propagation, copy knowledge dies at in-region labels
+    (joins) and survives across branches (fall-through dominates).
+    """
+    label_indices = set(region.labels.values())
+    copies: dict[int, Reg] = {}  # dest -> source register
+    out: list[Instruction] = []
+    for index, instr in enumerate(region.instructions):
+        if index in label_indices:
+            copies.clear()
+        new_srcs = tuple(
+            copies.get(s.index, s) if isinstance(s, Reg) else s
+            for s in instr.srcs)
+        instr = Instruction(instr.opcode, instr.dest, new_srcs,
+                            instr.imm, instr.target)
+        if instr.dest is not None:
+            dest = instr.dest.index
+            # Any copy involving the redefined register is dead.
+            copies = {d: s for d, s in copies.items()
+                      if d != dest and s.index != dest}
+            if instr.opcode is Opcode.MOV \
+                    and isinstance(instr.srcs[0], Reg) \
+                    and instr.srcs[0].index != dest:
+                copies[dest] = instr.srcs[0]
+        out.append(instr)
+    return CodeRegion(tuple(out), dict(region.labels), region.live_out)
+
+
+def common_subexpression_eliminate(region: CodeRegion) -> CodeRegion:
+    """Local CSE: a pure op recomputing an available expression becomes
+    a ``mov`` from the earlier result.
+
+    Loads are treated as pure (this mini-ISA has no stores), so
+    repeated loads of the same address also fold.  Available
+    expressions die when any operand (or the holding register) is
+    redefined, and at in-region labels.
+    """
+    label_indices = set(region.labels.values())
+    available: dict[tuple, Reg] = {}  # expression key -> holding reg
+    out: list[Instruction] = []
+    def invalidate(dest: int) -> None:
+        nonlocal available
+        available = {
+            k: r for k, r in available.items()
+            if r.index != dest and not any(
+                isinstance(s, Reg) and s.index == dest for s in k[1])}
+
+    for index, instr in enumerate(region.instructions):
+        if index in label_indices:
+            available.clear()
+        if instr.is_branch:
+            out.append(instr)
+            continue
+        if instr.opcode is Opcode.MOV:
+            invalidate(instr.dest.index)
+            out.append(instr)
+            continue
+        key = (instr.opcode, instr.srcs, instr.imm)
+        holder = available.get(key)
+        if holder is not None and holder != instr.dest:
+            instr = Instruction(Opcode.MOV, instr.dest, (holder,))
+        invalidate(instr.dest.index)
+        overwrites_operand = any(
+            isinstance(s, Reg) and s.index == instr.dest.index
+            for s in instr.srcs)
+        if instr.opcode is not Opcode.MOV and not overwrites_operand:
+            available[key] = instr.dest
+        out.append(instr)
+    return CodeRegion(tuple(out), dict(region.labels), region.live_out)
+
+
+def dead_code_eliminate(region: CodeRegion) -> CodeRegion:
+    """Remove instructions whose results are never used.
+
+    Backward liveness in one pass (forward-only branches): branches and
+    their conditions are live; loads here are side-effect free, so a
+    dead load is removable — which is how assuming the Figure 1 branch
+    makes the first ``ldq r1`` disappear.
+    """
+    n = len(region.instructions)
+    live: set[int] = {r.index for r in region.live_out}
+    live_at_label: dict[str, set[int]] = {}
+    label_positions: dict[int, list[str]] = {}
+    for label, index in region.labels.items():
+        label_positions.setdefault(index, []).append(label)
+    for label in label_positions.get(n, ()):  # region-end labels
+        live_at_label[label] = set(live)
+
+    keep: list[bool] = [True] * n
+    for index in range(n - 1, -1, -1):
+        instr = region.instructions[index]
+        if instr.is_branch:
+            if instr.target in region.labels:
+                live |= live_at_label.get(instr.target, set())
+            live.update(r.index for r in instr.source_registers())
+        elif instr.dest.index not in live:
+            keep[index] = False
+        else:
+            live.discard(instr.dest.index)
+            live.update(r.index for r in instr.source_registers())
+        # A label at this index marks a join: record the live-in set so
+        # branches earlier in the region can merge it.
+        for label in label_positions.get(index, ()):
+            live_at_label[label] = set(live)
+
+    work: list[Instruction | None] = [
+        instr if keep[i] else None
+        for i, instr in enumerate(region.instructions)]
+    return _relabeled(work, region.labels, region.live_out)
+
+
+@dataclass(frozen=True)
+class DistillReport:
+    """Before/after accounting for one distillation."""
+
+    original: CodeRegion
+    approximated: CodeRegion
+
+    @property
+    def instructions_removed(self) -> int:
+        return len(self.original) - len(self.approximated)
+
+    @property
+    def reduction(self) -> float:
+        if not len(self.original):
+            return 0.0
+        return self.instructions_removed / len(self.original)
+
+
+def distill(region: CodeRegion,
+            branch_assumptions: dict[int, bool] | None = None,
+            value_assumptions: dict[int, int] | None = None,
+            ) -> DistillReport:
+    """Apply a set of assumptions and clean up.
+
+    ``branch_assumptions`` maps branch instruction indices to assumed
+    directions; ``value_assumptions`` maps load indices to assumed
+    values (both indexed into the *original* region).  Branches are
+    applied back-to-front so earlier indices stay valid.
+    """
+    approximated = region
+    for index, value in sorted((value_assumptions or {}).items(),
+                               reverse=True):
+        approximated = assume_load_value(approximated, index, value)
+    for index, taken in sorted((branch_assumptions or {}).items(),
+                               reverse=True):
+        approximated = assume_branch(approximated, index, taken)
+    previous = None
+    while previous is None or len(approximated) < previous:
+        previous = len(approximated)
+        approximated = constant_propagate(approximated)
+        approximated = copy_propagate(approximated)
+        approximated = common_subexpression_eliminate(approximated)
+        approximated = dead_code_eliminate(approximated)
+    return DistillReport(original=region, approximated=approximated)

@@ -1,0 +1,10 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+See :mod:`repro.experiments.registry` for the index and
+:mod:`repro.experiments.cli` for the command-line entry point
+(``python -m repro.experiments run <id>``).
+"""
+
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["ExperimentContext"]

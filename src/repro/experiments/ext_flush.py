@@ -1,0 +1,63 @@
+"""Extension — testing the Dynamo-flush conjecture (Section 5).
+
+The paper conjectures that Dynamo's preemptive fragment-cache flushing
+"will likely perform somewhere between closed-loop and open-loop
+policies".  This experiment runs the flush policy at several periods
+next to the two reference policies and checks where it lands: flushing
+does eventually clear bad speculations (bounding the open-loop damage)
+but also repeatedly discards good ones (losing closed-loop benefit).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_rate, render_table
+from repro.core.config import scaled_config
+from repro.experiments.common import ExperimentContext
+from repro.sim.flush import run_with_flush
+from repro.sim.runner import aggregate_metrics, run_reactive
+
+__all__ = ["run", "compute", "FLUSH_PERIODS"]
+
+#: Flush periods in instructions (fractions of a typical scaled run).
+FLUSH_PERIODS: tuple[int, ...] = (200_000, 1_000_000, 5_000_000)
+
+
+def compute(ctx: ExperimentContext):
+    base = scaled_config()
+    policies: dict[str, list] = {"closed loop": [], "open loop": []}
+    for period in FLUSH_PERIODS:
+        policies[f"flush@{period//1000}k"] = []
+    for name in ctx.benchmark_names:
+        trace = ctx.cache.get(name)
+        policies["closed loop"].append(run_reactive(trace, base).metrics)
+        policies["open loop"].append(
+            run_reactive(trace, base.without_eviction()).metrics)
+        for period in FLUSH_PERIODS:
+            policies[f"flush@{period//1000}k"].append(
+                run_with_flush(trace, base, period).metrics)
+    return {label: aggregate_metrics(ms) for label, ms in policies.items()}
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    ctx = ctx or ExperimentContext()
+    pooled = compute(ctx)
+    rows = [(label, f"{m.correct_rate:.1%}",
+             format_rate(m.incorrect_rate))
+            for label, m in pooled.items()]
+    table = render_table(
+        ("policy", "correct", "incorrect"), rows,
+        title=("Extension: Dynamo-style flush policy vs the reference "
+               "policies (pooled over benchmarks)"))
+    closed = pooled["closed loop"]
+    open_ = pooled["open loop"]
+    verdicts = []
+    for period in FLUSH_PERIODS:
+        m = pooled[f"flush@{period//1000}k"]
+        between = (closed.incorrect_rate <= m.incorrect_rate
+                   <= open_.incorrect_rate
+                   and m.correct_rate <= closed.correct_rate)
+        verdicts.append(f"flush@{period//1000}k between open and closed "
+                        f"on misspeculation: {'yes' if between else 'no'}")
+    return table + "\n" + "\n".join(verdicts) + (
+        "\n(the paper's Section 5 conjecture: flushing lands between "
+        "the two reference policies)")

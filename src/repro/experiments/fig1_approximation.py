@@ -1,0 +1,52 @@
+"""Figure 1 — MSSP code approximation, executed.
+
+Reproduces the paper's worked example: the Figure 1(a) code under the
+profiled assumptions (first ``if`` always true, ``x.d`` frequently 32)
+distills to the Figure 1(b) code — the conditional branch, both loads
+feeding it and the ``x.d`` access all vanish, leaving 3 of 7
+instructions.  The approximated region is verified against the
+reference interpreter on states satisfying the assumptions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distill.figure1 import FIELD_OFFSETS, figure1_distilled
+from repro.distill.region import MachineState, run_region
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    report = figure1_distilled()
+    rng = np.random.default_rng(1)
+    agreements = 0
+    trials = 200
+    for _ in range(trials):
+        base = 1_000
+        memory = {
+            base + FIELD_OFFSETS["a"]: 1,                    # x.a true
+            base + FIELD_OFFSETS["b"]: int(rng.integers(0, 100)),
+            base + FIELD_OFFSETS["c"]: int(rng.integers(0, 100)),
+            base + FIELD_OFFSETS["d"]: 32,                   # x.d == 32
+        }
+        state = MachineState(registers={16: base}, memory=memory)
+        original = run_region(report.original, state)
+        approximated = run_region(report.approximated, state)
+        if (original.exit_label == approximated.exit_label
+                and original.live_out_values
+                == approximated.live_out_values):
+            agreements += 1
+    return (
+        "Figure 1: an illustrative MSSP code approximation\n\n"
+        "before (Figure 1a):\n"
+        f"{report.original.listing()}\n\n"
+        "after approximation + constant propagation + DCE (Figure 1b):\n"
+        f"{report.approximated.listing()}\n\n"
+        f"instructions: {len(report.original)} -> "
+        f"{len(report.approximated)} "
+        f"({report.reduction:.0%} removed)\n"
+        f"semantic agreement on {agreements}/{trials} random states "
+        "satisfying the assumptions (must be all)")

@@ -1,0 +1,79 @@
+"""Figure 2 — the correct/incorrect speculation trade-off.
+
+For each benchmark: the self-training Pareto point at the 99% threshold
+(the paper's circles), the cross-input offline-profile point (triangles)
+and the initial-behavior training sweep (crosses at five training
+period lengths).  The paper's qualitative findings to look for:
+
+* the 99% self-training threshold yields large correct-speculation
+  coverage at tiny misspeculation rates (the knee of the curve);
+* offline cross-input profiling loses a large factor of benefit and
+  multiplies misspeculations (~3x less benefit, ~10x more misspecs on
+  average in the paper);
+* lengthening initial-behavior training lowers misspeculation but
+  sacrifices benefit, and some benchmarks stay bad at any length.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_rate, render_table
+from repro.experiments.common import ExperimentContext
+from repro.profiling.base import evaluate_policy
+from repro.profiling.initial import (
+    SCALED_TRAINING_PERIODS,
+    initial_behavior_policy,
+)
+from repro.profiling.offline import offline_policy
+from repro.profiling.self_training import pareto_curve
+from repro.trace.spec2000 import BENCHMARKS
+
+__all__ = ["run", "compute"]
+
+
+def compute(ctx: ExperimentContext) -> dict[str, dict[str, tuple[float, float]]]:
+    """(incorrect_rate, correct_rate) per benchmark per mechanism."""
+    data: dict[str, dict[str, tuple[float, float]]] = {}
+    for name in ctx.benchmark_names:
+        eval_trace = ctx.cache.get(name)
+        profile_trace = ctx.cache.get(name, BENCHMARKS[name].profile_input)
+        row: dict[str, tuple[float, float]] = {}
+
+        curve = pareto_curve(eval_trace)
+        row["self@99%"] = curve.at_threshold(0.99)
+
+        off = evaluate_policy(offline_policy(profile_trace), eval_trace)
+        row["offline"] = (off.incorrect_rate, off.correct_rate)
+
+        for period in SCALED_TRAINING_PERIODS:
+            policy = initial_behavior_policy(eval_trace, period)
+            m = evaluate_policy(policy, eval_trace)
+            row[f"initial@{period}"] = (m.incorrect_rate, m.correct_rate)
+        data[name] = row
+    return data
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    """Render the Figure 2 data."""
+    ctx = ctx or ExperimentContext()
+    data = compute(ctx)
+    mechanisms = next(iter(data.values())).keys()
+    headers = ["bmark"] + [f"{m} inc/corr" for m in mechanisms]
+    rows = []
+    for name, row in data.items():
+        cells = [name]
+        for mechanism in mechanisms:
+            inc, corr = row[mechanism]
+            cells.append(f"{format_rate(inc)} / {corr:.1%}")
+        rows.append(cells)
+    # Averages across benchmarks.
+    avg_cells = ["AVERAGE"]
+    n = len(data)
+    for mechanism in mechanisms:
+        inc = sum(row[mechanism][0] for row in data.values()) / n
+        corr = sum(row[mechanism][1] for row in data.values()) / n
+        avg_cells.append(f"{format_rate(inc)} / {corr:.1%}")
+    rows.append(avg_cells)
+    return render_table(
+        headers, rows,
+        title=("Figure 2: correct/incorrect speculation trade-off "
+               "(x=incorrect, y=correct; rates over dynamic branches)"))

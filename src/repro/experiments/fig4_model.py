@@ -1,0 +1,44 @@
+"""Figure 4 — the classifier state machines, rendered as text.
+
+(a) is the decide-once model shared by offline profiling and
+initial-behavior training; (b) adds the two reactive arcs that are the
+paper's contribution.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["run"]
+
+_DIAGRAM = """\
+Figure 4: finite-state machines for branch characterization
+
+(a) decide once (open loop)            (b) reactive (closed loop)
+
+        +---------+                        +---------+
+        | MONITOR |                        | MONITOR |<--------------+
+        +---------+                        +---------+               |
+         /       \\                         /       \\                |
+   biased         unbiased           biased         unbiased         |
+       /           \\                    /             \\              |
++--------+    +----------+        +--------+      +----------+       |
+| BIASED |    | UNBIASED |        | BIASED |      | UNBIASED |       |
++--------+    +----------+        +--------+      +----------+       |
+ (forever)      (forever)             |                |             |
+                                      | evict          | revisit     |
+                                      | (misspec       | (wait       |
+                                      |  counter       |  period     |
+                                      |  saturates)    |  elapses)   |
+                                      +----------------+-------------+
+
+Both reactive arcs return to MONITOR; entering or leaving BIASED
+requires re-optimizing the code (and pays the optimization latency).
+A branch that enters BIASED more than the oscillation limit allows is
+DISABLED permanently.
+"""
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    """Render Figure 4."""
+    return _DIAGRAM

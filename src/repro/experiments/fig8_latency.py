@@ -1,0 +1,76 @@
+"""Figure 8 — MSSP sensitivity to (re)optimization latency.
+
+Closed-loop MSSP runs with optimization latencies of 0, 200 and 2,000
+instructions — this reproduction's scaled analogs of the paper's 0,
+1e5 and 1e6 cycles (the scaled default config's latency of 2,000 *is*
+the 1e6 analog; see DESIGN.md §6).  The paper finds the three nearly
+indistinguishable (< 2%).
+
+A fourth, beyond-paper *stress* point at 20,000 instructions (≈ the
+paper's 1e7 cycles) shows where the tolerance ends: once the latency
+approaches the timescale on which branches change behavior, eviction
+windows stay mispredicting long enough to dent the speedup — exactly
+the failure mode the paper's latency argument predicts for
+"perfectly reversed" branches.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import ExperimentContext
+from repro.mssp.simulator import (
+    checkpoint_trace,
+    closed_loop_config,
+    simulate_mssp,
+)
+
+__all__ = ["run", "compute", "LATENCIES", "STRESS_LATENCY"]
+
+#: Scaled analogs of the paper's 0 / 10^5 / 10^6 cycle latencies.
+LATENCIES: tuple[int, ...] = (0, 200, 2_000)
+
+#: Beyond-paper stress point (≈ 10^7 cycles at paper scale).
+STRESS_LATENCY = 20_000
+
+
+def compute(ctx: ExperimentContext) -> dict[str, dict[int, float]]:
+    """Speedups per benchmark per optimization latency."""
+    length = 120_000 if ctx.quick else 300_000
+    sweep = (*LATENCIES, STRESS_LATENCY)
+    data: dict[str, dict[int, float]] = {}
+    for name in ctx.benchmark_names:
+        trace = checkpoint_trace(name, length=length)
+        data[name] = {
+            latency: simulate_mssp(
+                trace, closed_loop_config(
+                    optimization_latency=latency)).speedup
+            for latency in sweep
+        }
+    return data
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    """Render the Figure 8 data."""
+    ctx = ctx or ExperimentContext()
+    data = compute(ctx)
+    sweep = (*LATENCIES, STRESS_LATENCY)
+    rows = [(name, *(f"{d[lat]:.2f}" for lat in sweep))
+            for name, d in data.items()]
+    n = len(data)
+    means = [sum(d[lat] for d in data.values()) / n for lat in sweep]
+    rows.append(("MEAN", *(f"{m:.2f}" for m in means)))
+    worst_loss = max(
+        (1.0 - d[LATENCIES[-1]] / d[0]) if d[0] else 0.0
+        for d in data.values())
+    headers = ["bmark"] + [f"latency {lat:,}" for lat in LATENCIES] \
+        + [f"stress {STRESS_LATENCY:,}"]
+    table = render_table(
+        headers, rows,
+        title=("Figure 8: MSSP speedup vs optimization latency "
+               "(instructions; 0/200/2,000 are the scaled analogs of "
+               "the paper's 0/1e5/1e6 cycles)"))
+    return (f"{table}\n"
+            f"largest per-benchmark loss within the paper's range: "
+            f"{worst_loss:.1%} (paper: < 2%); the stress column shows "
+            "tolerance ending once latency reaches behavior-change "
+            "timescales")

@@ -1,0 +1,113 @@
+"""Experiment registry: every table and figure of the paper, by id."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import (
+    ext_ablations,
+    ext_distiller,
+    ext_batching,
+    ext_behaviors,
+    ext_codegen,
+    ext_flush,
+    ext_hotregion,
+    ext_phases,
+    ext_uarch,
+    fig1_approximation,
+    fig2_opportunity,
+    fig3_changing_branches,
+    fig4_model,
+    fig5_reactive_model,
+    fig6_transition_behavior,
+    fig7_reactivity_performance,
+    fig8_latency,
+    fig9_correlation,
+    tab1_inputs,
+    tab2_parameters,
+    tab3_transitions,
+    tab4_sensitivity,
+    tab5_machine,
+)
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    id: str
+    title: str
+    runner: Callable[[ExperimentContext], str]
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    e.id: e for e in [
+        Experiment("fig1", "MSSP code approximation example",
+                   fig1_approximation.run),
+        Experiment("fig2", "Correct/incorrect speculation trade-off",
+                   fig2_opportunity.run),
+        Experiment("fig3", "Initially-invariant branches that change",
+                   fig3_changing_branches.run),
+        Experiment("fig4", "Branch characterization state machines",
+                   fig4_model.run),
+        Experiment("fig5", "Reactive control vs self-training",
+                   fig5_reactive_model.run),
+        Experiment("fig6", "Misprediction rate around evictions",
+                   fig6_transition_behavior.run),
+        Experiment("fig7", "MSSP speedup: closed vs open loop",
+                   fig7_reactivity_performance.run),
+        Experiment("fig8", "MSSP speedup vs optimization latency",
+                   fig8_latency.run),
+        Experiment("fig9", "Correlated behavior changes (vortex)",
+                   fig9_correlation.run),
+        Experiment("tab1", "Simulation data sets and run lengths",
+                   tab1_inputs.run),
+        Experiment("tab2", "Model parameters", tab2_parameters.run),
+        Experiment("tab3", "Model transition data", tab3_transitions.run),
+        Experiment("tab4", "Model sensitivity", tab4_sensitivity.run),
+        Experiment("tab5", "MSSP simulation parameters", tab5_machine.run),
+        Experiment("ext-behaviors",
+                   "Value-invariance and memory-dependence behaviors",
+                   ext_behaviors.run),
+        Experiment("ext-flush",
+                   "Dynamo-style flush policy vs open/closed loop",
+                   ext_flush.run),
+        Experiment("ext-batching",
+                   "Region re-optimization batching", ext_batching.run),
+        Experiment("ext-ablations",
+                   "Parameter ablations (monitor/threshold/oscillation/"
+                   "task/depth)", ext_ablations.run),
+        Experiment("ext-codegen",
+                   "MSSP with measured (code-derived) distillation",
+                   ext_codegen.run),
+        Experiment("ext-distiller",
+                   "Measured distillation on synthetic regions",
+                   ext_distiller.run),
+        Experiment("ext-hotregion",
+                   "Hot-region deployment threshold sweep",
+                   ext_hotregion.run),
+        Experiment("ext-phases",
+                   "Phase-triggered flushing vs per-branch reactivity",
+                   ext_phases.run),
+        Experiment("ext-uarch",
+                   "Instruction-level validation of the timing model",
+                   ext_uarch.run),
+    ]
+}
+
+
+def run_experiment(experiment_id: str,
+                   ctx: ExperimentContext | None = None) -> str:
+    """Run one experiment by id and return its rendered output."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return experiment.runner(ctx or ExperimentContext())

@@ -1,0 +1,42 @@
+"""Table 1 — simulation data sets and run lengths.
+
+Renders the profile/evaluation input pairs of the synthetic benchmark
+suite next to the paper's run lengths and this reproduction's scaled
+trace lengths.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.experiments.common import ExperimentContext
+from repro.trace.spec2000 import BENCHMARKS
+
+__all__ = ["run"]
+
+#: The paper's Table 1 'Len' column (billions of instructions).
+_PAPER_LEN_B = {
+    "bzip2": 19, "crafty": 45, "eon": 9, "gap": 10, "gcc": 13,
+    "gzip": 14, "mcf": 9, "parser": 13, "perl": 35, "twolf": 36,
+    "vortex": 32, "vpr": 21,
+}
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    """Render Table 1."""
+    ctx = ctx or ExperimentContext()
+    rows = []
+    for name in ctx.benchmark_names:
+        spec = BENCHMARKS[name]
+        rows.append((
+            name,
+            spec.profile_input,
+            spec.eval_input,
+            f"{_PAPER_LEN_B[name]}B instr",
+            f"{spec.length:,} branches",
+        ))
+    return render_table(
+        ("bmark", "profile input", "evaluation input",
+         "paper len", "scaled len"),
+        rows,
+        title="Table 1: simulation data sets and run length",
+    )

@@ -1,0 +1,49 @@
+"""Table 2 — model parameters (paper scale and this reproduction's
+scaled defaults)."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.config import paper_config, scaled_config
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    """Render Table 2."""
+    paper = paper_config()
+    scaled = scaled_config()
+    rows = [
+        ("Monitor period",
+         f"{paper.monitor_period:,} executions",
+         f"{scaled.monitor_period:,} executions"),
+        ("Selection threshold",
+         f"{paper.selection_threshold:.1%}",
+         f"{scaled.selection_threshold:.1%}"),
+        ("Misspeculation threshold",
+         f"{paper.evict_counter_max:,} (+{paper.misspec_increment} on "
+         f"misp., -{paper.correct_decrement} otherwise)",
+         f"{scaled.evict_counter_max:,} (+{scaled.misspec_increment} on "
+         f"misp., -{scaled.correct_decrement} otherwise)"),
+        ("Wait period",
+         f"{paper.revisit_period:,} executions",
+         f"{scaled.revisit_period:,} executions"),
+        ("Oscillation threshold",
+         f"will not optimize a {_ordinal(paper.oscillation_limit + 1)} time",
+         f"will not optimize a {_ordinal(scaled.oscillation_limit + 1)} time"),
+        ("Optimization latency",
+         f"{paper.optimization_latency:,} instructions",
+         f"{scaled.optimization_latency:,} instructions"),
+    ]
+    return render_table(
+        ("parameter", "paper (Table 2)", "scaled default"),
+        rows,
+        title="Table 2: model parameters",
+    )
+
+
+def _ordinal(n: int) -> str:
+    suffix = {1: "st", 2: "nd", 3: "rd"}.get(
+        n % 10 if n % 100 not in (11, 12, 13) else 0, "th")
+    return f"{n}{suffix}"

@@ -1,0 +1,60 @@
+"""Table 3 — model transition data.
+
+Reproduces the paper's per-benchmark table: touched/biased/evicted
+static branch counts, total evictions, dynamic speculation coverage and
+the mean instruction distance between misspeculations, next to the
+paper's scale-free fractions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import PAPER_TABLE3
+from repro.analysis.tables import format_count, render_table
+from repro.core.config import scaled_config
+from repro.experiments.common import ExperimentContext
+from repro.sim.runner import aggregate_metrics, run_reactive
+
+__all__ = ["run", "compute"]
+
+
+def compute(ctx: ExperimentContext):
+    config = scaled_config()
+    return {name: run_reactive(ctx.cache.get(name), config)
+            for name in ctx.benchmark_names}
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    """Render Table 3."""
+    ctx = ctx or ExperimentContext()
+    results = compute(ctx)
+    rows = []
+    tot_touch = tot_bias = tot_evict = tot_totev = 0
+    for name, result in results.items():
+        s = result.stats
+        paper = PAPER_TABLE3[name]
+        rows.append((
+            name, s.touched, s.entered_biased, s.evicted,
+            s.total_evictions,
+            f"{s.pct_speculated:.1%} ({paper.pct_spec:.1%})",
+            f"{format_count(s.misspec_distance)} "
+            f"({format_count(paper.misspec_dist)})",
+        ))
+        tot_touch += s.touched
+        tot_bias += s.entered_biased
+        tot_evict += s.evicted
+        tot_totev += s.total_evictions
+    pooled = aggregate_metrics(results)
+    rows.append((
+        "ave",
+        "",
+        f"{tot_bias / tot_touch:.0%} (34%)",
+        f"{tot_evict / tot_touch:.0%} (2%)",
+        f"{tot_totev / 12:.0f} (76)",
+        f"{pooled.coverage:.1%} (44.8%)",
+        f"{format_count(pooled.misspec_distance)} (65,000)",
+    ))
+    return render_table(
+        ("bmark", "touch", "bias", "evict", "tot evicts",
+         "% spec (paper)", "misspec dist (paper)"),
+        rows,
+        title="Table 3: model transition data (paper values in parens)")

@@ -1,0 +1,51 @@
+"""Table 4 — model sensitivity.
+
+Runs the seven Table 4 configurations over the suite and reports the
+pooled correct/incorrect rates next to the paper's.  The finding to
+verify: only *no revisit* (large correct-speculation loss) and *no
+eviction* (misspeculation up ~2 orders of magnitude) truly differ from
+the baseline; the other variants shift the operating point slightly
+along the self-training curve.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import PAPER_TABLE4
+from repro.analysis.tables import format_rate, render_table
+from repro.core.config import SENSITIVITY_VARIANTS, scaled_config
+from repro.experiments.common import ExperimentContext
+from repro.sim.metrics import SpeculationMetrics
+from repro.sim.runner import aggregate_metrics, run_config_sweep
+
+__all__ = ["run", "compute"]
+
+
+def compute(ctx: ExperimentContext) -> dict[str, SpeculationMetrics]:
+    """Pooled metrics per Table 4 configuration."""
+    sweep = run_config_sweep(
+        SENSITIVITY_VARIANTS(scaled_config()),
+        benchmarks=ctx.benchmark_names,
+        cache=ctx.cache,
+    )
+    return {cfg_name: aggregate_metrics(results)
+            for cfg_name, results in sweep.items()}
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    """Render Table 4."""
+    ctx = ctx or ExperimentContext()
+    pooled = compute(ctx)
+    ordered = sorted(pooled.items(), key=lambda kv: kv[1].correct_rate)
+    rows = []
+    for name, metrics in ordered:
+        paper_corr, paper_inc = PAPER_TABLE4[name]
+        rows.append((
+            name,
+            f"{metrics.correct_rate:.1%} ({paper_corr:.1%})",
+            f"{format_rate(metrics.incorrect_rate)} "
+            f"({format_rate(paper_inc, 3)})",
+        ))
+    return render_table(
+        ("configuration", "correct (paper)", "incorrect (paper)"),
+        rows,
+        title="Table 4: model sensitivity (pooled over benchmarks)")

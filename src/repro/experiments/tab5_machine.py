@@ -1,0 +1,38 @@
+"""Table 5 — MSSP simulation parameters.
+
+Renders the paper's machine table and how each row is folded into this
+reproduction's task-granularity timing model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_kv, render_table
+from repro.experiments.common import ExperimentContext
+from repro.mssp.config import PAPER_TABLE5, default_config
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext | None = None) -> str:
+    """Render Table 5 and the derived model constants."""
+    table = render_table(
+        ("", "Leading Core", "Trailing Cores"),
+        PAPER_TABLE5,
+        title="Table 5: simulation parameters (paper)")
+    cfg = default_config()
+    model = render_kv([
+        ("task size", f"{cfg.task_branches} branches"),
+        ("leading base CPI", cfg.leading_base_cpi),
+        ("leading mispredict penalty",
+         f"{cfg.leading_mispred_penalty} cycles (12-stage pipe)"),
+        ("trailing base CPI", cfg.trailing_base_cpi),
+        ("trailing mispredict penalty",
+         f"{cfg.trailing_mispred_penalty} cycles (8-stage pipe)"),
+        ("trailing cores", cfg.n_trailing),
+        ("recovery penalty",
+         f"{cfg.recovery_penalty} cycles (paper: ~400 measured)"),
+        ("checkpoint depth", f"{cfg.checkpoint_depth} tasks"),
+        ("max distiller elimination",
+         f"{cfg.max_elimination:.0%} of task instructions"),
+    ], title="derived task-granularity model constants")
+    return f"{table}\n\n{model}"

@@ -1,0 +1,15 @@
+"""Hardware branch-prediction substrate (baseline cores + contrast)."""
+
+from repro.hw.predictors import (
+    GsharePredictor,
+    StaticTakenPredictor,
+    TwoBitCounters,
+    predict_trace,
+)
+
+__all__ = [
+    "GsharePredictor",
+    "StaticTakenPredictor",
+    "TwoBitCounters",
+    "predict_trace",
+]

@@ -1,0 +1,119 @@
+"""Hardware branch predictors.
+
+These serve two roles in the reproduction:
+
+* the superscalar baseline and the MSSP cores of Section 4 predict
+  branches with a gshare predictor (Table 5: 8Kb gshare), so the timing
+  model needs one;
+* they provide the *hardware speculation* contrast of Section 1 — a
+  per-instance, instantly-reactive mechanism — used by the
+  ``hardware_vs_software`` example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.stream import Trace
+
+__all__ = ["TwoBitCounters", "GsharePredictor", "StaticTakenPredictor",
+           "predict_trace"]
+
+
+class TwoBitCounters:
+    """A table of 2-bit saturating counters (00/01 weakly/strongly)."""
+
+    def __init__(self, entries: int, initial: int = 1) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        if not 0 <= initial <= 3:
+            raise ValueError("initial counter value must be in [0, 3]")
+        self.entries = entries
+        self.table = np.full(entries, initial, dtype=np.int8)
+
+    def predict(self, index: int) -> bool:
+        return bool(self.table[index] >= 2)
+
+    def update(self, index: int, taken: bool) -> None:
+        value = self.table[index]
+        if taken:
+            if value < 3:
+                self.table[index] = value + 1
+        else:
+            if value > 0:
+                self.table[index] = value - 1
+
+
+class GsharePredictor:
+    """Classic gshare: PC xor global-history indexes a 2-bit table.
+
+    The default geometry matches Table 5's '8Kb gshare': 4096 2-bit
+    counters indexed with 12 bits of global history.
+    """
+
+    def __init__(self, table_bits: int = 12,
+                 history_bits: int | None = None) -> None:
+        if table_bits <= 0 or table_bits > 24:
+            raise ValueError("table_bits must be in [1, 24]")
+        self.table_bits = table_bits
+        self.history_bits = (history_bits if history_bits is not None
+                             else table_bits)
+        if not 0 <= self.history_bits <= table_bits:
+            raise ValueError("history_bits must be in [0, table_bits]")
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << self.history_bits) - 1
+        self._counters = TwoBitCounters(1 << table_bits)
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._counters.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._counters.update(self._index(pc), taken)
+        self._history = ((self._history << 1) | int(taken)) \
+            & self._history_mask
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, then train with the true outcome; returns the
+        prediction (the common simulation step)."""
+        index = self._index(pc)
+        prediction = self._counters.predict(index)
+        self._counters.update(index, taken)
+        self._history = ((self._history << 1) | int(taken)) \
+            & self._history_mask
+        return prediction
+
+
+class StaticTakenPredictor:
+    """Degenerate predictor (always taken) — a lower baseline."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        pass
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        return True
+
+
+def predict_trace(trace: Trace, predictor=None) -> np.ndarray:
+    """Run ``predictor`` over a whole trace.
+
+    Returns a boolean array marking *mispredicted* events.  Branch ids
+    stand in for PCs.  Defaults to a fresh :class:`GsharePredictor`.
+    """
+    if predictor is None:
+        predictor = GsharePredictor()
+    branch_ids = trace.branch_ids
+    taken = trace.taken
+    mispredicted = np.zeros(len(trace), dtype=bool)
+    step = predictor.predict_and_update
+    for i in range(len(trace)):
+        outcome = bool(taken[i])
+        if step(int(branch_ids[i]), outcome) != outcome:
+            mispredicted[i] = True
+    return mispredicted

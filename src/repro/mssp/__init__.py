@@ -1,0 +1,30 @@
+"""Task-granularity MSSP (Master/Slave Speculative Parallelization)
+timing simulator — the Section 4 substrate of the paper, rebuilt as a
+coarse discrete-event model (see DESIGN.md §2 for fidelity notes)."""
+
+from repro.mssp.config import PAPER_TABLE5, MsspConfig, default_config
+from repro.mssp.machine import MsspTiming, baseline_cycles, run_machine
+from repro.mssp.simulator import (
+    DEFAULT_MSSP_LENGTH,
+    MsspRunResult,
+    closed_loop_config,
+    open_loop_config,
+    simulate_mssp,
+)
+from repro.mssp.task import Task, build_tasks
+
+__all__ = [
+    "DEFAULT_MSSP_LENGTH",
+    "MsspConfig",
+    "MsspRunResult",
+    "MsspTiming",
+    "PAPER_TABLE5",
+    "Task",
+    "baseline_cycles",
+    "build_tasks",
+    "closed_loop_config",
+    "default_config",
+    "open_loop_config",
+    "run_machine",
+    "simulate_mssp",
+]

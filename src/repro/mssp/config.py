@@ -1,0 +1,91 @@
+"""MSSP machine configuration (Table 5 of the paper).
+
+The paper's timing evaluation models an asymmetric CMP: one large
+leading core (4-wide, 12-stage) running the distilled speculative
+program and eight small trailing cores (2-wide, 8-stage) verifying it
+task by task.  This reproduction's timing model is task-granularity (see
+DESIGN.md §2), so the Table 5 microarchitecture is folded into per-core
+CPI terms: a base CPI capturing width/window/cache behavior plus a
+misprediction penalty tied to pipeline depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MsspConfig", "default_config", "PAPER_TABLE5"]
+
+
+@dataclass(frozen=True)
+class MsspConfig:
+    """Parameters of the task-granularity MSSP timing model.
+
+    Attributes
+    ----------
+    task_branches:
+        Branch events per task (tasks are the unit of speculation,
+        checking and squash; MSSP commits or squashes whole tasks).
+    leading_base_cpi / trailing_base_cpi:
+        Cycles per instruction absent branch mispredictions (width,
+        window, cache effects folded in; leading core is 4-wide with a
+        64KB L1, trailing cores 2-wide with 8KB L1s).
+    leading_mispred_penalty / trailing_mispred_penalty:
+        Pipeline-refill cycles per branch misprediction (12-stage vs
+        8-stage pipes).
+    n_trailing:
+        Number of trailing (checker) cores.
+    recovery_penalty:
+        Cycles to restore the leading core from the trailing cores'
+        verified state after a task misspeculation (the paper measures
+        the true cost of a misspeculation at ~400 cycles).
+    checkpoint_depth:
+        Maximum tasks the leading core may run ahead of verification
+        before stalling.
+    max_elimination:
+        Fraction of a task's instructions the distiller removes when
+        every branch in the task is speculated (the paper: unchecked
+        speculation can eliminate as much as two-thirds of the dynamic
+        instructions).
+    """
+
+    task_branches: int = 32
+    leading_base_cpi: float = 0.40
+    leading_mispred_penalty: float = 12.0
+    trailing_base_cpi: float = 0.75
+    trailing_mispred_penalty: float = 8.0
+    n_trailing: int = 8
+    recovery_penalty: float = 400.0
+    checkpoint_depth: int = 8
+    max_elimination: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.task_branches <= 0:
+            raise ValueError("task_branches must be positive")
+        if self.leading_base_cpi <= 0 or self.trailing_base_cpi <= 0:
+            raise ValueError("base CPIs must be positive")
+        if self.n_trailing <= 0:
+            raise ValueError("n_trailing must be positive")
+        if self.recovery_penalty < 0:
+            raise ValueError("recovery_penalty must be non-negative")
+        if self.checkpoint_depth <= 0:
+            raise ValueError("checkpoint_depth must be positive")
+        if not 0.0 <= self.max_elimination < 1.0:
+            raise ValueError("max_elimination must be in [0, 1)")
+
+
+def default_config() -> MsspConfig:
+    """The Table 5 derived default machine."""
+    return MsspConfig()
+
+
+#: Table 5 verbatim, for documentation output (tab5 experiment).
+PAPER_TABLE5: tuple[tuple[str, str, str], ...] = (
+    ("Pipeline", "4-wide, 12-stage pipe", "2-wide, 8-stage"),
+    ("Window", "128-entry inst. window", "24-entry"),
+    ("ALUs", "4 (1 complex) and 2 LD/ST", "2, 1 LD/ST"),
+    ("Caches", "64KB 2-way SA 64B blocks, 3 cycle", "8KB 8-way, 64B, same latency"),
+    ("Br. Pred.", "8Kb gshare, 32-entry RAS, 256-entry indirect", "same"),
+    ("L2 cache", "shared 1MB, 8-way SA w/64B blocks, 10-cycle", "shared"),
+    ("Coherence", "10-cycle minimum hop between processors", "shared"),
+    ("Memory", "200-cycle lat. minimum (after L2)", "shared"),
+)

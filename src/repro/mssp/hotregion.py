@@ -1,0 +1,136 @@
+"""Hot-region detection for the dynamic optimizer front-end.
+
+The paper's MSSP methodology (Section 4.2): "the system identifies hot
+program regions, characterizes them, and generates optimized versions".
+This module rebuilds that front-end over branch traces: a Dynamo/NET
+style detector that counts executions per static branch, seeds regions
+at hot branches, and grows each region along the most-frequent dynamic
+successor edges until the path cools, loops back, or hits a length
+limit.  The MSSP distiller then only speculates on branches inside
+deployed hot regions, mirroring a real dynamic optimizer that never
+touches cold code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.trace.stream import Trace
+
+__all__ = ["HotRegion", "HotRegionDetector", "detect_hot_regions"]
+
+
+@dataclass(frozen=True)
+class HotRegion:
+    """A detected hot region: an ordered path of static branches."""
+
+    region_id: int
+    branches: tuple[int, ...]
+    heat: int  # executions of the seed branch during detection
+
+    def __contains__(self, branch: int) -> bool:
+        return branch in self.branches
+
+
+class HotRegionDetector:
+    """Online hot-region detection over a branch event stream.
+
+    Feed events with :meth:`observe`; regions form once a seed branch
+    crosses ``hot_threshold`` executions.  The successor graph is built
+    from observed consecutive branch pairs, so region growing follows
+    real control flow, not static structure.
+    """
+
+    def __init__(self, hot_threshold: int = 500,
+                 max_region_branches: int = 16,
+                 min_edge_fraction: float = 0.3) -> None:
+        if hot_threshold <= 0:
+            raise ValueError("hot_threshold must be positive")
+        if max_region_branches <= 0:
+            raise ValueError("max_region_branches must be positive")
+        if not 0.0 < min_edge_fraction <= 1.0:
+            raise ValueError("min_edge_fraction must be in (0, 1]")
+        self.hot_threshold = hot_threshold
+        self.max_region_branches = max_region_branches
+        self.min_edge_fraction = min_edge_fraction
+        self._graph = nx.DiGraph()
+        self._counts: dict[int, int] = {}
+        self._prev: int | None = None
+        self._regions: list[HotRegion] = []
+        self._covered: set[int] = set()
+
+    def observe(self, branch: int) -> HotRegion | None:
+        """Record one dynamic branch; returns a region if one formed."""
+        self._counts[branch] = count = self._counts.get(branch, 0) + 1
+        if self._prev is not None:
+            if self._graph.has_edge(self._prev, branch):
+                self._graph[self._prev][branch]["weight"] += 1
+            else:
+                self._graph.add_edge(self._prev, branch, weight=1)
+        self._prev = branch
+        if count == self.hot_threshold and branch not in self._covered:
+            region = self._grow(branch)
+            self._regions.append(region)
+            self._covered.update(region.branches)
+            return region
+        return None
+
+    def _grow(self, seed: int) -> HotRegion:
+        """Grow along dominant successor edges from the seed."""
+        path = [seed]
+        current = seed
+        while len(path) < self.max_region_branches:
+            successors = list(self._graph.successors(current)) \
+                if current in self._graph else []
+            if not successors:
+                break
+            weights = {s: self._graph[current][s]["weight"]
+                       for s in successors}
+            total = sum(weights.values())
+            best = max(successors, key=weights.__getitem__)
+            if weights[best] / total < self.min_edge_fraction:
+                break  # control flow too diffuse to follow
+            if best in path:
+                break  # closed a loop: the region is complete
+            path.append(best)
+            current = best
+        return HotRegion(region_id=len(self._regions),
+                         branches=tuple(path),
+                         heat=self._counts[seed])
+
+    @property
+    def regions(self) -> tuple[HotRegion, ...]:
+        return tuple(self._regions)
+
+    def covered_branches(self) -> set[int]:
+        """Static branches inside any deployed region."""
+        return set(self._covered)
+
+
+def detect_hot_regions(trace: Trace, hot_threshold: int = 500,
+                       max_region_branches: int = 16,
+                       min_edge_fraction: float = 0.3,
+                       ) -> tuple[HotRegionDetector, np.ndarray]:
+    """Run detection over a whole trace.
+
+    Returns the detector plus a boolean per-event array marking events
+    whose branch was inside a deployed hot region *at that time* (a
+    branch only counts after its region forms, like a real optimizer
+    that cannot speculate before it has built the region).
+    """
+    detector = HotRegionDetector(hot_threshold, max_region_branches,
+                                 min_edge_fraction)
+    in_region = np.zeros(len(trace), dtype=bool)
+    covered: set[int] = set()
+    branch_ids = trace.branch_ids
+    for i in range(len(trace)):
+        branch = int(branch_ids[i])
+        formed = detector.observe(branch)
+        if formed is not None:
+            covered.update(formed.branches)
+        if branch in covered:
+            in_region[i] = True
+    return detector, in_region

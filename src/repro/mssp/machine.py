@@ -1,0 +1,143 @@
+"""Task-granularity timing model of the MSSP machine and its baseline.
+
+The leading core executes distilled tasks in order; finished tasks queue
+for verification on the trailing cores (FIFO over ``n_trailing``
+checkers).  The leading core stalls when it would run more than
+``checkpoint_depth`` tasks ahead of the oldest unverified task.  When a
+verification detects a misspeculation, everything the leading core did
+past that task is squashed: it restarts from the verified state after
+paying the recovery penalty, and re-executes the offending task without
+its failed speculations.
+
+The baseline is the same big core running the original program — with no
+distillation, no checkers and no squashes — which is exactly the paper's
+normalization ("normal superscalar execution" on the large core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mssp.config import MsspConfig
+from repro.mssp.task import Task
+
+__all__ = ["MsspTiming", "run_machine", "baseline_cycles",
+           "distilled_instructions"]
+
+
+@dataclass(frozen=True)
+class MsspTiming:
+    """Timing outcome of one MSSP run.
+
+    ``cycles`` is the end-to-end time (last task verified);
+    ``squash_cycles`` the time lost to misspeculation recovery
+    (detection lag + restore + re-execution), ``stall_cycles`` the time
+    the leading core spent blocked on the checkpoint depth.
+    """
+
+    cycles: float
+    leading_busy_cycles: float
+    squash_cycles: float
+    stall_cycles: float
+    tasks: int
+    tasks_misspeculated: int
+
+    @property
+    def misspec_task_rate(self) -> float:
+        return self.tasks_misspeculated / self.tasks if self.tasks else 0.0
+
+
+def distilled_instructions(task: Task, config: MsspConfig) -> float:
+    """Instructions left in a task after the distiller removes the work
+    guarded by its speculated branches.
+
+    With a measured per-task elimination (``task.eliminated``) the
+    distilled size is the original minus exactly that, floored at 20%
+    of the task (some skeleton always remains); otherwise the analytic
+    ``max_elimination``-proportional model applies."""
+    if task.eliminated is not None:
+        return max(0.2 * task.instructions,
+                   task.instructions - task.eliminated)
+    return task.instructions * (
+        1.0 - config.max_elimination * task.speculated_fraction)
+
+
+def _leading_cycles(task: Task, config: MsspConfig) -> float:
+    """Leading-core cycles for the distilled version of ``task``."""
+    return (distilled_instructions(task, config) * config.leading_base_cpi
+            + task.mispredicted * config.leading_mispred_penalty)
+
+
+def _reexec_cycles(task: Task, config: MsspConfig) -> float:
+    """Leading-core cycles to re-execute a squashed task without its
+    failed speculations (the repaired, unspeculated version)."""
+    return (task.instructions * config.leading_base_cpi
+            + task.mispredicted * config.leading_mispred_penalty)
+
+
+def _trailing_cycles(task: Task, config: MsspConfig) -> float:
+    """Checker cycles: the full original task on a small core."""
+    return (task.instructions * config.trailing_base_cpi
+            + task.mispredicted_all * config.trailing_mispred_penalty)
+
+
+def run_machine(tasks: list[Task], config: MsspConfig) -> MsspTiming:
+    """Simulate the MSSP execution of ``tasks``."""
+    leading_clock = 0.0
+    leading_busy = 0.0
+    squash_cycles = 0.0
+    stall_cycles = 0.0
+    misspeculated = 0
+    core_free = [0.0] * config.n_trailing
+    verify_end: list[float] = []  # per task, completion of verification
+
+    for task in tasks:
+        # Checkpoint-depth stall: cannot start a task more than
+        # checkpoint_depth ahead of the oldest unverified task.
+        gate = len(verify_end) - config.checkpoint_depth
+        if gate >= 0 and verify_end[gate] > leading_clock:
+            stall_cycles += verify_end[gate] - leading_clock
+            leading_clock = verify_end[gate]
+
+        work = _leading_cycles(task, config)
+        leading_busy += work
+        leading_clock += work
+
+        # Verification on the next free trailing core (FIFO).
+        k = min(range(config.n_trailing), key=core_free.__getitem__)
+        start = max(leading_clock, core_free[k])
+        end = start + _trailing_cycles(task, config)
+        core_free[k] = end
+        verify_end.append(end)
+
+        if task.misspeculated:
+            misspeculated += 1
+            # Detection at verification; squash, restore, re-execute.
+            reexec = _reexec_cycles(task, config)
+            resumed = end + config.recovery_penalty + reexec
+            squash_cycles += resumed - leading_clock
+            leading_busy += reexec
+            leading_clock = resumed
+            # The squash drains the checkers.
+            core_free = [leading_clock] * config.n_trailing
+
+    cycles = max(leading_clock, max(verify_end, default=0.0))
+    return MsspTiming(
+        cycles=cycles,
+        leading_busy_cycles=leading_busy,
+        squash_cycles=squash_cycles,
+        stall_cycles=stall_cycles,
+        tasks=len(tasks),
+        tasks_misspeculated=misspeculated,
+    )
+
+
+def baseline_cycles(tasks: list[Task], config: MsspConfig) -> float:
+    """The same program on the large core, no MSSP: every branch is a
+    normal (hardware-predicted) branch, so branches MSSP would have
+    removed are charged their gshare mispredictions too."""
+    total = 0.0
+    for task in tasks:
+        total += task.instructions * config.leading_base_cpi
+        total += task.mispredicted_all * config.leading_mispred_penalty
+    return total

@@ -1,0 +1,189 @@
+"""End-to-end MSSP timing simulation (Section 4 of the paper).
+
+Ties together the substrate layers: a branch trace, the reactive (or
+open-loop) speculation controller deciding what the distiller removes, a
+gshare predictor supplying hardware-misprediction counts, the task
+builder, and the asymmetric-CMP timing model.  Results are normalized to
+the same program running plain ("vanilla superscalar") on the large
+core, exactly the paper's Figure 7/8 presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ControllerConfig, scaled_config
+from repro.hw.predictors import predict_trace
+from repro.mssp.config import MsspConfig, default_config
+from repro.mssp.machine import (
+    MsspTiming,
+    baseline_cycles,
+    distilled_instructions,
+    run_machine,
+)
+from repro.mssp.task import Task, build_tasks
+from repro.sim.summary import ReactiveRunResult
+from repro.sim.vector import speculation_flags
+from repro.trace.stream import Trace
+
+__all__ = ["MsspRunResult", "simulate_mssp", "closed_loop_config",
+           "open_loop_config", "checkpoint_trace", "DEFAULT_MSSP_LENGTH"]
+
+#: Default trace length for timing runs — deliberately short, mirroring
+#: the paper's 200M-instruction checkpointed runs against its
+#: multi-billion-instruction functional runs.
+DEFAULT_MSSP_LENGTH = 300_000
+
+
+def checkpoint_trace(name: str, length: int = DEFAULT_MSSP_LENGTH,
+                     position: float = 0.4) -> Trace:
+    """A timing-run trace: a window from the middle of a full run.
+
+    The paper's timing runs 'begin from a checkpoint 5 billion
+    instructions into the execution with cold caches and predictors';
+    slicing the middle of the full functional trace reproduces that
+    setup — time-varying behaviors are in flight, while the controller
+    and predictors start cold.
+    """
+    from repro.trace.spec2000 import load_trace
+
+    if not 0.0 <= position < 1.0:
+        raise ValueError("position must be in [0, 1)")
+    full = load_trace(name)
+    start = int(position * len(full))
+    stop = min(len(full), start + length)
+    if stop - start < length:
+        start = max(0, stop - length)
+    return full.slice(start, stop)
+
+
+@dataclass(frozen=True)
+class MsspRunResult:
+    """Outcome of one MSSP timing run.
+
+    ``speedup`` is baseline cycles over MSSP cycles (>1 means MSSP
+    wins); the remaining fields expose where the time went.
+    """
+
+    trace_name: str
+    input_name: str
+    timing: MsspTiming
+    baseline: float
+    control: ReactiveRunResult
+    tasks: int
+    tasks_misspeculated: int
+    mean_distillation: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline / self.timing.cycles
+
+    def summary(self) -> str:
+        return (f"speedup {self.speedup:5.2f}x  "
+                f"task misspec {self.tasks_misspeculated}/{self.tasks}  "
+                f"distilled to {self.mean_distillation:.0%} of instrs  "
+                f"squash {self.timing.squash_cycles/1e3:,.0f}k cycles")
+
+
+def closed_loop_config(monitor_period: int = 100,
+                       optimization_latency: int = 0) -> ControllerConfig:
+    """The closed-loop controller used for the timing runs.
+
+    The paper parameterizes the hot-region detector to deploy
+    'artificially fast' to offset the short runs, hence the short
+    monitor period; Figure 7 uses a zero optimization latency (Figure 8
+    then sweeps it).
+    """
+    base = scaled_config()
+    return ControllerConfig(
+        monitor_period=monitor_period,
+        selection_threshold=base.selection_threshold,
+        evict_counter_max=base.evict_counter_max,
+        misspec_increment=base.misspec_increment,
+        correct_decrement=base.correct_decrement,
+        revisit_period=base.revisit_period,
+        oscillation_limit=base.oscillation_limit,
+        optimization_latency=optimization_latency,
+    )
+
+
+def open_loop_config(monitor_period: int = 100,
+                     optimization_latency: int = 0) -> ControllerConfig:
+    """The open-loop variant: same controller without the eviction arc
+    (what Figure 7 calls 'no reactivity')."""
+    return closed_loop_config(
+        monitor_period, optimization_latency).without_eviction()
+
+
+def simulate_mssp(trace: Trace,
+                  control: ControllerConfig | None = None,
+                  machine: MsspConfig | None = None,
+                  hot_region_threshold: int | None = None,
+                  elimination_table: dict[int, float] | None = None,
+                  ) -> MsspRunResult:
+    """Run the full MSSP stack over ``trace``.
+
+    Pipeline: reactive control decides per-event speculation; gshare
+    supplies hardware mispredictions; events are sliced into tasks; the
+    timing model executes them and the baseline executes the original
+    program on the same large core.
+
+    When ``hot_region_threshold`` is given, a Dynamo-style hot-region
+    detector (:mod:`repro.mssp.hotregion`) gates the distiller: only
+    branches inside a deployed hot region are actually speculated,
+    mirroring an optimizer that never regenerates cold code.
+
+    When ``elimination_table`` is given (branch id -> instructions
+    removed per speculated execution, e.g. from
+    :func:`repro.mssp.codegen.elimination_table`), distillation benefit
+    is the measured per-task sum instead of the analytic
+    ``max_elimination`` model.
+    """
+    control = control if control is not None else closed_loop_config()
+    machine = machine if machine is not None else default_config()
+
+    spec_flags, misspec_flags, control_result = speculation_flags(
+        trace, control)
+    if hot_region_threshold is not None:
+        from repro.mssp.hotregion import detect_hot_regions
+
+        _detector, in_region = detect_hot_regions(
+            trace, hot_threshold=hot_region_threshold)
+        spec_flags = spec_flags & in_region
+        misspec_flags = misspec_flags & in_region
+    mispred_flags = predict_trace(trace)
+    elim_weights = None
+    if elimination_table is not None:
+        lookup = np.zeros(int(trace.branch_ids.max()) + 1,
+                          dtype=np.float64)
+        for branch_id, value in elimination_table.items():
+            if 0 <= branch_id < len(lookup):
+                lookup[branch_id] = value
+        elim_weights = lookup[trace.branch_ids]
+    tasks = build_tasks(trace, spec_flags, misspec_flags, mispred_flags,
+                        machine.task_branches, elim_weights=elim_weights)
+    timing = run_machine(tasks, machine)
+    baseline = baseline_cycles(tasks, machine)
+    distillation = _mean_distillation(tasks, machine)
+    return MsspRunResult(
+        trace_name=trace.name,
+        input_name=trace.input_name,
+        timing=timing,
+        baseline=baseline,
+        control=control_result,
+        tasks=len(tasks),
+        tasks_misspeculated=timing.tasks_misspeculated,
+        mean_distillation=distillation,
+    )
+
+
+def _mean_distillation(tasks: list[Task], machine: MsspConfig) -> float:
+    """Instruction-weighted mean of distilled/original instructions
+    (honors measured per-task eliminations when present)."""
+    total = sum(t.instructions for t in tasks)
+    if not total:
+        return 1.0
+    kept = sum(distilled_instructions(t, machine) for t in tasks)
+    return kept / total

@@ -1,0 +1,41 @@
+"""Non-reactive speculation-control baselines (Section 2.2 of the paper).
+
+* :mod:`repro.profiling.self_training` — the oracle Pareto curve and the
+  self-training policy (profile == evaluation input).
+* :mod:`repro.profiling.offline` — cross-input profile-guided selection.
+* :mod:`repro.profiling.initial` — initial-behavior training windows.
+"""
+
+from repro.profiling.base import (
+    BranchDecision,
+    StaticPolicy,
+    branch_bias_table,
+    evaluate_policy,
+)
+from repro.profiling.initial import (
+    PAPER_TRAINING_PERIODS,
+    SCALED_TRAINING_PERIODS,
+    evaluate_initial_behavior,
+    initial_behavior_policy,
+)
+from repro.profiling.offline import offline_policy
+from repro.profiling.self_training import (
+    ParetoCurve,
+    pareto_curve,
+    self_training_policy,
+)
+
+__all__ = [
+    "BranchDecision",
+    "PAPER_TRAINING_PERIODS",
+    "ParetoCurve",
+    "SCALED_TRAINING_PERIODS",
+    "StaticPolicy",
+    "branch_bias_table",
+    "evaluate_initial_behavior",
+    "evaluate_policy",
+    "initial_behavior_policy",
+    "offline_policy",
+    "pareto_curve",
+    "self_training_policy",
+]

@@ -1,0 +1,89 @@
+"""Common vocabulary for non-reactive (static) speculation policies.
+
+A *static policy* decides, per static branch, whether to speculate and in
+which direction — once, before (or at a fixed point during) the run,
+exactly the "decide once" model of Figure 4(a).  Evaluating a policy
+against a trace is then a pure counting exercise, shared here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.metrics import SpeculationMetrics
+from repro.trace.stream import Trace
+
+__all__ = ["BranchDecision", "StaticPolicy", "evaluate_policy",
+           "branch_bias_table"]
+
+
+@dataclass(frozen=True)
+class BranchDecision:
+    """A per-branch speculation decision.
+
+    ``direction`` is the predicted outcome (True = taken); executions
+    matching it count as correct speculations, all others as
+    misspeculations.
+    """
+
+    branch: int
+    direction: bool
+
+
+@dataclass(frozen=True)
+class StaticPolicy:
+    """A set of per-branch speculation decisions plus provenance.
+
+    ``start_exec`` maps each decided branch to the per-branch execution
+    index from which speculation applies (0 for offline policies; the end
+    of the training window for initial-behavior policies).  Executions
+    before that index are never counted, matching a system that cannot
+    speculate before it has decided.
+    """
+
+    name: str
+    decisions: tuple[BranchDecision, ...]
+    start_exec: int = 0
+
+    def direction_of(self) -> dict[int, bool]:
+        return {d.branch: d.direction for d in self.decisions}
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+
+def branch_bias_table(trace: Trace) -> dict[int, tuple[int, int]]:
+    """Per-branch ``(taken, total)`` counts over a whole trace."""
+    table: dict[int, tuple[int, int]] = {}
+    taken = trace.taken
+    for branch_id, idx in trace.groups():
+        t = int(taken[idx].sum())
+        table[branch_id] = (t, len(idx))
+    return table
+
+
+def evaluate_policy(policy: StaticPolicy, trace: Trace) -> SpeculationMetrics:
+    """Count correct/incorrect speculations of ``policy`` on ``trace``.
+
+    The denominator is all dynamic branches in the trace, so results are
+    directly comparable with reactive runs on the same trace.
+    """
+    directions = policy.direction_of()
+    taken = trace.taken
+    correct = 0
+    incorrect = 0
+    skip = policy.start_exec
+    for branch_id, idx in trace.groups():
+        direction = directions.get(branch_id)
+        if direction is None:
+            continue
+        outcomes = taken[idx[skip:]] if skip else taken[idx]
+        hits = int((outcomes == direction).sum())
+        correct += hits
+        incorrect += len(outcomes) - hits
+    return SpeculationMetrics(
+        dynamic_branches=len(trace),
+        correct=correct,
+        incorrect=incorrect,
+        instructions=trace.total_instructions,
+    )

@@ -1,0 +1,63 @@
+"""Initial-behavior training (Section 2.2, the Figure 2 crosses).
+
+Each branch's first ``training_period`` executions of the *same* run
+decide whether it is speculated on for the rest of the run.  The paper
+(citing Wu et al. [17]) shows this predicts bias better than a foreign
+profile, but fails on branches that change behavior after the training
+window — and lengthening the window trades away benefit without fully
+fixing the misspeculations (mcf still misspeculates 3% after a million
+training executions).
+"""
+
+from __future__ import annotations
+
+from repro.profiling.base import BranchDecision, StaticPolicy
+from repro.sim.metrics import SpeculationMetrics
+from repro.trace.stream import Trace
+
+__all__ = ["initial_behavior_policy", "evaluate_initial_behavior",
+           "PAPER_TRAINING_PERIODS", "SCALED_TRAINING_PERIODS"]
+
+#: Training-period lengths used for Figure 2's crosses, paper scale.
+PAPER_TRAINING_PERIODS: tuple[int, ...] = (
+    1_000, 10_000, 100_000, 300_000, 1_000_000)
+
+#: The same sweep scaled to this reproduction's run lengths.
+SCALED_TRAINING_PERIODS: tuple[int, ...] = (100, 500, 2_000, 10_000, 50_000)
+
+
+def initial_behavior_policy(trace: Trace, training_period: int,
+                            threshold: float = 0.99) -> StaticPolicy:
+    """Decide from each branch's first ``training_period`` executions.
+
+    Branches that execute fewer than ``training_period`` times during
+    the run never finish training and are not speculated on.
+    """
+    if training_period <= 0:
+        raise ValueError("training_period must be positive")
+    taken = trace.taken
+    decisions = []
+    for branch_id, idx in trace.groups():
+        if len(idx) < training_period:
+            continue
+        window = taken[idx[:training_period]]
+        t = int(window.sum())
+        majority = max(t, training_period - t)
+        if majority / training_period >= threshold:
+            decisions.append(BranchDecision(
+                branch=branch_id, direction=t * 2 >= training_period))
+    return StaticPolicy(
+        name=f"initial@{training_period}",
+        decisions=tuple(decisions),
+        start_exec=training_period,
+    )
+
+
+def evaluate_initial_behavior(trace: Trace, training_period: int,
+                              threshold: float = 0.99) -> SpeculationMetrics:
+    """Train on the first ``training_period`` executions per branch and
+    count speculation outcomes over the rest of the same run."""
+    from repro.profiling.base import evaluate_policy
+
+    policy = initial_behavior_policy(trace, training_period, threshold)
+    return evaluate_policy(policy, trace)

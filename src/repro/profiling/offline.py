@@ -1,0 +1,41 @@
+"""Cross-input offline profiling (Section 2.2, the Figure 2 triangles).
+
+The program is profiled on one input and the resulting speculation set is
+evaluated on another.  This is the dominant industrial practice the paper
+critiques: it fails on input-dependent branches (biased one way on the
+profile input, the other way — or not at all — on the evaluation input)
+and misses branches the profile input never exercised.
+"""
+
+from __future__ import annotations
+
+from repro.profiling.base import (
+    BranchDecision,
+    StaticPolicy,
+    branch_bias_table,
+)
+from repro.trace.stream import Trace
+
+__all__ = ["offline_policy"]
+
+
+def offline_policy(profile_trace: Trace,
+                   threshold: float = 0.99) -> StaticPolicy:
+    """Select biased branches from a *profile* run.
+
+    The returned policy is meant to be evaluated against a different
+    trace (typically the evaluation input of the same benchmark); the
+    direction locked in is the profile run's majority direction.
+    Branches absent from the profile run are not speculated on.
+    """
+    decisions = []
+    for branch_id, (taken, total) in branch_bias_table(profile_trace).items():
+        majority = max(taken, total - taken)
+        if majority / total >= threshold:
+            decisions.append(BranchDecision(
+                branch=branch_id, direction=taken * 2 >= total))
+    return StaticPolicy(
+        name=(f"offline[{profile_trace.name}/"
+              f"{profile_trace.input_name}]@{threshold:g}"),
+        decisions=tuple(decisions),
+    )

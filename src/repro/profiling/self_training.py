@@ -1,0 +1,104 @@
+"""Self-training: profile and evaluate on the same run (the oracle).
+
+Self-training with perfect knowledge of the whole run's branch outcomes
+defines the Pareto-optimal trade-off between correct and incorrect
+speculation (the solid line of Figures 2 and 5): sorting branches by
+bias and speculating on progressively less-biased ones yields the most
+correct speculations attainable for any misspeculation budget.  The
+paper treats this as the optimistic upper baseline the reactive model is
+judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.profiling.base import (
+    BranchDecision,
+    StaticPolicy,
+    branch_bias_table,
+)
+from repro.trace.stream import Trace
+
+__all__ = ["ParetoCurve", "pareto_curve", "self_training_policy"]
+
+
+@dataclass(frozen=True)
+class ParetoCurve:
+    """The correct/incorrect trade-off achievable with future knowledge.
+
+    Point ``i`` is the result of speculating on the ``i+1`` most biased
+    static branches: ``incorrect_rate[i]`` misspeculations and
+    ``correct_rate[i]`` correct speculations, both as fractions of all
+    dynamic branches (the Figure 2 axes).  ``bias[i]`` is the bias of the
+    ``i``-th branch added, so a bias threshold corresponds to a prefix.
+    """
+
+    trace_name: str
+    bias: np.ndarray
+    correct_rate: np.ndarray
+    incorrect_rate: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.bias)
+
+    def at_threshold(self, threshold: float) -> tuple[float, float]:
+        """(incorrect_rate, correct_rate) speculating on every branch
+        with bias >= ``threshold`` — e.g. the paper's 99% markers."""
+        selected = self.bias >= threshold
+        if not selected.any():
+            return (0.0, 0.0)
+        last = int(np.flatnonzero(selected)[-1])
+        return (float(self.incorrect_rate[last]),
+                float(self.correct_rate[last]))
+
+    def correct_at_incorrect_budget(self, budget: float) -> float:
+        """Best correct rate with incorrect rate <= ``budget``."""
+        ok = self.incorrect_rate <= budget
+        if not ok.any():
+            return 0.0
+        return float(self.correct_rate[np.flatnonzero(ok)[-1]])
+
+
+def pareto_curve(trace: Trace) -> ParetoCurve:
+    """Compute the self-training Pareto curve of ``trace``."""
+    table = branch_bias_table(trace)
+    majority = np.empty(len(table), dtype=np.int64)
+    minority = np.empty(len(table), dtype=np.int64)
+    for i, (taken, total) in enumerate(table.values()):
+        majority[i] = max(taken, total - taken)
+        minority[i] = min(taken, total - taken)
+    totals = majority + minority
+    bias = majority / totals
+    order = np.argsort(bias, kind="stable")[::-1]
+    dynamic = int(totals.sum())
+    correct_cum = np.cumsum(majority[order]) / dynamic
+    incorrect_cum = np.cumsum(minority[order]) / dynamic
+    return ParetoCurve(
+        trace_name=trace.name,
+        bias=bias[order],
+        correct_rate=correct_cum,
+        incorrect_rate=incorrect_cum,
+    )
+
+
+def self_training_policy(trace: Trace,
+                         threshold: float = 0.99) -> StaticPolicy:
+    """Speculate on every branch whose whole-run bias >= ``threshold``.
+
+    This is 'static self training': the same input profiles and
+    evaluates.  The paper marks the 99% threshold as the knee of the
+    Pareto curve.
+    """
+    decisions = []
+    for branch_id, (taken, total) in branch_bias_table(trace).items():
+        majority = max(taken, total - taken)
+        if majority / total >= threshold:
+            decisions.append(BranchDecision(
+                branch=branch_id, direction=taken * 2 >= total))
+    return StaticPolicy(
+        name=f"self-training@{threshold:g}",
+        decisions=tuple(decisions),
+    )

@@ -1,0 +1,31 @@
+"""Functional simulation of speculation control over branch traces.
+
+Two interchangeable engines (per-event reference, vectorized) plus the
+high-level runners used by experiments and examples.
+"""
+
+from repro.sim.engine import run_reference
+from repro.sim.metrics import SpeculationMetrics
+from repro.sim.runner import (
+    TraceCache,
+    aggregate_metrics,
+    run_config_sweep,
+    run_reactive,
+    run_suite,
+)
+from repro.sim.summary import BranchSummary, ReactiveRunResult
+from repro.sim.vector import run_vector, simulate_branch
+
+__all__ = [
+    "BranchSummary",
+    "ReactiveRunResult",
+    "SpeculationMetrics",
+    "TraceCache",
+    "aggregate_metrics",
+    "run_config_sweep",
+    "run_reactive",
+    "run_reference",
+    "run_suite",
+    "run_vector",
+    "simulate_branch",
+]

@@ -1,0 +1,45 @@
+"""Reference per-event functional simulation engine.
+
+Feeds a trace, event by event in program order, into a
+:class:`~repro.core.controller.ControllerBank` and tallies speculation
+outcomes.  This engine is deliberately simple — it is the executable
+specification the vectorized engine (:mod:`repro.sim.vector`) is tested
+against, and the one the MSSP timing simulator reuses.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ControllerConfig
+from repro.core.controller import ControllerBank
+from repro.sim.summary import ReactiveRunResult, summarize_bank
+from repro.trace.stream import Trace
+
+__all__ = ["run_reference"]
+
+
+def run_reference(trace: Trace, config: ControllerConfig) -> ReactiveRunResult:
+    """Run the reactive controller over ``trace``, one event at a time."""
+    bank = ControllerBank(config)
+    observe = bank.observe
+    correct = 0
+    incorrect = 0
+    branch_ids = trace.branch_ids
+    taken = trace.taken
+    instrs = trace.instrs
+    for i in range(len(trace)):
+        outcome = observe(int(branch_ids[i]), bool(taken[i]), int(instrs[i]))
+        if outcome.speculated:
+            if outcome.correct:
+                correct += 1
+            else:
+                incorrect += 1
+    return summarize_bank(
+        trace_name=trace.name,
+        input_name=trace.input_name,
+        config=config,
+        bank=bank,
+        dynamic_branches=len(trace),
+        correct=correct,
+        incorrect=incorrect,
+        instructions=trace.total_instructions,
+    )

@@ -1,0 +1,112 @@
+"""A Dynamo-style flush control policy.
+
+Related work (Section 5): Dynamo does not monitor behavior directly,
+but preemptively flushes its fragment cache when it suspects a phase
+change, forcing re-optimization of everything.  The paper conjectures
+this "will likely perform somewhere between closed-loop and open-loop
+policies".  This module makes that conjecture testable: a flush policy
+is an open-loop controller (no eviction arc) whose entire state —
+classifications, deployed speculations, oscillation counts — is
+discarded every ``flush_period`` instructions.
+
+Because a flush erases all cross-flush state, the run decomposes into
+independent windows: each window is simulated from scratch and the
+metrics are pooled.  (Deployed speculative fragments are discarded at
+the flush, so no speculation survives a window boundary — that is the
+point of the policy.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+from repro.sim.metrics import SpeculationMetrics
+from repro.sim.summary import ReactiveRunResult
+from repro.sim.vector import run_vector
+from repro.trace.stream import Trace
+
+__all__ = ["FlushRunResult", "run_with_flush", "run_with_phase_flush"]
+
+
+@dataclass(frozen=True)
+class FlushRunResult:
+    """Pooled outcome of a flush-policy run.
+
+    ``windows`` holds the per-window results for inspection;
+    ``metrics`` pools them over the whole run.
+    """
+
+    trace_name: str
+    config: ControllerConfig
+    flush_period: int
+    metrics: SpeculationMetrics
+    windows: tuple[ReactiveRunResult, ...]
+
+    @property
+    def n_flushes(self) -> int:
+        return max(0, len(self.windows) - 1)
+
+
+def _run_windows(trace: Trace, window_config: ControllerConfig,
+                 cut_points: np.ndarray, flush_period: int,
+                 ) -> FlushRunResult:
+    windows: list[ReactiveRunResult] = []
+    pooled = SpeculationMetrics(0, 0, 0, 0)
+    for start, stop in zip(cut_points[:-1], cut_points[1:]):
+        if stop <= start:
+            continue
+        window_trace = trace.slice(int(start), int(stop))
+        result = run_vector(window_trace, window_config)
+        windows.append(result)
+        pooled = pooled + result.metrics
+    return FlushRunResult(
+        trace_name=trace.name,
+        config=window_config,
+        flush_period=flush_period,
+        metrics=pooled,
+        windows=tuple(windows),
+    )
+
+
+def run_with_flush(trace: Trace, config: ControllerConfig,
+                   flush_period: int) -> FlushRunResult:
+    """Simulate an open-loop controller with periodic full flushes.
+
+    ``flush_period`` is in instructions.  The supplied config's eviction
+    arc is removed (Dynamo has no per-fragment misspeculation monitor);
+    the revisit arc is irrelevant within a window and disabled for
+    clarity.
+    """
+    if flush_period <= 0:
+        raise ValueError("flush_period must be positive")
+    instrs = trace.instrs
+    boundaries = np.arange(flush_period, int(instrs[-1]) + flush_period,
+                           flush_period, dtype=np.int64)
+    cut_points = np.searchsorted(instrs, boundaries, side="left")
+    cut_points = np.unique(np.concatenate(
+        ([0], cut_points, [len(trace)])))
+    return _run_windows(trace, config.decide_once(), cut_points,
+                        flush_period)
+
+
+def run_with_phase_flush(trace: Trace, config: ControllerConfig,
+                         window: int = 10_000,
+                         threshold: float = 0.5) -> FlushRunResult:
+    """Flush only when a working-set phase change is detected.
+
+    Uses :mod:`repro.analysis.phases`: the fragment cache is discarded
+    at each detected phase boundary instead of on a timer — Dynamo's
+    policy with a principled trigger.  ``flush_period`` in the result is
+    0 to mark the aperiodic policy.
+    """
+    from repro.analysis.phases import detect_phase_changes
+
+    changes = detect_phase_changes(trace, window=window,
+                                   threshold=threshold)
+    cut_points = np.unique(np.array(
+        [0, *changes, len(trace)], dtype=np.int64))
+    return _run_windows(trace, config.decide_once(), cut_points,
+                        flush_period=0)

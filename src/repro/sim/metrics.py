@@ -1,0 +1,88 @@
+"""Speculation metrics shared by every engine and policy.
+
+The paper's figures plot *correct speculations* and *misspeculations*,
+both as a fraction of all dynamic conditional branches (Figures 2 and 5
+axes); Table 3 adds the mean instruction distance between
+misspeculations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeculationMetrics"]
+
+
+@dataclass(frozen=True)
+class SpeculationMetrics:
+    """Counts of speculation outcomes over one run.
+
+    Attributes
+    ----------
+    dynamic_branches:
+        All dynamic conditional branch executions in the run (the
+        denominator of the paper's percentages).
+    correct / incorrect:
+        Dynamic speculations that matched / violated the deployed
+        direction.
+    instructions:
+        Instructions covered by the run.
+    """
+
+    dynamic_branches: int
+    correct: int
+    incorrect: int
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.dynamic_branches < 0 or self.instructions < 0:
+            raise ValueError("counts must be non-negative")
+        if self.correct < 0 or self.incorrect < 0:
+            raise ValueError("counts must be non-negative")
+        if self.correct + self.incorrect > self.dynamic_branches:
+            raise ValueError(
+                "speculated executions cannot exceed dynamic branches")
+
+    @property
+    def correct_rate(self) -> float:
+        """Correct speculations / dynamic branches (Figure 2/5 y-axis)."""
+        if not self.dynamic_branches:
+            return 0.0
+        return self.correct / self.dynamic_branches
+
+    @property
+    def incorrect_rate(self) -> float:
+        """Misspeculations / dynamic branches (Figure 2/5 x-axis)."""
+        if not self.dynamic_branches:
+            return 0.0
+        return self.incorrect / self.dynamic_branches
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of dynamic branches executed speculatively."""
+        if not self.dynamic_branches:
+            return 0.0
+        return (self.correct + self.incorrect) / self.dynamic_branches
+
+    @property
+    def misspec_distance(self) -> float:
+        """Mean instructions between misspeculations."""
+        if not self.incorrect:
+            return float("inf")
+        return self.instructions / self.incorrect
+
+    def __add__(self, other: "SpeculationMetrics") -> "SpeculationMetrics":
+        return SpeculationMetrics(
+            dynamic_branches=self.dynamic_branches + other.dynamic_branches,
+            correct=self.correct + other.correct,
+            incorrect=self.incorrect + other.incorrect,
+            instructions=self.instructions + other.instructions,
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        dist = self.misspec_distance
+        dist_text = "inf" if dist == float("inf") else f"{dist:,.0f}"
+        return (f"correct {self.correct_rate:6.2%}  "
+                f"incorrect {self.incorrect_rate:8.4%}  "
+                f"misspec dist {dist_text} instr")

@@ -1,0 +1,106 @@
+"""Run-result types shared by the reference and vectorized engines.
+
+Both engines reduce a run to the same shape: per-branch
+:class:`BranchSummary` records (counts, transitions, final state) plus
+aggregate :class:`~repro.sim.metrics.SpeculationMetrics` and a Table 3
+style :class:`~repro.core.stats.TransitionStats`.  Analyses (Figures 6
+and 9, Table 3) work off these records, so they are engine-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ControllerConfig
+from repro.core.controller import ControllerBank, ReactiveBranchController
+from repro.core.states import BranchState, Transition
+from repro.core.stats import TransitionStats, collect_transition_stats
+from repro.sim.metrics import SpeculationMetrics
+
+__all__ = ["BranchSummary", "ReactiveRunResult", "summarize_bank"]
+
+
+@dataclass(frozen=True)
+class BranchSummary:
+    """What one static branch did over a whole run."""
+
+    branch: int
+    exec_count: int
+    correct: int
+    incorrect: int
+    bias_entries: int
+    evictions: int
+    final_state: BranchState
+    transitions: tuple[Transition, ...]
+
+    @property
+    def ever_biased(self) -> bool:
+        return self.bias_entries > 0
+
+    @property
+    def ever_evicted(self) -> bool:
+        return self.evictions > 0
+
+    @classmethod
+    def from_controller(cls, ctrl: ReactiveBranchController) -> "BranchSummary":
+        return cls(
+            branch=ctrl.branch,
+            exec_count=ctrl.exec_count,
+            correct=ctrl.correct,
+            incorrect=ctrl.incorrect,
+            bias_entries=ctrl.bias_entries,
+            evictions=ctrl.evictions,
+            final_state=ctrl.state,
+            transitions=tuple(ctrl.transitions),
+        )
+
+
+@dataclass(frozen=True)
+class ReactiveRunResult:
+    """Everything a reactive-controller run produces.
+
+    ``branches`` holds per-branch records for post-hoc analysis;
+    ``stats`` is the Table 3 style summary; ``metrics`` the Figure 2/5
+    style rates.  ``bank`` retains live controllers when the reference
+    engine produced the result (None for the vectorized engine).
+    """
+
+    trace_name: str
+    input_name: str
+    config: ControllerConfig
+    metrics: SpeculationMetrics
+    stats: TransitionStats
+    branches: tuple[BranchSummary, ...]
+    bank: ControllerBank | None = field(default=None, repr=False)
+
+    def branch_summary(self, branch: int) -> BranchSummary:
+        for summary in self.branches:
+            if summary.branch == branch:
+                return summary
+        raise KeyError(f"branch {branch} not in result")
+
+
+def summarize_bank(trace_name: str, input_name: str,
+                   config: ControllerConfig, bank: ControllerBank,
+                   dynamic_branches: int, correct: int, incorrect: int,
+                   instructions: int) -> ReactiveRunResult:
+    """Package a finished :class:`ControllerBank` into a run result."""
+    branches = tuple(sorted(
+        (BranchSummary.from_controller(c) for c in bank),
+        key=lambda s: s.branch))
+    metrics = SpeculationMetrics(
+        dynamic_branches=dynamic_branches,
+        correct=correct,
+        incorrect=incorrect,
+        instructions=instructions,
+    )
+    stats = collect_transition_stats(branches, instructions)
+    return ReactiveRunResult(
+        trace_name=trace_name,
+        input_name=input_name,
+        config=config,
+        metrics=metrics,
+        stats=stats,
+        branches=branches,
+        bank=bank,
+    )

@@ -1,0 +1,71 @@
+"""Branch-behavior substrate: synthetic stand-ins for the paper's
+SPEC2000int traces (see DESIGN.md §2 for the substitution rationale).
+
+* :mod:`repro.trace.patterns` — per-branch behavior over time.
+* :mod:`repro.trace.model` — regions / static program structure.
+* :mod:`repro.trace.stream` — the :class:`Trace` arrays + generator.
+* :mod:`repro.trace.spec2000` — the 12 calibrated benchmark models and
+  their Table 1 input pairs.
+* :mod:`repro.trace.synthetic` — hand-rolled traces for tests/examples.
+"""
+
+from repro.trace.model import BenchmarkModel, Region, StaticBranch
+from repro.trace.patterns import (
+    BehaviorPattern,
+    BurstNoise,
+    ConstantBias,
+    GlobalPhase,
+    LinearDrift,
+    MultiPhase,
+    PeriodicBias,
+    PhaseSchedule,
+    StepChange,
+    induction_flip,
+)
+from repro.trace.spec2000 import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_spec,
+    build_model,
+    load_trace,
+)
+from repro.trace.stream import BranchGroups, Trace, generate_trace
+from repro.trace.io import load_trace_file, save_trace
+from repro.trace.synthetic import (
+    round_robin_trace,
+    single_branch_trace,
+    trace_from_outcomes,
+    uniform_model,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "BehaviorPattern",
+    "BenchmarkModel",
+    "BenchmarkSpec",
+    "BranchGroups",
+    "BurstNoise",
+    "ConstantBias",
+    "GlobalPhase",
+    "LinearDrift",
+    "MultiPhase",
+    "PeriodicBias",
+    "PhaseSchedule",
+    "Region",
+    "StaticBranch",
+    "StepChange",
+    "Trace",
+    "benchmark_spec",
+    "build_model",
+    "generate_trace",
+    "induction_flip",
+    "load_trace",
+    "load_trace_file",
+    "round_robin_trace",
+    "save_trace",
+    "single_branch_trace",
+    "trace_from_outcomes",
+    "uniform_model",
+]

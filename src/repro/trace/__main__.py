@@ -1,0 +1,10 @@
+"""``python -m repro.trace`` — dispatch to the trace CLI."""
+
+import sys
+
+from repro.trace.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:  # piping into head etc. is fine
+    sys.exit(0)

@@ -1,0 +1,105 @@
+"""Trace tooling CLI.
+
+Usage::
+
+    python -m repro.trace list
+    python -m repro.trace info gcc
+    python -m repro.trace info path/to/trace.npz
+    python -m repro.trace gen gzip -o gzip.npz --length 200000
+    python -m repro.trace bias gcc --bins 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Generate and inspect branch traces.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    info = sub.add_parser("info", help="characterize a trace")
+    info.add_argument("target",
+                      help="benchmark name or .npz trace file")
+    info.add_argument("--input", dest="input_name", default=None,
+                      help="input name (default: evaluation input)")
+    info.add_argument("--length", type=int, default=None)
+
+    gen = sub.add_parser("gen", help="generate a trace to a file")
+    gen.add_argument("benchmark")
+    gen.add_argument("-o", "--output", required=True)
+    gen.add_argument("--input", dest="input_name", default=None)
+    gen.add_argument("--length", type=int, default=None)
+
+    bias = sub.add_parser("bias",
+                          help="event-weighted bias histogram")
+    bias.add_argument("target")
+    bias.add_argument("--bins", type=int, default=10)
+    bias.add_argument("--length", type=int, default=None)
+    return parser
+
+
+def _resolve_trace(target: str, input_name=None, length=None):
+    from repro.trace.io import load_trace_file
+    from repro.trace.spec2000 import load_trace
+
+    if target.endswith(".npz") or Path(target).exists():
+        return load_trace_file(target)
+    return load_trace(target, input_name, length=length)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        from repro.trace.spec2000 import BENCHMARKS
+
+        print(f"{'bmark':8s} {'static':>7s} {'length':>10s} "
+              f"{'profile input':>20s} {'eval input':>22s}")
+        for spec in BENCHMARKS.values():
+            print(f"{spec.name:8s} {spec.n_static:7d} "
+                  f"{spec.length:10,} {spec.profile_input:>20s} "
+                  f"{spec.eval_input:>22s}")
+        return 0
+
+    if args.command == "info":
+        from repro.analysis.workload import characterize
+
+        trace = _resolve_trace(args.target, args.input_name, args.length)
+        print(characterize(trace).summary())
+        return 0
+
+    if args.command == "gen":
+        from repro.trace.io import save_trace
+        from repro.trace.spec2000 import load_trace
+
+        trace = load_trace(args.benchmark, args.input_name,
+                           length=args.length)
+        path = save_trace(trace, args.output)
+        print(f"wrote {len(trace):,} events to {path}")
+        return 0
+
+    if args.command == "bias":
+        from repro.analysis.workload import bias_histogram
+
+        trace = _resolve_trace(args.target, length=args.length)
+        edges, shares = bias_histogram(trace, bins=args.bins)
+        print(f"event-weighted branch-bias distribution of {trace.name}:")
+        for i, share in enumerate(shares):
+            bar = "#" * round(share * 60)
+            print(f"  {edges[i]:.2f}-{edges[i+1]:.2f}  {share:6.1%}  {bar}")
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the command set
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Trace persistence (compressed ``.npz``).
+
+Traces are cheap to regenerate but experiments re-use the same eval
+traces across many configurations; the experiment drivers cache them on
+disk through this module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.stream import Trace
+
+__all__ = ["save_trace", "load_trace_file"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` as a compressed npz archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "input_name": trace.input_name,
+        "meta": trace.meta,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8),
+        branch_ids=trace.branch_ids,
+        taken=trace.taken,
+        instrs=trace.instrs,
+    )
+    return path
+
+
+def load_trace_file(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')}")
+        return Trace(
+            name=header["name"],
+            input_name=header["input_name"],
+            branch_ids=data["branch_ids"],
+            taken=data["taken"],
+            instrs=data["instrs"],
+            meta=header.get("meta", {}),
+        )

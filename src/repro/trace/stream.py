@@ -1,0 +1,208 @@
+"""Trace representation and the trace-generation engine.
+
+A :class:`Trace` is the unit all simulators consume: three parallel numpy
+arrays (static branch id, taken outcome, global instruction count) in
+program order, plus metadata.  :func:`generate_trace` realizes a
+:class:`~repro.trace.model.BenchmarkModel` into a trace: regions are
+visited with weighted random selection and geometric trip counts, each
+iteration emits the region's branch slots in order, instruction stamps
+advance by the region's body size, and each branch's outcomes are drawn
+against its behavior pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.model import BenchmarkModel, Region
+
+__all__ = ["Trace", "BranchGroups", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class BranchGroups:
+    """Per-static-branch grouping of a trace's events.
+
+    ``order`` is a stable sort permutation of event indices by branch id;
+    events of ``branch_ids[i]`` occupy ``order[starts[i]:starts[i] +
+    counts[i]]``, in program order (so position ``k`` within the group is
+    the branch's ``k``-th dynamic execution).
+    """
+
+    unique_ids: np.ndarray
+    order: np.ndarray
+    starts: np.ndarray
+    counts: np.ndarray
+
+    def indices_of(self, branch_id: int) -> np.ndarray:
+        """Event indices (program order) of one branch's executions."""
+        pos = np.searchsorted(self.unique_ids, branch_id)
+        if pos >= len(self.unique_ids) or self.unique_ids[pos] != branch_id:
+            raise KeyError(f"branch {branch_id} does not appear in trace")
+        start = self.starts[pos]
+        return self.order[start:start + self.counts[pos]]
+
+    def __iter__(self):
+        """Yields ``(branch_id, event_indices)`` per touched branch."""
+        for i, bid in enumerate(self.unique_ids):
+            start = self.starts[i]
+            yield int(bid), self.order[start:start + self.counts[i]]
+
+    def __len__(self) -> int:
+        return len(self.unique_ids)
+
+
+@dataclass
+class Trace:
+    """A dynamic conditional-branch trace.
+
+    Attributes
+    ----------
+    name / input_name:
+        Benchmark and input identity (Table 1 vocabulary).
+    branch_ids:
+        int32 static branch id per event.
+    taken:
+        bool outcome per event.
+    instrs:
+        int64 global instruction count at each branch instruction;
+        strictly increasing.
+    meta:
+        Free-form provenance (model parameters, seed, ...).
+    """
+
+    name: str
+    input_name: str
+    branch_ids: np.ndarray
+    taken: np.ndarray
+    instrs: np.ndarray
+    meta: dict = field(default_factory=dict)
+    _groups: BranchGroups | None = field(
+        default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.branch_ids)
+        if len(self.taken) != n or len(self.instrs) != n:
+            raise ValueError("trace arrays must have equal length")
+        if n == 0:
+            raise ValueError("trace must contain at least one event")
+
+    def __len__(self) -> int:
+        return len(self.branch_ids)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instruction count covered by the trace."""
+        return int(self.instrs[-1])
+
+    @property
+    def n_touched(self) -> int:
+        """Static branches executed at least once."""
+        return len(self.groups())
+
+    def groups(self) -> BranchGroups:
+        """Per-branch grouping (computed once, then cached)."""
+        if self._groups is None:
+            order = np.argsort(self.branch_ids, kind="stable")
+            sorted_ids = self.branch_ids[order]
+            unique_ids, starts, counts = np.unique(
+                sorted_ids, return_index=True, return_counts=True)
+            self._groups = BranchGroups(
+                unique_ids=unique_ids, order=order,
+                starts=starts, counts=counts)
+        return self._groups
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on failure."""
+        if np.any(np.diff(self.instrs) <= 0):
+            raise ValueError("instruction stamps must strictly increase")
+        if self.instrs[0] <= 0:
+            raise ValueError("instruction stamps must be positive")
+        if np.any(self.branch_ids < 0):
+            raise ValueError("branch ids must be non-negative")
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace of events ``[start, stop)``.
+
+        Instruction stamps are rebased so the sub-trace starts near
+        zero — a slice is a self-contained run (fresh group cache too).
+        """
+        offset = int(self.instrs[start - 1]) if start > 0 else 0
+        return Trace(
+            name=self.name, input_name=self.input_name,
+            branch_ids=self.branch_ids[start:stop],
+            taken=self.taken[start:stop],
+            instrs=self.instrs[start:stop] - offset,
+            meta=dict(self.meta))
+
+
+def _region_slot_gaps(region: Region) -> np.ndarray:
+    """Instruction advance per branch slot in one iteration of a region.
+
+    The iteration's ``body_instructions`` are spread evenly over the
+    slots, with the remainder attributed to the last slot (ending the
+    loop body).  Every slot advances by at least one instruction, which
+    keeps trace instruction stamps strictly increasing.
+    """
+    n = len(region.branches)
+    base = region.body_instructions // n
+    gaps = np.full(n, base, dtype=np.int64)
+    gaps[-1] += region.body_instructions - base * n
+    return gaps
+
+
+def generate_trace(model: BenchmarkModel, length: int,
+                   seed: int | np.random.Generator = 0) -> Trace:
+    """Realize ``model`` into a trace of exactly ``length`` branch events.
+
+    Deterministic for a given ``(model, length, seed)``.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
+
+    regions = [r for r in model.regions if r.weight > 0.0]
+    weights = np.array([r.weight for r in regions], dtype=np.float64)
+    weights /= weights.sum()
+    slot_ids = [np.array([b.branch_id for b in r.branches], dtype=np.int32)
+                for r in regions]
+    slot_gaps = [_region_slot_gaps(r) for r in regions]
+
+    id_chunks: list[np.ndarray] = []
+    gap_chunks: list[np.ndarray] = []
+    emitted = 0
+    batch = 1024
+    while emitted < length:
+        region_draws = rng.choice(len(regions), size=batch, p=weights)
+        # Geometric trip counts with the configured means (>= 1 each).
+        for ridx in region_draws:
+            region = regions[ridx]
+            trips = int(rng.geometric(1.0 / region.mean_trip_count))
+            ids = np.tile(slot_ids[ridx], trips)
+            gaps = np.tile(slot_gaps[ridx], trips)
+            id_chunks.append(ids)
+            gap_chunks.append(gaps)
+            emitted += len(ids)
+            if emitted >= length:
+                break
+
+    branch_ids = np.concatenate(id_chunks)[:length]
+    gaps = np.concatenate(gap_chunks)[:length]
+    instrs = np.cumsum(gaps)
+
+    taken = np.zeros(length, dtype=bool)
+    trace = Trace(
+        name=model.name, input_name=model.input_name,
+        branch_ids=branch_ids, taken=taken, instrs=instrs,
+        meta={"length": length, **model.meta})
+
+    patterns = {b.branch_id: b.pattern for b in model.static_branches}
+    for branch_id, idx in trace.groups():
+        pattern = patterns[branch_id]
+        exec_idx = np.arange(len(idx), dtype=np.int64)
+        p = pattern.p_taken(exec_idx, instrs[idx])
+        taken[idx] = rng.random(len(idx)) < p
+    return trace

@@ -1,0 +1,93 @@
+"""Hand-rolled trace builders for tests, examples and micro-experiments.
+
+These bypass the region machinery: you supply per-branch outcome
+sequences (or patterns) and get a deterministic interleaved trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.trace.model import BenchmarkModel, Region, StaticBranch
+from repro.trace.patterns import BehaviorPattern, ConstantBias
+from repro.trace.stream import Trace
+
+__all__ = [
+    "trace_from_outcomes",
+    "round_robin_trace",
+    "single_branch_trace",
+    "uniform_model",
+]
+
+
+def trace_from_outcomes(outcomes: dict[int, Sequence[bool]],
+                        instr_stride: int = 8,
+                        name: str = "synthetic",
+                        input_name: str = "synthetic") -> Trace:
+    """Interleave explicit per-branch outcome sequences round-robin.
+
+    Branch ids take turns (skipping exhausted ones); each event advances
+    the instruction counter by ``instr_stride``.  The k-th outcome in a
+    branch's sequence becomes its k-th dynamic execution.
+    """
+    if not outcomes:
+        raise ValueError("outcomes must not be empty")
+    ids: list[int] = []
+    taken: list[bool] = []
+    remaining = {b: list(seq) for b, seq in outcomes.items()}
+    positions = {b: 0 for b in remaining}
+    order = sorted(remaining)
+    while any(positions[b] < len(remaining[b]) for b in order):
+        for b in order:
+            if positions[b] < len(remaining[b]):
+                ids.append(b)
+                taken.append(bool(remaining[b][positions[b]]))
+                positions[b] += 1
+    n = len(ids)
+    return Trace(
+        name=name, input_name=input_name,
+        branch_ids=np.array(ids, dtype=np.int32),
+        taken=np.array(taken, dtype=bool),
+        instrs=np.arange(1, n + 1, dtype=np.int64) * instr_stride,
+    )
+
+
+def single_branch_trace(outcomes: Sequence[bool],
+                        instr_stride: int = 8) -> Trace:
+    """A trace with one static branch executing the given outcomes."""
+    return trace_from_outcomes({0: outcomes}, instr_stride=instr_stride)
+
+
+def round_robin_trace(patterns: Sequence[BehaviorPattern], length: int,
+                      instr_stride: int = 8, seed: int = 0,
+                      name: str = "synthetic") -> Trace:
+    """Branches 0..n-1 execute round-robin, outcomes drawn per pattern."""
+    if not patterns:
+        raise ValueError("need at least one pattern")
+    rng = np.random.default_rng(seed)
+    n_branches = len(patterns)
+    branch_ids = np.tile(np.arange(n_branches, dtype=np.int32),
+                         -(-length // n_branches))[:length]
+    instrs = np.arange(1, length + 1, dtype=np.int64) * instr_stride
+    taken = np.zeros(length, dtype=bool)
+    for b, pattern in enumerate(patterns):
+        idx = np.flatnonzero(branch_ids == b)
+        exec_idx = np.arange(len(idx), dtype=np.int64)
+        p = pattern.p_taken(exec_idx, instrs[idx])
+        taken[idx] = rng.random(len(idx)) < p
+    return Trace(name=name, input_name="synthetic",
+                 branch_ids=branch_ids, taken=taken, instrs=instrs)
+
+
+def uniform_model(n_branches: int, p: float = 1.0,
+                  name: str = "uniform") -> BenchmarkModel:
+    """A one-region model where every branch has constant bias ``p``."""
+    branches = tuple(
+        StaticBranch(branch_id=i, pattern=ConstantBias(p))
+        for i in range(n_branches))
+    region = Region(region_id=0, branches=branches,
+                    body_instructions=8 * n_branches)
+    return BenchmarkModel(name=name, input_name="synthetic",
+                          regions=(region,))

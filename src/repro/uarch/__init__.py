@@ -1,0 +1,32 @@
+"""Instruction-level microarchitecture models (Table 5 from below):
+set-associative caches and in-order superscalar pipelines executing the
+distiller's mini-ISA.  Used to validate the task-granularity MSSP
+timing constants."""
+
+from repro.uarch.cache import (
+    Cache,
+    CacheConfig,
+    MemoryHierarchy,
+    leading_hierarchy,
+    trailing_hierarchy,
+)
+from repro.uarch.pipeline import (
+    CoreConfig,
+    CoreTiming,
+    PipelinedCore,
+    leading_core,
+    trailing_core,
+)
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CoreConfig",
+    "CoreTiming",
+    "MemoryHierarchy",
+    "PipelinedCore",
+    "leading_core",
+    "leading_hierarchy",
+    "trailing_core",
+    "trailing_hierarchy",
+]

@@ -1,0 +1,116 @@
+"""Set-associative cache hierarchy (Table 5's memory system).
+
+The paper's timing simulator models 64KB/8KB L1 data caches, a shared
+1MB L2 and a 200-cycle memory behind it.  This module implements a
+standard set-associative LRU cache and a two-level hierarchy with those
+parameters, used by the instruction-level core model
+(:mod:`repro.uarch.pipeline`) to charge load latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "Cache", "MemoryHierarchy",
+           "leading_hierarchy", "trailing_hierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    block_bytes: int = 64
+    hit_latency: int = 3
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.block_bytes <= 0:
+            raise ValueError("cache dimensions must be positive")
+        if self.size_bytes % (self.ways * self.block_bytes):
+            raise ValueError(
+                "size must be a multiple of ways * block size")
+        if self.hit_latency <= 0:
+            raise ValueError("hit_latency must be positive")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.block_bytes)
+
+
+class Cache:
+    """A set-associative cache with LRU replacement."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # Per set: list of block tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(config.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns True on hit.  Fills on miss."""
+        block = address // self.config.block_bytes
+        index = block % self.config.n_sets
+        ways = self._sets[index]
+        if block in ways:
+            ways.remove(block)
+            ways.append(block)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways.append(block)
+        if len(ways) > self.config.ways:
+            ways.pop(0)
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class MemoryHierarchy:
+    """L1 -> L2 -> memory, with Table 5 latencies.
+
+    ``load_latency`` returns the access time of one load: the L1 hit
+    latency on a hit, plus the L2 latency on an L1 miss, plus the
+    memory latency on an L2 miss.
+    """
+
+    l1: Cache
+    l2: Cache
+    l2_latency: int = 10
+    memory_latency: int = 200
+
+    def load_latency(self, address: int) -> int:
+        latency = self.l1.config.hit_latency
+        if self.l1.access(address):
+            return latency
+        latency += self.l2_latency
+        if self.l2.access(address):
+            return latency
+        return latency + self.memory_latency
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1.hit_rate
+
+
+def leading_hierarchy() -> MemoryHierarchy:
+    """The leading core's memory system: 64KB 2-way L1 + shared 1MB L2."""
+    return MemoryHierarchy(
+        l1=Cache(CacheConfig(size_bytes=64 * 1024, ways=2)),
+        l2=Cache(CacheConfig(size_bytes=1024 * 1024, ways=8,
+                             hit_latency=10)),
+    )
+
+
+def trailing_hierarchy() -> MemoryHierarchy:
+    """A trailing core's memory system: 8KB 8-way L1 + shared 1MB L2."""
+    return MemoryHierarchy(
+        l1=Cache(CacheConfig(size_bytes=8 * 1024, ways=8)),
+        l2=Cache(CacheConfig(size_bytes=1024 * 1024, ways=8,
+                             hit_latency=10)),
+    )

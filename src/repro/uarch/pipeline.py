@@ -1,0 +1,214 @@
+"""Instruction-level timing of the mini-ISA on an in-order superscalar.
+
+Models the Table 5 cores from below: a W-wide in-order pipeline with a
+register scoreboard (RAW dependencies delay issue), load latencies from
+the cache hierarchy, branches resolved at execute with a
+pipeline-depth refill penalty on mispredictions, and a gshare predictor
+shared with :mod:`repro.hw`.
+
+This is not the machine the MSSP experiments run on — those use the
+task-granularity model (:mod:`repro.mssp.machine`) for tractability —
+but it executes the *same regions the distiller produces*, which lets
+the ``ext-uarch`` experiment validate the task model's CPI constants
+against a microarchitectural simulation instead of assuming them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distill.isa import Opcode
+from repro.distill.region import CodeRegion, MachineState
+from repro.hw.predictors import GsharePredictor
+from repro.uarch.cache import (
+    MemoryHierarchy,
+    leading_hierarchy,
+    trailing_hierarchy,
+)
+
+__all__ = ["CoreConfig", "CoreTiming", "PipelinedCore",
+           "leading_core", "trailing_core"]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Width/depth of one core (Table 5 rows)."""
+
+    name: str
+    width: int
+    pipeline_depth: int
+    alu_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.pipeline_depth <= 0:
+            raise ValueError("width and depth must be positive")
+        if self.alu_latency <= 0:
+            raise ValueError("alu_latency must be positive")
+
+    @property
+    def mispredict_penalty(self) -> int:
+        """Refill cycles after a mispredicted branch (front of pipe to
+        execute)."""
+        return self.pipeline_depth
+
+
+@dataclass
+class CoreTiming:
+    """Accumulated timing of one core simulation."""
+
+    cycles: int = 0
+    instructions: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    load_stall_cycles: int = 0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return (self.mispredictions / self.branches
+                if self.branches else 0.0)
+
+
+class PipelinedCore:
+    """An in-order superscalar executing regions functionally while
+    tracking cycle timing.
+
+    State persists across :meth:`run_region` calls (caches warm up,
+    the predictor trains, the scoreboard carries over), so driving the
+    same region in a loop models steady-state behavior.
+    """
+
+    def __init__(self, config: CoreConfig,
+                 hierarchy: MemoryHierarchy | None = None,
+                 predictor: GsharePredictor | None = None) -> None:
+        self.config = config
+        self.hierarchy = hierarchy if hierarchy is not None \
+            else leading_hierarchy()
+        self.predictor = predictor if predictor is not None \
+            else GsharePredictor()
+        self.timing = CoreTiming()
+        self._cycle = 0           # current fetch cycle
+        self._issued_this_cycle = 0
+        self._ready: dict[int, int] = {}  # register -> ready cycle
+
+    # ------------------------------------------------------------------
+    def _advance_to(self, cycle: int) -> None:
+        if cycle > self._cycle:
+            self._cycle = cycle
+            self._issued_this_cycle = 0
+
+    def _issue_slot(self, operands_ready: int) -> int:
+        """The cycle this instruction issues, honoring width and RAW."""
+        self._advance_to(max(self._cycle, operands_ready))
+        while self._issued_this_cycle >= self.config.width:
+            self._advance_to(self._cycle + 1)
+        self._issued_this_cycle += 1
+        return self._cycle
+
+    def run_region(self, region: CodeRegion, state: MachineState,
+                   pc_base: int = 0) -> tuple[MachineState, str | None]:
+        """Execute ``region`` once; returns (state after, exit label).
+
+        ``pc_base`` differentiates static branch sites across regions
+        for the predictor.
+        """
+        st = state.copy()
+        pc = 0
+        n = len(region.instructions)
+        while pc < n:
+            instr = region.instructions[pc]
+            operands_ready = max(
+                (self._ready.get(r.index, 0)
+                 for r in instr.source_registers()), default=0)
+            issue = self._issue_slot(operands_ready)
+            self.timing.instructions += 1
+
+            if instr.is_branch:
+                self.timing.branches += 1
+                condition = st.read(instr.srcs[0])
+                taken = (condition == 0) if instr.opcode is Opcode.BEQ \
+                    else (condition != 0)
+                predicted = self.predictor.predict_and_update(
+                    pc_base + pc, taken)
+                if predicted != taken:
+                    self.timing.mispredictions += 1
+                    self._advance_to(issue + self.config.alu_latency
+                                     + self.config.mispredict_penalty)
+                if taken:
+                    target = region.labels.get(instr.target)
+                    if target is None:
+                        self._finish()
+                        return st, instr.target
+                    pc = target
+                    continue
+                pc += 1
+                continue
+
+            if instr.opcode is Opcode.LDQ:
+                address = st.read(instr.srcs[0]) + instr.imm
+                latency = self.hierarchy.load_latency(address)
+                self.timing.load_stall_cycles += latency - 1
+                st.write(instr.dest, st.load(address))
+                self._ready[instr.dest.index] = issue + latency
+            else:
+                _execute_alu(instr, st)
+                self._ready[instr.dest.index] = \
+                    issue + self.config.alu_latency
+            pc += 1
+        self._finish()
+        return st, None
+
+    def _finish(self) -> None:
+        # Drain: time advances to the last result's readiness.
+        drain = max(self._ready.values(), default=self._cycle)
+        self.timing.cycles = max(self._cycle, drain)
+
+
+def _execute_alu(instr, st: MachineState) -> None:
+    op = instr.opcode
+    if op is Opcode.LDA:
+        st.write(instr.dest, st.read(instr.srcs[0]) + instr.imm)
+    elif op is Opcode.LI:
+        st.write(instr.dest, instr.imm)
+    elif op is Opcode.MOV:
+        st.write(instr.dest, st.read(instr.srcs[0]))
+    elif op is Opcode.ADDQ:
+        st.write(instr.dest,
+                 st.read(instr.srcs[0]) + st.read(instr.srcs[1]))
+    elif op is Opcode.SUBQ:
+        st.write(instr.dest,
+                 st.read(instr.srcs[0]) - st.read(instr.srcs[1]))
+    elif op is Opcode.AND:
+        st.write(instr.dest,
+                 st.read(instr.srcs[0]) & st.read(instr.srcs[1]))
+    elif op is Opcode.OR:
+        st.write(instr.dest,
+                 st.read(instr.srcs[0]) | st.read(instr.srcs[1]))
+    elif op is Opcode.XOR:
+        st.write(instr.dest,
+                 st.read(instr.srcs[0]) ^ st.read(instr.srcs[1]))
+    elif op is Opcode.CMPLT:
+        st.write(instr.dest,
+                 int(st.read(instr.srcs[0]) < st.read(instr.srcs[1])))
+    elif op is Opcode.CMPEQ:
+        st.write(instr.dest,
+                 int(st.read(instr.srcs[0]) == st.read(instr.srcs[1])))
+    else:  # pragma: no cover
+        raise NotImplementedError(op)
+
+
+def leading_core() -> PipelinedCore:
+    """Table 5's leading core: 4-wide, 12-stage, 64KB L1."""
+    return PipelinedCore(
+        CoreConfig(name="leading", width=4, pipeline_depth=12),
+        hierarchy=leading_hierarchy())
+
+
+def trailing_core() -> PipelinedCore:
+    """Table 5's trailing core: 2-wide, 8-stage, 8KB L1."""
+    return PipelinedCore(
+        CoreConfig(name="trailing", width=2, pipeline_depth=8),
+        hierarchy=trailing_hierarchy())

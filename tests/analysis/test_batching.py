@@ -1,0 +1,98 @@
+"""Tests for region re-optimization batching."""
+
+import pytest
+
+from repro.analysis.batching import (
+    ReoptimizationEvent,
+    batching_summary,
+    coalesce_reoptimizations,
+    region_map,
+)
+from repro.core.states import BranchState, Transition, TransitionKind
+from repro.sim.metrics import SpeculationMetrics
+from repro.sim.summary import BranchSummary, ReactiveRunResult
+from repro.core.stats import collect_transition_stats
+from repro.core.config import scaled_config
+from repro.trace.synthetic import uniform_model
+
+
+def summary_with(branch, stamps_kinds):
+    transitions = tuple(
+        Transition(branch, kind, i, instr)
+        for i, (kind, instr) in enumerate(stamps_kinds))
+    return BranchSummary(
+        branch=branch, exec_count=10, correct=0, incorrect=0,
+        bias_entries=1, evictions=0, final_state=BranchState.BIASED,
+        transitions=transitions)
+
+
+def result_of(summaries):
+    return ReactiveRunResult(
+        trace_name="t", input_name="i", config=scaled_config(),
+        metrics=SpeculationMetrics(10, 0, 0, 100),
+        stats=collect_transition_stats(summaries, 100),
+        branches=tuple(summaries))
+
+
+class TestCoalesce:
+    def test_same_region_same_window_batched(self):
+        summaries = [
+            summary_with(0, [(TransitionKind.SELECT, 1_000)]),
+            summary_with(1, [(TransitionKind.SELECT, 5_000)]),
+        ]
+        events = coalesce_reoptimizations(
+            result_of(summaries), {0: 7, 1: 7}, window=10_000)
+        assert len(events) == 1
+        assert events[0].changes == 2
+        assert events[0].region == 7
+
+    def test_different_regions_not_batched(self):
+        summaries = [
+            summary_with(0, [(TransitionKind.SELECT, 1_000)]),
+            summary_with(1, [(TransitionKind.SELECT, 1_500)]),
+        ]
+        events = coalesce_reoptimizations(
+            result_of(summaries), {0: 1, 1: 2}, window=10_000)
+        assert len(events) == 2
+
+    def test_window_splits_distant_requests(self):
+        summaries = [summary_with(0, [
+            (TransitionKind.SELECT, 1_000),
+            (TransitionKind.EVICT, 90_000),
+        ])]
+        events = coalesce_reoptimizations(
+            result_of(summaries), {0: 0}, window=10_000)
+        assert [e.changes for e in events] == [1, 1]
+
+    def test_bookkeeping_transitions_ignored(self):
+        summaries = [summary_with(0, [
+            (TransitionKind.REJECT, 1_000),
+            (TransitionKind.REVISIT, 2_000),
+        ])]
+        events = coalesce_reoptimizations(
+            result_of(summaries), {0: 0})
+        assert events == []
+
+    def test_unmapped_branches_skipped(self):
+        summaries = [summary_with(9, [(TransitionKind.SELECT, 1_000)])]
+        assert coalesce_reoptimizations(result_of(summaries), {}) == []
+
+
+class TestSummaryAndMap:
+    def test_batching_summary(self):
+        events = [ReoptimizationEvent(0, 100, 3),
+                  ReoptimizationEvent(1, 200, 1)]
+        s = batching_summary(events)
+        assert s["regenerations"] == 2
+        assert s["requests"] == 4
+        assert s["multi_change_fraction"] == pytest.approx(0.5)
+        assert s["requests_saved"] == pytest.approx(0.5)
+
+    def test_empty_summary(self):
+        assert batching_summary([])["regenerations"] == 0
+
+    def test_region_map(self):
+        model = uniform_model(4)
+        mapping = region_map(model)
+        assert set(mapping) == {0, 1, 2, 3}
+        assert set(mapping.values()) == {0}

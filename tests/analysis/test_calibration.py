@@ -1,0 +1,123 @@
+"""Suite-level calibration tests: the synthetic workloads must land in
+the neighborhood of the paper's published statistics (DESIGN.md §4).
+
+These are *shape* tests with generous tolerances: the substrate is
+synthetic, so we check orderings and coarse magnitudes rather than
+absolute agreement.  They run the whole (scaled-down) suite, so they are
+the slowest tests in the tree.
+"""
+
+import pytest
+
+from repro.analysis.calibration import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    compare_table3,
+)
+from repro.core.config import SENSITIVITY_VARIANTS, scaled_config
+from repro.sim.runner import (
+    TraceCache,
+    aggregate_metrics,
+    run_config_sweep,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return TraceCache()
+
+
+@pytest.fixture(scope="module")
+def baseline_results(cache):
+    return run_suite(scaled_config(), cache=cache)
+
+
+class TestTable3Shape:
+    def test_biased_fractions_near_paper(self, baseline_results):
+        for dev in compare_table3(baseline_results):
+            if dev.quantity == "pct_bias":
+                assert abs(dev.delta) < 0.10, (dev.benchmark, dev)
+
+    def test_speculation_coverage_near_paper(self, baseline_results):
+        for dev in compare_table3(baseline_results):
+            if dev.quantity == "pct_spec":
+                # vortex has a documented structural ceiling: the
+                # synthetic Zipf tail keeps ~10% of dynamic weight on
+                # cold low-bias branches (EXPERIMENTS.md, Table 3 notes).
+                bound = 0.21 if dev.benchmark == "vortex" else 0.15
+                assert abs(dev.delta) < bound, (dev.benchmark, dev)
+
+    def test_eviction_fractions_small_like_paper(self, baseline_results):
+        """Only a small fraction of branches is ever evicted."""
+        for dev in compare_table3(baseline_results):
+            if dev.quantity == "pct_evict":
+                assert dev.measured < 0.2, (dev.benchmark, dev)
+
+    def test_crafty_evicts_most(self, baseline_results):
+        """crafty has by far the largest eviction traffic in Table 3."""
+        evicted = {name: r.stats.pct_evicted
+                   for name, r in baseline_results.items()}
+        assert evicted["crafty"] == max(evicted.values())
+
+    def test_vortex_has_highest_coverage(self, baseline_results):
+        spec = {name: r.stats.pct_speculated
+                for name, r in baseline_results.items()}
+        assert spec["vortex"] == max(spec.values())
+
+    def test_aggregate_rates_near_paper(self, baseline_results):
+        pooled = aggregate_metrics(baseline_results)
+        assert abs(pooled.correct_rate - 0.448) < 0.07
+        assert pooled.incorrect_rate < 3 * 0.00023
+        assert pooled.incorrect_rate > 0.00023 / 3
+
+    def test_misspec_distance_tens_of_thousands(self, baseline_results):
+        pooled = aggregate_metrics(baseline_results)
+        assert 5_000 < pooled.misspec_distance < 500_000
+
+
+class TestTable4Shape:
+    @pytest.fixture(scope="class")
+    def pooled(self, cache):
+        sweep = run_config_sweep(SENSITIVITY_VARIANTS(), cache=cache)
+        return {name: aggregate_metrics(results)
+                for name, results in sweep.items()}
+
+    def test_no_eviction_blows_up_misspeculation(self, pooled):
+        """Removing the eviction arc costs ~2 orders of magnitude."""
+        ratio = pooled["no eviction"].incorrect_rate \
+            / pooled["baseline"].incorrect_rate
+        assert ratio > 15
+
+    def test_no_revisit_loses_correct_speculation(self, pooled):
+        """The paper: no-revisit keeps only ~80% of the benefit."""
+        ratio = pooled["no revisit"].correct_rate \
+            / pooled["baseline"].correct_rate
+        assert ratio < 0.93
+
+    def test_lower_threshold_is_more_conservative(self, pooled):
+        lower = pooled["lower eviction threshold"]
+        base = pooled["baseline"]
+        assert lower.incorrect_rate <= base.incorrect_rate
+        assert lower.correct_rate <= base.correct_rate * 1.02
+
+    def test_benign_variants_cluster_on_baseline(self, pooled):
+        """Figure 5: everything except the removed arcs is collocated."""
+        base = pooled["baseline"]
+        for name in ("sampling in monitor", "more frequent revisit",
+                     "eviction by sampling"):
+            assert abs(pooled[name].correct_rate
+                       - base.correct_rate) < 0.04, name
+
+    def test_paper_ordering_of_extremes(self, pooled):
+        """no-revisit < baseline correct; no-eviction >= baseline."""
+        assert pooled["no revisit"].correct_rate \
+            < pooled["baseline"].correct_rate
+        assert pooled["no eviction"].correct_rate \
+            >= pooled["baseline"].correct_rate * 0.97
+
+    def test_paper_table4_is_internally_consistent(self):
+        # Sanity on the recorded paper numbers themselves.
+        assert PAPER_TABLE4["no eviction"][1] \
+            > 50 * PAPER_TABLE4["baseline"][1]
+        assert len(PAPER_TABLE3) == 12

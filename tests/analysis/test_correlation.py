@@ -1,0 +1,52 @@
+"""Tests for correlated-change tracking (Figure 9 machinery)."""
+
+import numpy as np
+
+from repro.analysis.correlation import (
+    correlated_change_groups,
+    flipping_tracks,
+)
+from repro.trace.model import BenchmarkModel, Region, StaticBranch
+from repro.trace.patterns import ConstantBias, GlobalPhase, PhaseSchedule
+from repro.trace.stream import generate_trace
+
+
+def correlated_model():
+    """Two branches sharing a phase schedule, plus a stable one."""
+    schedule = PhaseSchedule((40_000,))
+    branches = (
+        StaticBranch(0, GlobalPhase(schedule, 1.0, 0.5)),
+        StaticBranch(1, GlobalPhase(schedule, 0.0, 0.5)),
+        StaticBranch(2, ConstantBias(1.0)),
+    )
+    region = Region(0, branches, body_instructions=24)
+    return BenchmarkModel("corr", "in", (region,))
+
+
+class TestFlippingTracks:
+    def test_finds_flippers_not_stable_branches(self):
+        trace = generate_trace(correlated_model(), 30_000, seed=0)
+        tracks = flipping_tracks(trace, block=200)
+        assert {t.branch for t in tracks} == {0, 1}
+
+    def test_tracks_have_intervals_and_fractions(self):
+        trace = generate_trace(correlated_model(), 30_000, seed=1)
+        for track in flipping_tracks(trace, block=200):
+            assert track.intervals
+            assert 0.0 < track.biased_fraction < 1.0
+
+    def test_short_branches_skipped(self):
+        trace = generate_trace(correlated_model(), 30_000, seed=2)
+        tracks = flipping_tracks(trace, block=200, min_blocks=10**6)
+        assert tracks == []
+
+
+class TestGroups:
+    def test_shared_schedule_grouped(self):
+        trace = generate_trace(correlated_model(), 30_000, seed=3)
+        tracks = flipping_tracks(trace, block=200)
+        groups = correlated_change_groups(tracks, tolerance_frac=0.05)
+        assert any(set(g) == {0, 1} for g in groups)
+
+    def test_empty_tracks(self):
+        assert correlated_change_groups([]) == []

@@ -1,0 +1,85 @@
+"""Tests for working-set phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import (
+    PhaseSignatureDetector,
+    detect_phase_changes,
+    signature_distances,
+)
+from repro.trace.stream import Trace
+
+
+def trace_with_working_set_shift(n=40_000, shift_at=20_000):
+    """First half touches branches 0..9, second half 100..109."""
+    ids = np.empty(n, dtype=np.int32)
+    ids[:shift_at] = np.arange(shift_at) % 10
+    ids[shift_at:] = 100 + (np.arange(n - shift_at) % 10)
+    return Trace("shift", "t", ids, np.ones(n, dtype=bool),
+                 np.arange(1, n + 1, dtype=np.int64) * 8)
+
+
+def stationary_trace(n=40_000):
+    ids = (np.arange(n) % 10).astype(np.int32)
+    return Trace("flat", "t", ids, np.ones(n, dtype=bool),
+                 np.arange(1, n + 1, dtype=np.int64) * 8)
+
+
+class TestDetector:
+    def test_identical_windows_distance_zero(self):
+        det = PhaseSignatureDetector()
+        ids = np.arange(10, dtype=np.int32)
+        assert det.distance(det.signature(ids), det.signature(ids)) == 0.0
+
+    def test_disjoint_windows_distance_one(self):
+        det = PhaseSignatureDetector(bits=4096)
+        a = det.signature(np.arange(10, dtype=np.int32))
+        b = det.signature(np.arange(100, 110, dtype=np.int32))
+        assert det.distance(a, b) > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSignatureDetector(bits=0)
+        with pytest.raises(ValueError):
+            PhaseSignatureDetector(threshold=0.0)
+
+
+class TestDetection:
+    def test_detects_working_set_shift(self):
+        trace = trace_with_working_set_shift()
+        changes = detect_phase_changes(trace, window=5_000)
+        assert len(changes) == 1
+        assert changes[0] == 20_000
+
+    def test_silent_on_stationary_trace(self):
+        changes = detect_phase_changes(stationary_trace(), window=5_000)
+        assert changes == []
+
+    def test_blind_to_outcome_changes(self):
+        """The paper's Section 5 point: a branch flipping direction
+        does not move the working set, so phase detection sees nothing."""
+        n = 40_000
+        ids = (np.arange(n) % 10).astype(np.int32)
+        taken = np.ones(n, dtype=bool)
+        taken[n // 2:] = False  # every branch reverses mid-run
+        trace = Trace("flip", "t", ids, taken,
+                      np.arange(1, n + 1, dtype=np.int64) * 8)
+        assert detect_phase_changes(trace, window=5_000) == []
+
+    def test_signature_distances_shape(self):
+        d = signature_distances(stationary_trace(), window=5_000)
+        assert len(d) == 7
+        assert np.all(d < 0.2)
+
+
+class TestPhaseFlush:
+    def test_phase_flush_splits_at_shift(self):
+        from repro.core.config import scaled_config
+        from repro.sim.flush import run_with_phase_flush
+
+        trace = trace_with_working_set_shift()
+        result = run_with_phase_flush(trace, scaled_config(),
+                                      window=5_000)
+        assert result.n_flushes == 1
+        assert result.flush_period == 0

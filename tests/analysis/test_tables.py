@@ -1,0 +1,55 @@
+"""Tests for text rendering helpers."""
+
+import pytest
+
+from repro.analysis.tables import (
+    ascii_tracks,
+    format_count,
+    format_rate,
+    render_kv,
+    render_table,
+)
+
+
+class TestFormatters:
+    def test_format_rate(self):
+        assert format_rate(0.4481, 1) == "44.8%"
+        assert format_rate(float("inf")) == "inf"
+        assert format_rate(float("nan")) == "n/a"
+
+    def test_format_count(self):
+        assert format_count(65_000) == "65,000"
+        assert format_count(float("inf")) == "inf"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(("a", "bb"), [(1, 2), (30, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [(1,)])
+
+
+class TestRenderKv:
+    def test_aligned_keys(self):
+        text = render_kv([("short", 1), ("much longer key", 2)])
+        lines = text.splitlines()
+        assert lines[0].index("1") == lines[1].index("2")
+
+
+class TestAsciiTracks:
+    def test_intervals_rendered_as_hashes(self):
+        text = ascii_tracks([("b0", [(0, 500)]), ("b1", [(500, 1000)])],
+                            total=1000, width=10)
+        top, bottom = text.splitlines()
+        assert "#####....." in top
+        assert ".....#####" in bottom
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(ValueError):
+            ascii_tracks([], total=0)

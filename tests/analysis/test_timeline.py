@@ -1,0 +1,59 @@
+"""Tests for bias timelines and biased intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import bias_timeline, biased_intervals
+from repro.trace.synthetic import single_branch_trace
+
+
+class TestBiasTimeline:
+    def test_blockwise_taken_fraction(self):
+        trace = single_branch_trace([True] * 100 + [False] * 100)
+        timeline = bias_timeline(trace, 0, block=50)
+        assert list(timeline.taken_fraction) == [1.0, 1.0, 0.0, 0.0]
+
+    def test_bias_relative_to_overall_majority(self):
+        # Overall majority: taken (150 vs 50).
+        trace = single_branch_trace([True] * 150 + [False] * 50)
+        timeline = bias_timeline(trace, 0, block=50)
+        assert list(timeline.bias) == [1.0, 1.0, 1.0, 0.0]
+
+    def test_partial_block_dropped(self):
+        trace = single_branch_trace([True] * 130)
+        timeline = bias_timeline(trace, 0, block=50)
+        assert len(timeline) == 2
+
+    def test_requires_full_block(self):
+        trace = single_branch_trace([True] * 10)
+        with pytest.raises(ValueError):
+            bias_timeline(trace, 0, block=50)
+
+    def test_instr_stamps_track_block_starts(self):
+        trace = single_branch_trace([True] * 100, instr_stride=4)
+        timeline = bias_timeline(trace, 0, block=50)
+        assert list(timeline.instr) == [4, 204]
+
+
+class TestBiasedIntervals:
+    def test_single_interval(self):
+        trace = single_branch_trace([True] * 100 + [True, False] * 50)
+        timeline = bias_timeline(trace, 0, block=50)
+        intervals = biased_intervals(timeline, threshold=0.99)
+        assert len(intervals) == 1
+        start, end = intervals[0]
+        assert start < end
+
+    def test_direction_agnostic_characterization(self):
+        # Reverses perfectly: every block is biased (one way or other).
+        trace = single_branch_trace([True] * 100 + [False] * 100)
+        timeline = bias_timeline(trace, 0, block=50)
+        intervals = biased_intervals(timeline, threshold=0.99)
+        assert len(intervals) == 1  # one continuous biased period
+
+    def test_alternating_intervals(self):
+        seq = ([True] * 50 + [True, False] * 25) * 2
+        trace = single_branch_trace(seq)
+        timeline = bias_timeline(trace, 0, block=50)
+        intervals = biased_intervals(timeline, threshold=0.99)
+        assert len(intervals) == 2

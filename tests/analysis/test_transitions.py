@@ -1,0 +1,58 @@
+"""Tests for eviction-vicinity analysis (Figure 6 machinery)."""
+
+import numpy as np
+
+from repro.analysis.transitions import (
+    eviction_vicinities,
+    vicinity_distribution,
+)
+from repro.core.config import ControllerConfig
+from repro.sim.vector import run_vector
+from repro.trace.synthetic import single_branch_trace
+
+
+def config():
+    return ControllerConfig(
+        monitor_period=4, selection_threshold=0.75,
+        evict_counter_max=100, revisit_period=6,
+        oscillation_limit=3, optimization_latency=0)
+
+
+class TestEvictionVicinities:
+    def test_full_reversal_measured_near_one(self):
+        trace = single_branch_trace([True] * 50 + [False] * 100)
+        result = run_vector(trace, config())
+        vicinities = eviction_vicinities(result, trace, window=64)
+        assert len(vicinities) == 1
+        assert vicinities[0].misprediction_rate >= 0.95
+        assert vicinities[0].reversed
+
+    def test_softening_measured_fractionally(self):
+        rng = np.random.default_rng(0)
+        tail = list(rng.random(200) > 0.4)  # ~60% taken after change
+        trace = single_branch_trace([True] * 50 + tail)
+        result = run_vector(trace, config())
+        vicinities = eviction_vicinities(result, trace, window=64)
+        assert len(vicinities) >= 1
+        assert vicinities[0].misprediction_rate < 0.7
+        assert vicinities[0].softened == \
+            (vicinities[0].misprediction_rate < 0.5)
+
+    def test_no_evictions_no_vicinities(self):
+        trace = single_branch_trace([True] * 100)
+        result = run_vector(trace, config())
+        assert eviction_vicinities(result, trace) == []
+
+
+class TestDistribution:
+    def test_histogram_fractions_sum_to_one(self):
+        trace = single_branch_trace([True] * 50 + [False] * 100)
+        result = run_vector(trace, config())
+        vicinities = eviction_vicinities(result, trace)
+        edges, fractions = vicinity_distribution(vicinities)
+        assert len(edges) == len(fractions) + 1
+        assert fractions.sum() == 1.0
+
+    def test_empty_distribution(self):
+        edges, fractions = vicinity_distribution([])
+        assert fractions.sum() == 0.0

@@ -1,0 +1,94 @@
+"""Tests for workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workload import bias_histogram, characterize
+from repro.trace.patterns import ConstantBias
+from repro.trace.synthetic import round_robin_trace, trace_from_outcomes
+
+
+class TestCharacterize:
+    def test_counts(self):
+        trace = trace_from_outcomes({0: [True] * 60, 1: [False] * 40})
+        stats = characterize(trace)
+        assert stats.events == 100
+        assert stats.touched == 2
+        assert stats.taken_rate == pytest.approx(0.6)
+        assert stats.max_execs == 60
+
+    def test_bias_shares(self):
+        trace = trace_from_outcomes({
+            0: [True] * 100,           # biased
+            1: [True, False] * 50,     # unbiased
+        })
+        stats = characterize(trace)
+        assert stats.pct_biased_99 == pytest.approx(0.5)
+        assert stats.dyn_biased_99 == pytest.approx(0.5)
+
+    def test_summary_renders(self):
+        trace = trace_from_outcomes({0: [True] * 10})
+        assert "taken rate" in characterize(trace).summary()
+
+
+class TestBiasHistogram:
+    def test_shares_sum_to_one(self):
+        trace = round_robin_trace(
+            [ConstantBias(1.0), ConstantBias(0.7), ConstantBias(0.55)],
+            length=3000, seed=0)
+        edges, shares = bias_histogram(trace)
+        assert shares.sum() == pytest.approx(1.0)
+        assert len(edges) == len(shares) + 1
+
+    def test_event_weighted(self):
+        trace = trace_from_outcomes({
+            0: [True] * 900,            # bias 1.0, 90% of events
+            1: [True, False] * 50,      # bias 0.5, 10% of events
+        })
+        _edges, shares = bias_histogram(trace, bins=5)
+        assert shares[-1] == pytest.approx(0.9)
+        assert shares[0] == pytest.approx(0.1)
+
+
+class TestTraceCli:
+    def test_list(self, capsys):
+        from repro.trace.cli import main
+
+        assert main(["list"]) == 0
+        assert "gzip" in capsys.readouterr().out
+
+    def test_info_benchmark(self, capsys):
+        from repro.trace.cli import main
+
+        assert main(["info", "eon", "--length", "30000"]) == 0
+        assert "static branches" in capsys.readouterr().out
+
+    def test_gen_and_info_file(self, tmp_path, capsys):
+        from repro.trace.cli import main
+
+        path = tmp_path / "t.npz"
+        assert main(["gen", "eon", "-o", str(path),
+                     "--length", "20000"]) == 0
+        assert path.exists()
+        assert main(["info", str(path)]) == 0
+        assert "20,000" in capsys.readouterr().out
+
+    def test_bias_histogram_command(self, capsys):
+        from repro.trace.cli import main
+
+        assert main(["bias", "eon", "--length", "30000"]) == 0
+        assert "%" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(["report", "-o", str(out), "--quick",
+                     "--benchmarks", "gzip,mcf"])
+        assert code == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "## fig5" in text
+        assert "## tab3" in text

@@ -1,0 +1,51 @@
+"""Tests for the memory-dependence behavior substrate."""
+
+import numpy as np
+import pytest
+
+from repro.behaviors.memdep import (
+    DependencePair,
+    alias_stream,
+    memory_dependence_trace,
+)
+
+
+class TestAliasStream:
+    def test_disjoint_pair_never_aliases(self):
+        held = alias_stream(DependencePair("d", spread=10**9), 2000)
+        assert held.all()
+
+    def test_alias_rate_tracks_spread(self):
+        held = alias_stream(DependencePair("h", spread=4), 20_000, seed=1)
+        assert (1 - held.mean()) == pytest.approx(0.25, abs=0.02)
+
+    def test_phases_switch_alias_rate(self):
+        pair = DependencePair("p", spread=10**9, phase_len=1000,
+                              phase_spread=2)
+        held = alias_stream(pair, 2000, seed=2)
+        assert held[:1000].all()
+        assert (1 - held[1000:].mean()) == pytest.approx(0.5, abs=0.06)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"spread": 0},
+        {"spread": 5, "phase_len": 10},           # phase_spread missing
+        {"spread": 5, "phase_len": 0, "phase_spread": 2},
+        {"spread": 5, "phase_len": 10, "phase_spread": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DependencePair("x", **kwargs)
+
+
+class TestTrace:
+    def test_builds_valid_trace(self):
+        trace = memory_dependence_trace(
+            [DependencePair("a", spread=100),
+             DependencePair("b", spread=2)], execs_per_pair=500)
+        trace.validate()
+        assert len(trace) == 1000
+        assert trace.n_touched == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            memory_dependence_trace([], 100)

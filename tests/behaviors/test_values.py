@@ -1,0 +1,81 @@
+"""Tests for the load-value-invariance behavior substrate."""
+
+import numpy as np
+import pytest
+
+from repro.behaviors.values import (
+    ConstantValue,
+    PhaseValue,
+    RegimeChangeValue,
+    SmallSetValue,
+    StrideValue,
+    invariance_stream,
+    value_invariance_trace,
+    value_stream,
+)
+
+
+class TestGenerators:
+    def test_constant_value_fully_invariant(self):
+        values = value_stream(ConstantValue(32), 100)
+        held = invariance_stream(values)
+        assert not held[0]
+        assert held[1:].all()
+
+    def test_stride_never_invariant(self):
+        held = invariance_stream(value_stream(StrideValue(), 100))
+        assert not held.any()
+
+    def test_phase_value_changes_at_boundaries(self):
+        values = value_stream(PhaseValue(phase_len=10), 50, seed=1)
+        held = invariance_stream(values)
+        # Misses only at phase starts (and execution 0).
+        expected_misses = {0, 10, 20, 30, 40}
+        assert set(np.flatnonzero(~held)) <= expected_misses
+        # Adjacent phases get different values (overwhelmingly likely).
+        assert len(np.unique(values)) > 1
+
+    def test_small_set_dominant_mostly_invariant(self):
+        values = value_stream(SmallSetValue(dominant_p=0.99), 5000, seed=2)
+        held = invariance_stream(values)
+        assert held.mean() > 0.95
+
+    def test_regime_change_goes_variant(self):
+        values = value_stream(RegimeChangeValue(stable_len=100), 300, seed=3)
+        held = invariance_stream(values)
+        assert held[1:100].all()
+        assert held[101:].mean() < 0.6
+
+    @pytest.mark.parametrize("bad", [
+        lambda: PhaseValue(phase_len=0),
+        lambda: SmallSetValue(dominant_p=1.5),
+        lambda: SmallSetValue(set_size=1),
+        lambda: RegimeChangeValue(stable_len=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            bad()
+
+
+class TestTrace:
+    def test_builds_valid_trace(self):
+        trace = value_invariance_trace(
+            [ConstantValue(), StrideValue()], execs_per_load=500)
+        trace.validate()
+        assert len(trace) == 1000
+        assert trace.n_touched == 2
+
+    def test_per_unit_order_preserved(self):
+        trace = value_invariance_trace(
+            [RegimeChangeValue(stable_len=200)], execs_per_load=400)
+        held = trace.taken[trace.groups().indices_of(0)]
+        assert held[1:200].all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            value_invariance_trace([], 100)
+
+    def test_deterministic(self):
+        a = value_invariance_trace([SmallSetValue()], 300, seed=5)
+        b = value_invariance_trace([SmallSetValue()], 300, seed=5)
+        assert np.array_equal(a.taken, b.taken)

@@ -1,0 +1,108 @@
+"""Unit tests for controller configuration and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    SENSITIVITY_VARIANTS,
+    ControllerConfig,
+    paper_config,
+    scaled_config,
+)
+
+
+class TestPresets:
+    def test_paper_config_matches_table2(self):
+        cfg = paper_config()
+        assert cfg.monitor_period == 10_000
+        assert cfg.selection_threshold == 0.995
+        assert cfg.evict_counter_max == 10_000
+        assert cfg.misspec_increment == 50
+        assert cfg.correct_decrement == 1
+        assert cfg.revisit_period == 1_000_000
+        assert cfg.oscillation_limit == 5
+        assert cfg.optimization_latency == 1_000_000
+
+    def test_paper_min_evictions_is_200(self):
+        assert paper_config().min_evictions_to_trigger == 200
+
+    def test_scaled_preserves_threshold_and_oscillation(self):
+        scaled = scaled_config()
+        paper = paper_config()
+        assert scaled.selection_threshold == paper.selection_threshold
+        assert scaled.oscillation_limit == paper.oscillation_limit
+        assert scaled.monitor_period < paper.monitor_period
+        assert scaled.revisit_period < paper.revisit_period
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            paper_config().monitor_period = 5
+
+
+class TestVariants:
+    def test_without_eviction(self):
+        cfg = scaled_config().without_eviction()
+        assert not cfg.eviction_enabled
+        assert cfg.revisit_enabled
+
+    def test_without_revisit(self):
+        cfg = scaled_config().without_revisit()
+        assert cfg.revisit_enabled is False
+        assert cfg.eviction_enabled
+
+    def test_decide_once_removes_both_arcs(self):
+        cfg = scaled_config().decide_once(monitor_period=100)
+        assert not cfg.eviction_enabled
+        assert not cfg.revisit_enabled
+        assert cfg.monitor_period == 100
+
+    def test_derived_configs_do_not_mutate_base(self):
+        base = scaled_config()
+        base.without_eviction()
+        base.with_monitor_sampling(8)
+        assert base.eviction_enabled
+        assert base.monitor_sample_stride == 1
+
+    def test_sensitivity_variants_cover_table4(self):
+        variants = SENSITIVITY_VARIANTS()
+        assert set(variants) == {
+            "no revisit", "lower eviction threshold",
+            "eviction by sampling", "baseline", "sampling in monitor",
+            "more frequent revisit", "no eviction",
+        }
+
+    def test_paper_scale_lower_threshold_is_1000(self):
+        variants = SENSITIVITY_VARIANTS(paper_config())
+        lower = variants["lower eviction threshold"]
+        assert lower.evict_counter_max == 1_000
+
+    def test_variant_flags(self):
+        variants = SENSITIVITY_VARIANTS()
+        assert not variants["no eviction"].eviction_enabled
+        assert not variants["no revisit"].revisit_enabled
+        assert variants["eviction by sampling"].evict_by_sampling
+        assert variants["sampling in monitor"].monitor_sample_stride == 8
+        base = variants["baseline"]
+        assert variants["more frequent revisit"].revisit_period \
+            == base.revisit_period // 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"monitor_period": 0},
+        {"selection_threshold": 0.5},
+        {"selection_threshold": 1.1},
+        {"evict_counter_max": 0},
+        {"misspec_increment": 0},
+        {"correct_decrement": -1},
+        {"revisit_period": 0},
+        {"oscillation_limit": 0},
+        {"optimization_latency": -1},
+        {"monitor_sample_stride": 0},
+        {"evict_sample_len": 200, "evict_sample_period": 100},
+        {"evict_bias_threshold": 0.4},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ControllerConfig(**kwargs)

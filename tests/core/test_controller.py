@@ -1,0 +1,265 @@
+"""Behavioral tests of the reactive branch controller.
+
+Each test drives a single controller (or a bank) with a hand-written
+outcome sequence and checks the FSM against the paper's model:
+monitor -> biased/unbiased, eviction with hysteresis, periodic revisit,
+oscillation limiting, and optimization-latency accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.controller import ControllerBank, ReactiveBranchController
+from repro.core.states import BranchState, TransitionKind
+
+
+def drive(ctrl: ReactiveBranchController, outcomes, start_instr: int = 0,
+          stride: int = 10):
+    """Feed outcomes with evenly spaced instruction stamps; returns the
+    per-execution speculation outcomes."""
+    results = []
+    for i, taken in enumerate(outcomes):
+        results.append(ctrl.observe(bool(taken),
+                                    start_instr + (i + 1) * stride))
+    return results
+
+
+def kinds(ctrl: ReactiveBranchController):
+    return [t.kind for t in ctrl.transitions]
+
+
+class TestMonitor:
+    def test_stays_in_monitor_below_period(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        drive(ctrl, [True] * 3)
+        assert ctrl.state is BranchState.MONITOR
+        assert not ctrl.transitions
+
+    def test_selects_biased_taken_branch(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        drive(ctrl, [True] * 4)
+        assert ctrl.state is BranchState.BIASED
+        assert kinds(ctrl) == [TransitionKind.SELECT]
+
+    def test_selects_biased_not_taken_branch(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        drive(ctrl, [False] * 4 + [False] * 4)
+        # Speculation counts after selection, in the not-taken direction.
+        assert ctrl.correct == 4
+        assert ctrl.incorrect == 0
+
+    def test_rejects_unbiased_branch(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        drive(ctrl, [True, False, True, False])
+        assert ctrl.state is BranchState.UNBIASED
+        assert kinds(ctrl) == [TransitionKind.REJECT]
+
+    def test_threshold_is_inclusive(self, tiny_config):
+        # 3/4 == 0.75 == threshold: selected.
+        ctrl = ReactiveBranchController(tiny_config)
+        drive(ctrl, [True, True, True, False])
+        assert ctrl.state is BranchState.BIASED
+
+    def test_monitor_does_not_speculate(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        results = drive(ctrl, [True] * 4)
+        assert all(not r.speculated for r in results)
+
+    def test_monitor_sampling_stride_uses_every_kth(self, tiny_config):
+        cfg = tiny_config.with_monitor_sampling(2)
+        ctrl = ReactiveBranchController(cfg)
+        # Sampled offsets 0 and 2 are True; offsets 1,3 (False) ignored.
+        drive(ctrl, [True, False, True, False])
+        assert ctrl.state is BranchState.BIASED
+
+
+class TestSpeculationCounting:
+    def test_counts_after_selection(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        results = drive(ctrl, [True] * 4 + [True, True, False])
+        speculated = [r for r in results if r.speculated]
+        assert len(speculated) == 3
+        assert ctrl.correct == 2
+        assert ctrl.incorrect == 1
+
+    def test_latency_delays_activation(self):
+        cfg = ControllerConfig(
+            monitor_period=4, selection_threshold=0.75,
+            evict_counter_max=100, revisit_period=6,
+            optimization_latency=35)
+        ctrl = ReactiveBranchController(cfg)
+        # Selection at instr 40; lands at 75, i.e. the 8th execution.
+        results = drive(ctrl, [True] * 10)
+        assert [r.speculated for r in results] == \
+            [False] * 7 + [True] * 3
+
+    def test_zero_latency_activates_next_execution(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        results = drive(ctrl, [True] * 5)
+        assert [r.speculated for r in results] == [False] * 4 + [True]
+
+
+class TestEviction:
+    def test_evicts_after_reversal(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        # Select on 4 Trues, then flip: 2 misspecs saturate 2*50 >= 100.
+        drive(ctrl, [True] * 4 + [False] * 2)
+        assert ctrl.state is BranchState.MONITOR
+        assert ctrl.evictions == 1
+        assert kinds(ctrl) == [TransitionKind.SELECT, TransitionKind.EVICT]
+
+    def test_hysteresis_tolerates_sparse_misspeculations(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        # One misspec per 60 correct: counter decays back to 0 between
+        # misspecs (50 up, 60 down) - never evicted.
+        pattern = [True] * 4 + ([False] + [True] * 60) * 5
+        drive(ctrl, pattern)
+        assert ctrl.evictions == 0
+        assert ctrl.state is BranchState.BIASED
+
+    def test_no_eviction_variant_never_evicts(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config.without_eviction())
+        drive(ctrl, [True] * 4 + [False] * 50)
+        assert ctrl.state is BranchState.BIASED
+        assert ctrl.evictions == 0
+        assert ctrl.incorrect == 50
+
+    def test_counting_continues_during_eviction_latency(self):
+        cfg = ControllerConfig(
+            monitor_period=4, selection_threshold=0.75,
+            evict_counter_max=100, revisit_period=100,
+            optimization_latency=45)
+        ctrl = ReactiveBranchController(cfg)
+        # Select at instr 40, active at instr >= 85 (exec 9).
+        # Flip at exec 9: misspecs at 9,10 -> evict at instr 100;
+        # repaired code lands at 145 -> execs 11..14 still speculate.
+        outcomes = [True] * 8 + [False] * 10
+        results = drive(ctrl, outcomes)
+        speculated = [i for i, r in enumerate(results) if r.speculated]
+        assert speculated == [8, 9, 10, 11, 12, 13]
+        assert ctrl.evictions == 1
+        # All speculated executions after the flip were misspeculations.
+        assert ctrl.incorrect == 6
+
+    def test_eviction_by_sampling(self):
+        cfg = ControllerConfig(
+            monitor_period=4, selection_threshold=0.75,
+            evict_counter_max=10**9,  # continuous counter cannot fire
+            revisit_period=100, optimization_latency=0,
+            evict_by_sampling=True, evict_sample_period=8,
+            evict_sample_len=4, evict_bias_threshold=0.9)
+        ctrl = ReactiveBranchController(cfg)
+        # After selection, first window samples 4 executions: 2 wrong ->
+        # window bias 0.5 < 0.9 -> evicted at the window end.
+        drive(ctrl, [True] * 4 + [True, False, False, True])
+        assert ctrl.evictions == 1
+
+    def test_eviction_by_sampling_ignores_between_window_misbehavior(self):
+        cfg = ControllerConfig(
+            monitor_period=4, selection_threshold=0.75,
+            evict_counter_max=10**9, revisit_period=100,
+            optimization_latency=0,
+            evict_by_sampling=True, evict_sample_period=8,
+            evict_sample_len=2, evict_bias_threshold=0.9)
+        ctrl = ReactiveBranchController(cfg)
+        # Windows sample positions 0-1 of each 8; misbehavior parked at
+        # positions 2..7 is invisible to the sampler.
+        episode = ([True, True] + [False] * 6) * 4
+        drive(ctrl, [True] * 4 + episode)
+        assert ctrl.evictions == 0
+        assert ctrl.state is BranchState.BIASED
+
+
+class TestRevisitAndOscillation:
+    def test_revisit_returns_to_monitor(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        # Unbiased 4 -> UNBIASED; 6 more executions -> revisit.
+        drive(ctrl, [True, False] * 2 + [True, False] * 3)
+        assert ctrl.state is BranchState.MONITOR
+        assert kinds(ctrl) == [TransitionKind.REJECT,
+                               TransitionKind.REVISIT]
+
+    def test_no_revisit_variant_stays_unbiased(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config.without_revisit())
+        drive(ctrl, [True, False] * 20)
+        assert ctrl.state is BranchState.UNBIASED
+        assert kinds(ctrl) == [TransitionKind.REJECT]
+
+    def test_revisited_branch_can_be_selected(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        # Unbiased during first monitor + wait, then perfectly biased.
+        drive(ctrl, [True, False] * 5 + [True] * 4)
+        assert ctrl.state is BranchState.BIASED
+
+    def test_oscillation_limit_disables_branch(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        # Each cycle: 4 Trues select, 2 Falses evict. Limit is 3 entries;
+        # the 4th qualifying monitor disables the branch.
+        drive(ctrl, ([True] * 4 + [False] * 2) * 3 + [True] * 4)
+        assert ctrl.state is BranchState.DISABLED
+        assert ctrl.bias_entries == 3
+        assert kinds(ctrl).count(TransitionKind.SELECT) == 3
+        assert kinds(ctrl)[-1] is TransitionKind.DISABLE
+
+    def test_disabled_branch_never_speculates_again(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        drive(ctrl, ([True] * 4 + [False] * 2) * 3 + [True] * 4)
+        before = ctrl.correct + ctrl.incorrect
+        results = drive(ctrl, [True] * 50, start_instr=10_000)
+        assert all(not r.speculated for r in results)
+        assert ctrl.correct + ctrl.incorrect == before
+
+
+class TestDeploymentQueries:
+    def test_speculating_at_respects_pending(self):
+        cfg = ControllerConfig(
+            monitor_period=4, selection_threshold=0.75,
+            evict_counter_max=100, revisit_period=6,
+            optimization_latency=100)
+        ctrl = ReactiveBranchController(cfg)
+        drive(ctrl, [True] * 4)  # select at instr 40, lands at 140
+        assert not ctrl.deployed
+        assert not ctrl.speculating_at(139)
+        assert ctrl.speculating_at(140)
+
+    def test_bank_creates_controllers_lazily(self, tiny_config):
+        bank = ControllerBank(tiny_config)
+        assert len(bank) == 0
+        bank.observe(7, True, 10)
+        assert len(bank) == 1
+        assert 7 in bank
+        assert 8 not in bank
+
+    def test_bank_tracks_branches_independently(self, tiny_config):
+        bank = ControllerBank(tiny_config)
+        for i in range(8):
+            bank.observe(1, True, 10 * i + 1)
+            bank.observe(2, i % 2 == 0, 10 * i + 2)
+        assert bank.controller(1).state is BranchState.BIASED
+        assert bank.controller(2).state is BranchState.UNBIASED
+
+    def test_speculated_branches_query(self, tiny_config):
+        bank = ControllerBank(tiny_config)
+        for i in range(5):
+            bank.observe(1, True, 10 * (i + 1))
+        assert bank.speculated_branches(1_000) == {1}
+
+
+class TestStatsAccessors:
+    def test_ever_biased_and_evicted(self, tiny_config):
+        ctrl = ReactiveBranchController(tiny_config)
+        assert not ctrl.ever_biased
+        drive(ctrl, [True] * 4 + [False] * 2)
+        assert ctrl.ever_biased
+        assert ctrl.ever_evicted
+
+    @pytest.mark.parametrize("outcomes,expected_execs", [
+        ([True] * 3, 3),
+        ([True] * 10, 10),
+    ])
+    def test_exec_count(self, tiny_config, outcomes, expected_execs):
+        ctrl = ReactiveBranchController(tiny_config)
+        drive(ctrl, outcomes)
+        assert ctrl.exec_count == expected_execs

@@ -1,0 +1,93 @@
+"""Unit tests for the saturating counter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.counters import SaturatingCounter
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        counter = SaturatingCounter(maximum=10)
+        assert counter.value == 0
+        assert not counter.saturated
+
+    def test_up_and_down_steps(self):
+        counter = SaturatingCounter(maximum=100, up_step=50, down_step=1)
+        assert counter.up() == 50
+        assert counter.down() == 49
+        assert counter.down() == 48
+
+    def test_saturates_at_maximum(self):
+        counter = SaturatingCounter(maximum=100, up_step=50)
+        counter.up()
+        counter.up()
+        counter.up()
+        assert counter.value == 100
+        assert counter.saturated
+
+    def test_floors_at_zero(self):
+        counter = SaturatingCounter(maximum=10, down_step=3)
+        counter.down()
+        assert counter.value == 0
+
+    def test_reset(self):
+        counter = SaturatingCounter(maximum=10, up_step=5)
+        counter.up()
+        counter.reset()
+        assert counter.value == 0
+
+    def test_paper_eviction_needs_200_misspeculations(self):
+        """Table 2: +50/-1 with a 10,000 ceiling requires at least 200
+        misspeculations before an eviction can fire."""
+        counter = SaturatingCounter(maximum=10_000, up_step=50, down_step=1)
+        for _ in range(199):
+            counter.up()
+        assert not counter.saturated
+        counter.up()
+        assert counter.saturated
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"maximum": 0},
+        {"maximum": -5},
+        {"maximum": 10, "up_step": 0},
+        {"maximum": 10, "down_step": -1},
+        {"maximum": 10, "value": 11},
+        {"maximum": 10, "value": -1},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SaturatingCounter(**kwargs)
+
+
+class TestProperties:
+    @given(
+        maximum=st.integers(1, 1000),
+        up=st.integers(1, 100),
+        down=st.integers(1, 100),
+        moves=st.lists(st.booleans(), max_size=300),
+    )
+    def test_value_always_within_bounds(self, maximum, up, down, moves):
+        counter = SaturatingCounter(maximum=maximum, up_step=up,
+                                    down_step=down)
+        for move in moves:
+            if move:
+                counter.up()
+            else:
+                counter.down()
+            assert 0 <= counter.value <= maximum
+
+    @given(moves=st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_matches_naive_model(self, moves):
+        counter = SaturatingCounter(maximum=100, up_step=50, down_step=1)
+        model = 0
+        for move in moves:
+            if move:
+                model = min(100, model + 50)
+                counter.up()
+            else:
+                model = max(0, model - 1)
+                counter.down()
+            assert counter.value == model

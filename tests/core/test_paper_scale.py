@@ -1,0 +1,54 @@
+"""Paper-scale parameter sanity: Table 2 values must work verbatim.
+
+The scaled config drives the experiments, but ``paper_config()`` is a
+first-class citizen — someone with paper-scale traces should be able to
+use it directly.  These tests exercise the exact Table 2 parameters on
+appropriately long single-branch histories.
+"""
+
+import numpy as np
+
+from repro.core.config import paper_config
+from repro.sim.vector import simulate_branch
+from repro.core.states import BranchState, TransitionKind
+
+
+def run_paper(outcomes):
+    taken = np.asarray(outcomes, dtype=bool)
+    instr = np.arange(1, len(taken) + 1, dtype=np.int64) * 50
+    return simulate_branch(0, taken, instr, paper_config())
+
+
+class TestPaperScale:
+    def test_selection_after_ten_thousand(self):
+        summary = run_paper([True] * 30_000)
+        selects = [t for t in summary.transitions
+                   if t.kind is TransitionKind.SELECT]
+        assert len(selects) == 1
+        assert selects[0].exec_index == 9_999
+
+    def test_eviction_needs_two_hundred_misspecs(self):
+        # Select on 10k Trues, then flip: 200 * 50 saturates 10,000.
+        summary = run_paper([True] * 30_000 + [False] * 1_000)
+        assert summary.evictions == 1
+        evict = [t for t in summary.transitions
+                 if t.kind is TransitionKind.EVICT][0]
+        # Activation lands 1M instructions (20k execs at stride 50)
+        # after selection; 200 misspecs later the counter saturates.
+        assert evict.exec_index == 30_000 + 200 - 1
+
+    def test_one_percent_misbehavior_tolerated(self):
+        """At paper scale a 1% misspeculation rate decays the counter
+        (+50 per misspec vs -99 correct in between): never evicted."""
+        rng = np.random.default_rng(0)
+        post = rng.random(100_000) > 0.01
+        summary = run_paper([True] * 30_000 + list(post))
+        assert summary.evictions == 0
+        assert summary.final_state is BranchState.BIASED
+
+    def test_revisit_after_a_million(self):
+        summary = run_paper([True, False] * 600_000)
+        revisits = [t for t in summary.transitions
+                    if t.kind is TransitionKind.REVISIT]
+        assert revisits
+        assert revisits[0].exec_index == 10_000 + 1_000_000 - 1

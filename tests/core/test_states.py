@@ -1,0 +1,35 @@
+"""Unit tests for FSM state vocabulary."""
+
+from repro.core.states import BranchState, Transition, TransitionKind
+
+
+class TestTransitionKind:
+    def test_reoptimization_transitions(self):
+        assert TransitionKind.SELECT.requires_reoptimization
+        assert TransitionKind.EVICT.requires_reoptimization
+
+    def test_bookkeeping_transitions(self):
+        assert not TransitionKind.REJECT.requires_reoptimization
+        assert not TransitionKind.REVISIT.requires_reoptimization
+        assert not TransitionKind.DISABLE.requires_reoptimization
+
+
+class TestTransition:
+    def test_is_frozen_value_object(self):
+        a = Transition(1, TransitionKind.SELECT, 10, 100)
+        b = Transition(1, TransitionKind.SELECT, 10, 100)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_fields(self):
+        t = Transition(3, TransitionKind.EVICT, 42, 999)
+        assert t.branch == 3
+        assert t.kind is TransitionKind.EVICT
+        assert t.exec_index == 42
+        assert t.instr == 999
+
+
+class TestBranchState:
+    def test_four_states(self):
+        assert {s.value for s in BranchState} == {
+            "monitor", "biased", "unbiased", "disabled"}

@@ -1,0 +1,74 @@
+"""Unit tests for transition-statistics aggregation (Table 3 rows)."""
+
+import pytest
+
+from repro.core.states import BranchState, Transition, TransitionKind
+from repro.core.stats import TransitionStats, collect_transition_stats
+from repro.sim.summary import BranchSummary
+
+
+def summary(branch, execs, correct=0, incorrect=0, entries=0, evictions=0,
+            transitions=()):
+    return BranchSummary(
+        branch=branch, exec_count=execs, correct=correct,
+        incorrect=incorrect, bias_entries=entries, evictions=evictions,
+        final_state=BranchState.MONITOR, transitions=tuple(transitions))
+
+
+class TestCollect:
+    def test_counts_touched_and_biased(self):
+        stats = collect_transition_stats([
+            summary(0, 100, correct=50, entries=1,
+                    transitions=[Transition(0, TransitionKind.SELECT, 9, 90)]),
+            summary(1, 200),
+        ], instructions=1_000)
+        assert stats.touched == 2
+        assert stats.entered_biased == 1
+        assert stats.dynamic_branches == 300
+        assert stats.correct == 50
+
+    def test_counts_evictions_and_reoptimizations(self):
+        transitions = [
+            Transition(0, TransitionKind.SELECT, 9, 90),
+            Transition(0, TransitionKind.EVICT, 20, 200),
+            Transition(0, TransitionKind.SELECT, 30, 300),
+            Transition(0, TransitionKind.EVICT, 40, 400),
+        ]
+        stats = collect_transition_stats([
+            summary(0, 100, entries=2, evictions=2,
+                    transitions=transitions),
+        ], instructions=500)
+        assert stats.evicted == 1
+        assert stats.total_evictions == 2
+        assert stats.reoptimizations == 4
+
+    def test_counts_disabled(self):
+        stats = collect_transition_stats([
+            summary(0, 100, entries=3, transitions=[
+                Transition(0, TransitionKind.DISABLE, 99, 990)]),
+        ], instructions=100)
+        assert stats.disabled == 1
+
+
+class TestDerived:
+    def test_fractions(self):
+        stats = TransitionStats(
+            touched=100, entered_biased=34, evicted=2, total_evictions=3,
+            reoptimizations=37, disabled=0, dynamic_branches=10_000,
+            correct=4_000, incorrect=10, instructions=80_000)
+        assert stats.pct_biased == pytest.approx(0.34)
+        assert stats.pct_evicted == pytest.approx(0.02)
+        assert stats.evictions_per_evicted == pytest.approx(1.5)
+        assert stats.pct_speculated == pytest.approx(0.401)
+        assert stats.misspec_distance == pytest.approx(8_000)
+
+    def test_zero_denominators(self):
+        stats = TransitionStats(
+            touched=0, entered_biased=0, evicted=0, total_evictions=0,
+            reoptimizations=0, disabled=0, dynamic_branches=0,
+            correct=0, incorrect=0, instructions=0)
+        assert stats.pct_biased == 0.0
+        assert stats.pct_evicted == 0.0
+        assert stats.evictions_per_evicted == 0.0
+        assert stats.pct_speculated == 0.0
+        assert stats.misspec_distance == float("inf")

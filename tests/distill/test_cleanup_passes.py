@@ -1,0 +1,156 @@
+"""Tests for copy propagation and common-subexpression elimination,
+including semantic-preservation fuzzing of the full pass pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distill.isa import (
+    Imm,
+    Opcode,
+    Reg,
+    addq,
+    bne,
+    ldq,
+    li,
+    mov,
+    subq,
+    xor,
+)
+from repro.distill.region import CodeRegion, MachineState, run_region
+from repro.distill.transforms import (
+    common_subexpression_eliminate,
+    copy_propagate,
+    dead_code_eliminate,
+)
+
+
+class TestCopyPropagate:
+    def test_propagates_through_mov(self):
+        region = CodeRegion(
+            (li(Reg(1), 5), mov(Reg(2), Reg(1)),
+             addq(Reg(3), Reg(2), Reg(2))),
+            live_out=frozenset({Reg(2), Reg(3)}))
+        out = copy_propagate(region)
+        assert out.instructions[2].srcs == (Reg(1), Reg(1))
+
+    def test_redefinition_of_source_kills_copy(self):
+        region = CodeRegion(
+            (li(Reg(1), 5), mov(Reg(2), Reg(1)), li(Reg(1), 9),
+             addq(Reg(3), Reg(2), Reg(2))),
+            live_out=frozenset({Reg(3)}))
+        out = copy_propagate(region)
+        # r2 must NOT be rewritten to r1 (r1 changed since the mov).
+        assert out.instructions[3].srcs == (Reg(2), Reg(2))
+
+    def test_redefinition_of_dest_kills_copy(self):
+        region = CodeRegion(
+            (li(Reg(1), 5), mov(Reg(2), Reg(1)), li(Reg(2), 9),
+             addq(Reg(3), Reg(2), Reg(2))),
+            live_out=frozenset({Reg(3)}))
+        out = copy_propagate(region)
+        assert out.instructions[3].srcs == (Reg(2), Reg(2))
+
+    def test_knowledge_dies_at_labels(self):
+        region = CodeRegion(
+            (li(Reg(4), 1),
+             mov(Reg(2), Reg(4)),
+             bne(Reg(4), "join"),
+             li(Reg(2), 7),
+             addq(Reg(3), Reg(2), Reg(2))),  # join:
+            labels={"join": 4},
+            live_out=frozenset({Reg(3)}))
+        out = copy_propagate(region)
+        assert out.instructions[4].srcs == (Reg(2), Reg(2))
+
+    def test_exposes_dead_mov(self):
+        region = CodeRegion(
+            (li(Reg(1), 5), mov(Reg(2), Reg(1)),
+             addq(Reg(3), Reg(2), Reg(2))),
+            live_out=frozenset({Reg(3)}))
+        out = dead_code_eliminate(copy_propagate(region))
+        assert all(i.opcode is not Opcode.MOV for i in out.instructions)
+
+
+class TestCse:
+    def test_duplicate_alu_becomes_mov(self):
+        region = CodeRegion(
+            (addq(Reg(3), Reg(1), Reg(2)),
+             addq(Reg(4), Reg(1), Reg(2))),
+            live_out=frozenset({Reg(3), Reg(4)}))
+        out = common_subexpression_eliminate(region)
+        assert out.instructions[1].opcode is Opcode.MOV
+        assert out.instructions[1].srcs == (Reg(3),)
+
+    def test_duplicate_load_folds(self):
+        region = CodeRegion(
+            (ldq(Reg(1), 8, Reg(16)), ldq(Reg(2), 8, Reg(16))),
+            live_out=frozenset({Reg(1), Reg(2)}))
+        out = common_subexpression_eliminate(region)
+        assert out.instructions[1].opcode is Opcode.MOV
+
+    def test_operand_redefinition_kills_expression(self):
+        region = CodeRegion(
+            (addq(Reg(3), Reg(1), Reg(2)), li(Reg(1), 9),
+             addq(Reg(4), Reg(1), Reg(2))),
+            live_out=frozenset({Reg(3), Reg(4)}))
+        out = common_subexpression_eliminate(region)
+        assert out.instructions[2].opcode is Opcode.ADDQ
+
+    def test_holder_redefinition_kills_expression(self):
+        region = CodeRegion(
+            (addq(Reg(3), Reg(1), Reg(2)), li(Reg(3), 9),
+             addq(Reg(4), Reg(1), Reg(2))),
+            live_out=frozenset({Reg(3), Reg(4)}))
+        out = common_subexpression_eliminate(region)
+        assert out.instructions[2].opcode is Opcode.ADDQ
+
+    def test_different_immediates_not_folded(self):
+        region = CodeRegion(
+            (ldq(Reg(1), 8, Reg(16)), ldq(Reg(2), 16, Reg(16))),
+            live_out=frozenset({Reg(1), Reg(2)}))
+        out = common_subexpression_eliminate(region)
+        assert out.instructions[1].opcode is Opcode.LDQ
+
+
+class TestPipelineSemantics:
+    """The cleanup passes must never change observable behavior —
+    fuzzed over random straight-line programs and machine states."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 5000), mem_seed=st.integers(0, 5000))
+    def test_cleanup_preserves_semantics(self, seed, mem_seed):
+        rng = np.random.default_rng(seed)
+        instructions = []
+        ops = [addq, subq, xor]
+        for _ in range(30):
+            choice = rng.integers(0, 5)
+            rd = Reg(int(rng.integers(1, 8)))
+            ra = Reg(int(rng.integers(1, 8)))
+            rb = Reg(int(rng.integers(1, 8)))
+            if choice == 0:
+                instructions.append(li(rd, int(rng.integers(0, 50))))
+            elif choice == 1:
+                instructions.append(mov(rd, ra))
+            elif choice == 2:
+                instructions.append(
+                    ldq(rd, int(rng.integers(0, 5)) * 8, Reg(16)))
+            else:
+                op = ops[int(rng.integers(0, len(ops)))]
+                instructions.append(op(rd, ra, rb))
+        live_out = frozenset({Reg(i) for i in range(1, 8)})
+        region = CodeRegion(tuple(instructions), live_out=live_out)
+
+        cleaned = dead_code_eliminate(
+            common_subexpression_eliminate(copy_propagate(region)))
+
+        mem_rng = np.random.default_rng(mem_seed)
+        state = MachineState(
+            registers={16: 1000,
+                       **{i: int(mem_rng.integers(0, 100))
+                          for i in range(1, 8)}},
+            memory={1000 + 8 * k: int(mem_rng.integers(0, 100))
+                    for k in range(5)})
+        original = run_region(region, state)
+        transformed = run_region(cleaned, state)
+        assert original.live_out_values == transformed.live_out_values

@@ -1,0 +1,75 @@
+"""Unit tests for the mini-ISA."""
+
+import pytest
+
+from repro.distill.isa import (
+    Imm,
+    Instruction,
+    Opcode,
+    Reg,
+    addq,
+    beq,
+    bne,
+    cmplt,
+    lda,
+    ldq,
+    li,
+    mov,
+)
+
+
+class TestOperands:
+    def test_register_range(self):
+        Reg(0)
+        Reg(31)
+        with pytest.raises(ValueError):
+            Reg(32)
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_operand_rendering(self):
+        assert str(Reg(5)) == "r5"
+        assert str(Imm(32)) == "#32"
+
+
+class TestInstructionValidation:
+    def test_branch_needs_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ, srcs=(Reg(1),))
+
+    def test_branch_has_no_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BEQ, dest=Reg(1), srcs=(Reg(2),),
+                        target="x")
+
+    def test_alu_needs_dest(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADDQ, srcs=(Reg(1), Reg(2)))
+
+    def test_branch_single_source(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BNE, srcs=(Reg(1), Reg(2)), target="x")
+
+
+class TestConstructorsAndRendering:
+    def test_load_renders_alpha_style(self):
+        assert str(ldq(Reg(1), 4, Reg(16))) == "ldq r1, 4(r16)"
+        assert str(lda(Reg(3), 12, Reg(16))) == "lda r3, 12(r16)"
+
+    def test_branch_renders(self):
+        assert str(beq(Reg(2), "skip")) == "beq r2, skip"
+        assert str(bne(Reg(4), "target")) == "bne r4, target"
+
+    def test_alu_renders(self):
+        assert str(cmplt(Reg(4), Reg(1), Imm(32))) == "cmplt r4, r1, #32"
+        assert str(addq(Reg(1), Reg(2), Reg(3))) == "addq r1, r2, r3"
+        assert str(li(Reg(1), 7)) == "li r1, #7"
+
+    def test_source_registers_skips_immediates(self):
+        instr = cmplt(Reg(4), Reg(1), Imm(32))
+        assert instr.source_registers() == (Reg(1),)
+
+    def test_classification(self):
+        assert beq(Reg(1), "x").is_branch
+        assert ldq(Reg(1), 0, Reg(2)).is_load
+        assert not mov(Reg(1), Reg(2)).is_branch

@@ -1,0 +1,115 @@
+"""Tests for code regions and the reference interpreter."""
+
+import pytest
+
+from repro.distill.isa import (
+    Imm,
+    Reg,
+    addq,
+    beq,
+    bne,
+    cmpeq,
+    cmplt,
+    lda,
+    ldq,
+    li,
+    mov,
+    subq,
+    xor,
+)
+from repro.distill.region import CodeRegion, MachineState, run_region
+
+
+def run(instrs, labels=None, live_out=(), registers=None, memory=None):
+    region = CodeRegion(tuple(instrs), labels or {},
+                        frozenset(live_out))
+    state = MachineState(registers or {}, memory or {})
+    return run_region(region, state)
+
+
+class TestInterpreter:
+    def test_loads_and_alu(self):
+        result = run(
+            [ldq(Reg(1), 8, Reg(16)),
+             li(Reg(2), 10),
+             addq(Reg(3), Reg(1), Reg(2))],
+            live_out=[Reg(3)],
+            registers={16: 100}, memory={108: 5})
+        assert result.live_out_values == {3: 15}
+
+    def test_lda_is_address_generation(self):
+        result = run([lda(Reg(1), 12, Reg(16))], live_out=[Reg(1)],
+                     registers={16: 1000})
+        assert result.live_out_values == {1: 1012}
+
+    def test_compares(self):
+        result = run(
+            [li(Reg(1), 3), li(Reg(2), 5),
+             cmplt(Reg(3), Reg(1), Reg(2)),
+             cmpeq(Reg(4), Reg(1), Reg(2))],
+            live_out=[Reg(3), Reg(4)])
+        assert result.live_out_values == {3: 1, 4: 0}
+
+    def test_immediates_in_alu(self):
+        result = run([subq(Reg(1), Imm(10), Imm(4)),
+                      xor(Reg(2), Reg(1), Imm(2)),
+                      mov(Reg(3), Reg(2))],
+                     live_out=[Reg(3)])
+        assert result.live_out_values == {3: 4}
+
+    def test_side_exit(self):
+        result = run([li(Reg(1), 0), beq(Reg(1), "out"),
+                      li(Reg(2), 99)],
+                     live_out=[Reg(2)])
+        assert result.exit_label == "out"
+
+    def test_forward_branch_to_label(self):
+        result = run(
+            [li(Reg(1), 1),
+             bne(Reg(1), "skip"),
+             li(Reg(2), 99),      # skipped
+             li(Reg(3), 7)],      # label lands here
+            labels={"skip": 3},
+            live_out=[Reg(2), Reg(3)])
+        assert result.exit_label is None
+        assert result.live_out_values == {2: 0, 3: 7}
+
+    def test_fallthrough_branch(self):
+        result = run(
+            [li(Reg(1), 0), bne(Reg(1), "skip"), li(Reg(2), 5)],
+            labels={"skip": 3}, live_out=[Reg(2)])
+        assert result.live_out_values == {2: 5}
+
+    def test_state_not_mutated(self):
+        state = MachineState(registers={1: 7})
+        region = CodeRegion((li(Reg(1), 0),), {}, frozenset())
+        run_region(region, state)
+        assert state.registers[1] == 7
+
+
+class TestRegionValidation:
+    def test_rejects_backward_branch(self):
+        with pytest.raises(ValueError):
+            CodeRegion((li(Reg(1), 1), bne(Reg(1), "back")),
+                       labels={"back": 0})
+
+    def test_rejects_out_of_range_label(self):
+        with pytest.raises(ValueError):
+            CodeRegion((li(Reg(1), 1),), labels={"x": 5})
+
+    def test_end_label_allowed(self):
+        region = CodeRegion((li(Reg(1), 1), bne(Reg(1), "end")),
+                            labels={"end": 2})
+        assert not region.is_side_exit(region.instructions[1])
+
+    def test_side_exit_detection(self):
+        region = CodeRegion((li(Reg(1), 1), bne(Reg(1), "elsewhere")))
+        assert region.is_side_exit(region.instructions[1])
+
+    def test_listing_includes_labels(self):
+        region = CodeRegion(
+            (li(Reg(1), 0), bne(Reg(1), "skip"), li(Reg(2), 1)),
+            labels={"skip": 2})
+        listing = region.listing()
+        assert "skip:" in listing
+        assert "bne r1, skip" in listing

@@ -1,0 +1,64 @@
+"""Tests for synthetic-region generation and the distillation study."""
+
+import numpy as np
+import pytest
+
+from repro.distill.synthesis import (
+    SynthesisConfig,
+    distillation_study,
+    synthesize_region,
+)
+from repro.distill.transforms import distill
+
+
+class TestSynthesize:
+    def test_region_is_well_formed(self):
+        region, branches, values = synthesize_region(SynthesisConfig(),
+                                                     seed=3)
+        assert len(region) > 10
+        for index in branches:
+            assert region.instructions[index].is_branch
+        for index in values:
+            assert region.instructions[index].is_load
+
+    def test_deterministic(self):
+        a, ba, va = synthesize_region(SynthesisConfig(), seed=5)
+        b, bb, vb = synthesize_region(SynthesisConfig(), seed=5)
+        assert a.listing() == b.listing()
+        assert ba == bb and va == vb
+
+    def test_assumptions_shrink_region(self):
+        region, branches, values = synthesize_region(SynthesisConfig(),
+                                                     seed=7)
+        cleaned = distill(region).approximated
+        distilled = distill(region, branches, values).approximated
+        assert len(distilled) < len(cleaned)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(guard_blocks=-1)
+
+
+class TestStudy:
+    def test_speculation_density_orders_reduction(self):
+        light = distillation_study(10, seed=1, config=SynthesisConfig(
+            guard_blocks=1, check_blocks=1, foldable_loads=0,
+            essential_ops=8))
+        heavy = distillation_study(10, seed=1, config=SynthesisConfig(
+            guard_blocks=4, check_blocks=4, foldable_loads=3,
+            essential_ops=2, cold_path_len=6))
+        assert np.mean([e.reduction for e in light]) \
+            < np.mean([e.reduction for e in heavy])
+
+    def test_typical_mix_near_two_thirds(self):
+        """The paper: 'as much as two-thirds of the dynamic
+        instructions' — the default mix should land in that region."""
+        entries = distillation_study(20, seed=2)
+        mean = np.mean([e.reduction for e in entries])
+        assert 0.5 < mean < 0.85
+
+    def test_entries_expose_sizes(self):
+        entry = distillation_study(1, seed=3)[0]
+        assert entry.distilled_len <= entry.cleaned_len \
+            <= entry.original_len
+        assert 0.0 <= entry.reduction <= 1.0

@@ -1,0 +1,235 @@
+"""Tests for the approximation and cleanup passes, including the
+semantic-preservation property the whole distiller rests on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distill.figure1 import FIELD_OFFSETS, figure1a, figure1_distilled
+from repro.distill.isa import Imm, Opcode, Reg, addq, beq, bne, cmplt, ldq, li
+from repro.distill.region import CodeRegion, MachineState, run_region
+from repro.distill.synthesis import SynthesisConfig, synthesize_region
+from repro.distill.transforms import (
+    assume_branch,
+    assume_load_value,
+    constant_propagate,
+    dead_code_eliminate,
+    distill,
+)
+
+
+class TestAssumeBranch:
+    def test_not_taken_deletes_branch_only(self):
+        region = CodeRegion(
+            (li(Reg(1), 0), bne(Reg(1), "out"), li(Reg(2), 5)),
+            live_out=frozenset({Reg(2)}))
+        out = assume_branch(region, 1, taken=False)
+        assert [i.opcode for i in out.instructions] == [
+            Opcode.LI, Opcode.LI]
+
+    def test_taken_deletes_fallthrough_path(self):
+        region = CodeRegion(
+            (li(Reg(1), 1),
+             bne(Reg(1), "skip"),
+             li(Reg(2), 99),
+             li(Reg(3), 7)),
+            labels={"skip": 3},
+            live_out=frozenset({Reg(2), Reg(3)}))
+        out = assume_branch(region, 1, taken=True)
+        assert len(out) == 2
+        assert out.labels["skip"] == 1
+
+    def test_taken_side_exit_rejected(self):
+        region = CodeRegion((li(Reg(1), 1), bne(Reg(1), "elsewhere")))
+        with pytest.raises(ValueError):
+            assume_branch(region, 1, taken=True)
+
+    def test_taken_with_join_in_range_rejected(self):
+        region = CodeRegion(
+            (li(Reg(1), 1),
+             bne(Reg(1), "end"),
+             bne(Reg(1), "mid"),
+             li(Reg(2), 1),
+             li(Reg(3), 1)),     # mid:
+            labels={"end": 5, "mid": 4})
+        with pytest.raises(ValueError):
+            assume_branch(region, 1, taken=True)
+
+    def test_non_branch_rejected(self):
+        region = CodeRegion((li(Reg(1), 1),))
+        with pytest.raises(ValueError):
+            assume_branch(region, 0, taken=False)
+
+
+class TestAssumeLoadValue:
+    def test_load_becomes_immediate(self):
+        region = CodeRegion((ldq(Reg(1), 0, Reg(16)),),
+                            live_out=frozenset({Reg(1)}))
+        out = assume_load_value(region, 0, 32)
+        assert out.instructions[0].opcode is Opcode.LI
+        assert out.instructions[0].imm == 32
+
+    def test_non_load_rejected(self):
+        region = CodeRegion((li(Reg(1), 1),))
+        with pytest.raises(ValueError):
+            assume_load_value(region, 0, 32)
+
+
+class TestConstantPropagate:
+    def test_folds_constant_alu(self):
+        region = CodeRegion(
+            (li(Reg(1), 3), li(Reg(2), 4), addq(Reg(3), Reg(1), Reg(2))),
+            live_out=frozenset({Reg(3)}))
+        out = constant_propagate(region)
+        assert out.instructions[2].opcode is Opcode.LI
+        assert out.instructions[2].imm == 7
+
+    def test_partial_constants_become_immediates(self):
+        region = CodeRegion(
+            (li(Reg(1), 32), cmplt(Reg(3), Reg(2), Reg(1))),
+            live_out=frozenset({Reg(3)}))
+        out = constant_propagate(region)
+        assert out.instructions[1].srcs[1] == Imm(32)
+
+    def test_knowledge_killed_at_labels(self):
+        region = CodeRegion(
+            (li(Reg(2), 1),
+             bne(Reg(2), "join"),
+             li(Reg(1), 3),
+             addq(Reg(3), Reg(1), Reg(1))),  # join: r1 not constant here
+            labels={"join": 3},
+            live_out=frozenset({Reg(3)}))
+        out = constant_propagate(region)
+        assert out.instructions[3].opcode is Opcode.ADDQ
+        assert out.instructions[3].srcs == (Reg(1), Reg(1))
+
+    def test_redefinition_kills_constant(self):
+        region = CodeRegion(
+            (li(Reg(1), 3), ldq(Reg(1), 0, Reg(16)),
+             addq(Reg(2), Reg(1), Reg(1))),
+            live_out=frozenset({Reg(2)}))
+        out = constant_propagate(region)
+        assert out.instructions[2].srcs == (Reg(1), Reg(1))
+
+
+class TestDeadCodeEliminate:
+    def test_removes_overwritten_value(self):
+        region = CodeRegion(
+            (li(Reg(1), 3), li(Reg(1), 5)),
+            live_out=frozenset({Reg(1)}))
+        out = dead_code_eliminate(region)
+        assert len(out) == 1
+        assert out.instructions[0].imm == 5
+
+    def test_keeps_branch_conditions_alive(self):
+        region = CodeRegion(
+            (li(Reg(1), 0), beq(Reg(1), "exit")))
+        out = dead_code_eliminate(region)
+        assert len(out) == 2
+
+    def test_branch_target_liveness_respected(self):
+        # r2 is only read after the label the branch jumps to, so the
+        # definition before the branch must stay alive.
+        region = CodeRegion(
+            (li(Reg(2), 9),
+             li(Reg(1), 1),
+             bne(Reg(1), "use"),
+             li(Reg(2), 5),
+             addq(Reg(3), Reg(2), Reg(2))),  # use:
+            labels={"use": 4},
+            live_out=frozenset({Reg(3)}))
+        out = dead_code_eliminate(region)
+        opcodes = [i.opcode for i in out.instructions]
+        assert opcodes.count(Opcode.LI) == 3  # both defs of r2 stay
+
+    def test_removes_dead_loads(self):
+        region = CodeRegion(
+            (ldq(Reg(1), 0, Reg(16)), li(Reg(2), 1)),
+            live_out=frozenset({Reg(2)}))
+        out = dead_code_eliminate(region)
+        assert len(out) == 1
+
+
+class TestFigure1:
+    def test_exact_reproduction(self):
+        report = figure1_distilled()
+        text = report.approximated.listing()
+        assert "ldq r1, 8(r16)" in text
+        assert "cmplt r4, r1, #32" in text
+        assert "bne r4, target" in text
+        assert len(report.approximated) == 3
+        assert report.reduction == pytest.approx(4 / 7)
+
+    @given(b=st.integers(0, 1000), c=st.integers(0, 1000),
+           a=st.integers(1, 100))
+    def test_semantics_preserved_under_assumptions(self, a, b, c):
+        """On any state with x.a != 0 and x.d == 32 the approximated
+        code is indistinguishable from the original."""
+        report = figure1_distilled()
+        base = 2_000
+        memory = {base + FIELD_OFFSETS["a"]: a,
+                  base + FIELD_OFFSETS["b"]: b,
+                  base + FIELD_OFFSETS["c"]: c,
+                  base + FIELD_OFFSETS["d"]: 32}
+        state = MachineState(registers={16: base}, memory=memory)
+        original = run_region(report.original, state)
+        approx = run_region(report.approximated, state)
+        assert original.exit_label == approx.exit_label
+        assert original.live_out_values == approx.live_out_values
+
+    def test_violating_state_diverges(self):
+        """x.a == 0 breaks the branch assumption: the approximated code
+        takes the wrong path — a misspeculation the checker would catch."""
+        report = figure1_distilled()
+        base = 2_000
+        memory = {base + FIELD_OFFSETS["a"]: 0,
+                  base + FIELD_OFFSETS["b"]: 100,
+                  base + FIELD_OFFSETS["c"]: 1,
+                  base + FIELD_OFFSETS["d"]: 32}
+        state = MachineState(registers={16: base}, memory=memory)
+        original = run_region(report.original, state)
+        approx = run_region(report.approximated, state)
+        assert original.live_out_values != approx.live_out_values
+
+
+class TestSyntheticRegions:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500), mem_seed=st.integers(0, 10_000))
+    def test_distillation_preserves_semantics_under_assumptions(
+            self, seed, mem_seed):
+        """The core distiller property, fuzzed: on a state constructed
+        to satisfy every assumption, distilled == original."""
+        config = SynthesisConfig()
+        region, branches, values = synthesize_region(config, seed=seed)
+        report = distill(region, branches, values)
+
+        rng = np.random.default_rng(mem_seed)
+        base = 10_000
+        memory = {base + 8 * k: int(rng.integers(1, 50))
+                  for k in range(1, 200)}
+        # Satisfy the assumptions: guard conditions non-zero for taken
+        # branches, zero conditions for assumed-not-taken side exits,
+        # and the assumed load values in memory.
+        for index, taken in branches.items():
+            branch = region.instructions[index]
+            cond_def = region.instructions[index - 1]
+            address = base + cond_def.imm
+            if branch.opcode is Opcode.BNE and taken:
+                memory[address] = int(rng.integers(1, 50))
+        for index, value in values.items():
+            load = region.instructions[index]
+            memory[base + load.imm] = value
+        # Not-taken checks compare a load against the accumulator; make
+        # those loads distinctive so cmpeq is 0 (accumulator is sums of
+        # small positives; use a sentinel far outside its range).
+        for index, taken in branches.items():
+            if not taken:
+                cond_def = region.instructions[index - 2]
+                memory[base + cond_def.imm] = -999_999
+
+        state = MachineState(registers={16: base}, memory=memory)
+        original = run_region(region, state)
+        approx = run_region(report.approximated, state)
+        if original.exit_label is None:
+            assert approx.exit_label is None
+            assert original.live_out_values == approx.live_out_values

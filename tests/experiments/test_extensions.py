@@ -1,0 +1,64 @@
+"""Smoke tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(quick=True)
+
+
+class TestExtensionRegistry:
+    def test_extensions_registered(self):
+        assert {"ext-behaviors", "ext-flush", "ext-batching",
+                "ext-ablations", "ext-hotregion"} <= set(EXPERIMENTS)
+
+
+class TestExtensionRuns:
+    def test_ext_behaviors(self, ctx):
+        out = run_experiment("ext-behaviors", ctx)
+        assert "value invariance" in out
+        assert "memory independence" in out
+
+    def test_ext_flush(self, ctx):
+        out = run_experiment("ext-flush", ctx)
+        assert "flush@" in out and "closed loop" in out
+
+    def test_ext_batching(self, ctx):
+        out = run_experiment("ext-batching", ctx)
+        assert "regenerations" in out
+
+    def test_ext_ablations(self, ctx):
+        out = run_experiment("ext-ablations", ctx)
+        assert "monitor period" in out
+        assert "MSSP task size" in out
+
+    def test_ext_hotregion(self, ctx):
+        out = run_experiment("ext-hotregion", ctx)
+        assert "ungated" in out and "cov" in out
+
+
+class TestDistillerExperiments:
+    def test_fig1(self, ctx):
+        out = run_experiment("fig1", ctx)
+        assert "200/200" in out
+        assert "cmplt r4, r1, #32" in out
+
+    def test_ext_distiller(self, ctx):
+        out = run_experiment("ext-distiller", ctx)
+        assert "bracketed by the measured mixes: yes" in out
+
+    def test_ext_uarch(self, ctx):
+        out = run_experiment("ext-uarch", ctx)
+        assert "leading core CPI" in out
+
+    def test_ext_codegen(self, ctx):
+        out = run_experiment("ext-codegen", ctx)
+        assert "measured elimination" in out
+
+    def test_ext_phases(self, ctx):
+        out = run_experiment("ext-phases", ctx)
+        assert "phase flush" in out

@@ -1,0 +1,104 @@
+"""Smoke tests: every experiment driver runs in quick mode and mentions
+its key quantities."""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(quick=True)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert {"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                "fig9", "tab1", "tab2", "tab3", "tab4",
+                "tab5"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestCheapExperiments:
+    def test_tab1(self, ctx):
+        out = run_experiment("tab1", ctx)
+        assert "profile input" in out and "gzip" in out
+
+    def test_tab2(self, ctx):
+        out = run_experiment("tab2", ctx)
+        assert "10,000 executions" in out
+        assert "99.5%" in out
+
+    def test_tab5(self, ctx):
+        out = run_experiment("tab5", ctx)
+        assert "gshare" in out and "recovery penalty" in out
+
+    def test_fig4(self, ctx):
+        out = run_experiment("fig4", ctx)
+        assert "MONITOR" in out and "evict" in out
+
+
+class TestFunctionalExperiments:
+    def test_fig2(self, ctx):
+        out = run_experiment("fig2", ctx)
+        assert "offline" in out and "AVERAGE" in out
+
+    def test_fig3(self, ctx):
+        out = run_experiment("fig3", ctx)
+        assert "Figure 3" in out
+
+    def test_fig5(self, ctx):
+        out = run_experiment("fig5", ctx)
+        assert "reactive" in out and "self@99%" in out
+
+    def test_fig6(self, ctx):
+        out = run_experiment("fig6", ctx)
+        assert "evictions pooled" in out
+
+    def test_fig9(self, ctx):
+        out = run_experiment("fig9", ctx)
+        assert "vortex" in out
+
+    def test_tab3(self, ctx):
+        out = run_experiment("tab3", ctx)
+        assert "tot evicts" in out
+
+    def test_tab4(self, ctx):
+        out = run_experiment("tab4", ctx)
+        assert "no eviction" in out and "baseline" in out
+
+
+class TestTimingExperiments:
+    def test_fig7(self, ctx):
+        out = run_experiment("fig7", ctx)
+        assert "open-loop deficit" in out
+
+    def test_fig8(self, ctx):
+        out = run_experiment("fig8", ctx)
+        assert "latency" in out and "MEAN" in out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+
+    def test_run_with_benchmark_subset(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(["run", "tab1", "--benchmarks", "gzip,mcf"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "crafty" not in out
+
+    def test_unknown_experiment_exit_code(self):
+        from repro.experiments.cli import main
+
+        assert main(["run", "nope"]) == 2

@@ -1,0 +1,84 @@
+"""Tests for the hardware branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.hw.predictors import (
+    GsharePredictor,
+    StaticTakenPredictor,
+    TwoBitCounters,
+    predict_trace,
+)
+from repro.trace.patterns import ConstantBias, PeriodicBias
+from repro.trace.synthetic import round_robin_trace, single_branch_trace
+
+
+class TestTwoBitCounters:
+    def test_hysteresis(self):
+        counters = TwoBitCounters(4, initial=1)  # weakly not-taken
+        assert not counters.predict(0)
+        counters.update(0, True)
+        assert counters.predict(0)   # 2: weakly taken
+        counters.update(0, False)
+        assert not counters.predict(0)
+
+    def test_saturation(self):
+        counters = TwoBitCounters(4, initial=3)
+        counters.update(0, True)
+        assert counters.table[0] == 3
+        counters.update(0, False)
+        counters.update(0, False)
+        counters.update(0, False)
+        counters.update(0, False)
+        assert counters.table[0] == 0
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TwoBitCounters(100)
+
+
+class TestGshare:
+    def test_learns_a_perfectly_biased_branch(self):
+        predictor = GsharePredictor(table_bits=10)
+        misses = 0
+        for i in range(1000):
+            if not predictor.predict_and_update(42, True):
+                misses += 1
+        assert misses < 20  # only warmup misses
+
+    def test_learns_history_correlated_pattern(self):
+        """Alternating outcomes are perfectly predictable from history."""
+        predictor = GsharePredictor(table_bits=10)
+        misses = sum(
+            predictor.predict_and_update(7, i % 2 == 0) != (i % 2 == 0)
+            for i in range(2000))
+        assert misses < 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bits=0)
+        with pytest.raises(ValueError):
+            GsharePredictor(table_bits=4, history_bits=10)
+
+
+class TestPredictTrace:
+    def test_low_misprediction_on_biased_trace(self):
+        trace = single_branch_trace([True] * 2000)
+        mispredicted = predict_trace(trace)
+        assert mispredicted.mean() < 0.02
+
+    def test_high_misprediction_on_random_trace(self):
+        trace = round_robin_trace([ConstantBias(0.5)], length=4000, seed=0)
+        mispredicted = predict_trace(trace)
+        assert mispredicted.mean() > 0.3
+
+    def test_biased_beats_unbiased(self):
+        biased = round_robin_trace([ConstantBias(0.99)], 3000, seed=1)
+        noisy = round_robin_trace([ConstantBias(0.7)], 3000, seed=1)
+        assert predict_trace(biased).mean() < predict_trace(noisy).mean()
+
+    def test_static_predictor(self):
+        trace = round_robin_trace(
+            [PeriodicBias(1.0, 0.0, 10, 10)], 100, seed=2)
+        mispredicted = predict_trace(trace, StaticTakenPredictor())
+        assert mispredicted.mean() == pytest.approx(0.5, abs=0.1)

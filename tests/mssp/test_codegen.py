@@ -1,0 +1,73 @@
+"""Tests for region code generation and measured elimination."""
+
+import pytest
+
+from repro.distill.transforms import distill
+from repro.mssp.codegen import elimination_table, generate_region_code
+from repro.trace.model import BenchmarkModel, Region, StaticBranch
+from repro.trace.patterns import ConstantBias
+
+
+def model_with(n_branches=4, body=32):
+    branches = tuple(StaticBranch(i, ConstantBias(1.0))
+                     for i in range(n_branches))
+    region = Region(0, branches, body_instructions=body)
+    return BenchmarkModel("m", "i", (region,))
+
+
+class TestGenerate:
+    def test_every_branch_gets_an_assumption(self):
+        model = model_with(5)
+        code = generate_region_code(model.regions[0])
+        assert set(code.branch_assumptions) == {0, 1, 2, 3, 4}
+        for index, _taken in code.branch_assumptions.values():
+            assert code.code.instructions[index].is_branch
+
+    def test_code_size_tracks_body_instructions(self):
+        small = generate_region_code(
+            model_with(4, body=16).regions[0])
+        large = generate_region_code(
+            model_with(4, body=64).regions[0])
+        assert len(large.code) > len(small.code)
+
+    def test_deterministic(self):
+        region = model_with(3).regions[0]
+        a = generate_region_code(region, seed=9)
+        b = generate_region_code(region, seed=9)
+        assert a.code.listing() == b.code.listing()
+
+    def test_generated_code_is_distillable(self):
+        code = generate_region_code(model_with(4).regions[0])
+        assumptions = {index: taken
+                       for index, taken in
+                       code.branch_assumptions.values()}
+        report = distill(code.code, branch_assumptions=assumptions)
+        assert report.reduction > 0.2
+
+
+class TestEliminationTable:
+    def test_positive_elimination_per_branch(self):
+        table = elimination_table(model_with(4))
+        assert set(table) == {0, 1, 2, 3}
+        assert all(v > 0 for v in table.values())
+
+    def test_guard_blocks_eliminate_more_than_checks(self):
+        """Even slots are guards (whole cold path removed), odd slots
+        are checks (branch + condition chain)."""
+        table = elimination_table(model_with(4, body=48))
+        assert table[0] > table[1]
+        assert table[2] > table[3]
+
+    def test_integrates_with_mssp(self):
+        from repro.core.config import scaled_config
+        from repro.mssp.simulator import simulate_mssp
+        from repro.trace.stream import generate_trace
+
+        model = model_with(4, body=48)
+        trace = generate_trace(model, 30_000, seed=1)
+        table = elimination_table(model)
+        measured = simulate_mssp(trace, elimination_table=table)
+        analytic = simulate_mssp(trace)
+        assert measured.mean_distillation < 1.0
+        assert measured.mean_distillation != pytest.approx(
+            analytic.mean_distillation, abs=1e-6)

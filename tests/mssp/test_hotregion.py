@@ -1,0 +1,90 @@
+"""Tests for the hot-region detector."""
+
+import numpy as np
+import pytest
+
+from repro.mssp.hotregion import HotRegionDetector, detect_hot_regions
+from repro.trace.model import BenchmarkModel, Region, StaticBranch
+from repro.trace.patterns import ConstantBias
+from repro.trace.stream import generate_trace
+from repro.trace.synthetic import single_branch_trace, uniform_model
+
+
+def hot_cold_model():
+    hot = Region(0, tuple(StaticBranch(i, ConstantBias(1.0))
+                          for i in range(3)),
+                 body_instructions=24, mean_trip_count=30.0, weight=50.0)
+    cold = Region(1, tuple(StaticBranch(10 + i, ConstantBias(1.0))
+                           for i in range(3)),
+                  body_instructions=24, mean_trip_count=2.0, weight=0.1)
+    return BenchmarkModel("hc", "in", (hot, cold))
+
+
+class TestDetector:
+    def test_region_forms_at_threshold(self):
+        detector = HotRegionDetector(hot_threshold=10)
+        formed = None
+        for _ in range(10):
+            for b in (0, 1, 2):
+                region = detector.observe(b)
+                if region is not None:
+                    formed = region
+        assert formed is not None
+        assert formed.branches == (0, 1, 2)
+
+    def test_region_follows_dominant_successors(self):
+        detector = HotRegionDetector(hot_threshold=50)
+        rng = np.random.default_rng(0)
+        for _ in range(60):
+            detector.observe(0)
+            detector.observe(1)
+            # Noise successor occasionally.
+            if rng.random() < 0.1:
+                detector.observe(9)
+            detector.observe(2)
+        regions = detector.regions
+        assert regions
+        assert regions[0].branches[0] == 0
+        assert 1 in regions[0].branches
+
+    def test_covered_branches_accumulate(self):
+        detector = HotRegionDetector(hot_threshold=5)
+        for _ in range(5):
+            detector.observe(3)
+        assert 3 in detector.covered_branches()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotRegionDetector(hot_threshold=0)
+        with pytest.raises(ValueError):
+            HotRegionDetector(min_edge_fraction=0.0)
+
+
+class TestDetectOverTrace:
+    def test_hot_region_covers_hot_events(self):
+        trace = generate_trace(hot_cold_model(), 20_000, seed=1)
+        detector, in_region = detect_hot_regions(trace, hot_threshold=200)
+        covered = detector.covered_branches()
+        assert {0, 1, 2} <= covered
+        # Cold branches never cross the threshold.
+        assert not ({10, 11, 12} & covered)
+        # Most hot events (after warmup) are inside a region.
+        hot_events = np.isin(trace.branch_ids, [0, 1, 2])
+        assert in_region[hot_events].mean() > 0.8
+
+    def test_events_before_formation_uncovered(self):
+        trace = single_branch_trace([True] * 100)
+        _detector, in_region = detect_hot_regions(trace, hot_threshold=50)
+        assert not in_region[:49].any()
+        assert in_region[50:].all()
+
+    def test_mssp_gating_reduces_speculation(self):
+        from repro.core.config import scaled_config
+        from repro.mssp.simulator import simulate_mssp
+
+        trace = generate_trace(uniform_model(4), 30_000, seed=2)
+        ungated = simulate_mssp(trace)
+        gated = simulate_mssp(trace, hot_region_threshold=10**9)
+        # An unreachable threshold means no regions, no speculation.
+        assert gated.mean_distillation == pytest.approx(1.0)
+        assert ungated.mean_distillation < 1.0

@@ -1,0 +1,100 @@
+"""Tests for the MSSP timing model."""
+
+import pytest
+
+from repro.mssp.config import MsspConfig, default_config
+from repro.mssp.machine import baseline_cycles, run_machine
+from repro.mssp.task import Task
+
+
+def task(index=0, instructions=200, branches=32, speculated=0,
+         misspeculated=False, mispredicted=0, mispredicted_all=None):
+    if mispredicted_all is None:
+        mispredicted_all = mispredicted
+    return Task(index, instructions, branches, speculated,
+                misspeculated, mispredicted, mispredicted_all)
+
+
+class TestBaseline:
+    def test_baseline_charges_all_mispredictions(self):
+        cfg = default_config()
+        tasks = [task(mispredicted=0, mispredicted_all=4, speculated=8)]
+        cycles = baseline_cycles(tasks, cfg)
+        assert cycles == pytest.approx(
+            200 * cfg.leading_base_cpi + 4 * cfg.leading_mispred_penalty)
+
+
+class TestMachine:
+    def test_no_speculation_tracks_baseline(self):
+        """Without distillation the leading core does the same work as
+        the baseline; MSSP adds only pipeline effects (bounded stalls)."""
+        cfg = default_config()
+        tasks = [task(i, mispredicted=2, mispredicted_all=2)
+                 for i in range(200)]
+        timing = run_machine(tasks, cfg)
+        base = baseline_cycles(tasks, cfg)
+        assert timing.cycles >= base
+        assert timing.cycles <= 1.3 * base
+        assert timing.tasks_misspeculated == 0
+
+    def test_distillation_beats_baseline(self):
+        cfg = default_config()
+        tasks = [task(i, speculated=28, mispredicted=0,
+                      mispredicted_all=3) for i in range(200)]
+        timing = run_machine(tasks, cfg)
+        assert timing.cycles < baseline_cycles(tasks, cfg)
+
+    def test_misspeculation_costs_detection_plus_recovery(self):
+        cfg = default_config()
+        good = [task(i, speculated=28) for i in range(100)]
+        one_bad = list(good)
+        one_bad[50] = task(50, speculated=28, misspeculated=True)
+        clean = run_machine(good, cfg).cycles
+        squashed = run_machine(one_bad, cfg)
+        assert squashed.cycles > clean + cfg.recovery_penalty
+        assert squashed.squash_cycles > cfg.recovery_penalty
+        assert squashed.tasks_misspeculated == 1
+
+    def test_many_misspeculations_lose_to_baseline(self):
+        """The Figure 7 effect: uncontrolled misspeculation drops MSSP
+        below the vanilla superscalar."""
+        cfg = default_config()
+        tasks = [task(i, speculated=28, misspeculated=(i % 4 == 0))
+                 for i in range(200)]
+        timing = run_machine(tasks, cfg)
+        assert timing.cycles > baseline_cycles(tasks, cfg)
+
+    def test_checkpoint_depth_stalls_leading_core(self):
+        # Make verification far slower than distilled execution.
+        cfg = MsspConfig(n_trailing=1, checkpoint_depth=2,
+                         trailing_base_cpi=5.0)
+        tasks = [task(i, speculated=28) for i in range(50)]
+        timing = run_machine(tasks, cfg)
+        assert timing.stall_cycles > 0
+
+    def test_cycles_cover_last_verification(self):
+        cfg = default_config()
+        tasks = [task(i) for i in range(5)]
+        timing = run_machine(tasks, cfg)
+        assert timing.cycles >= timing.leading_busy_cycles
+
+    def test_misspec_task_rate(self):
+        cfg = default_config()
+        tasks = [task(i, misspeculated=(i == 0), speculated=1)
+                 for i in range(10)]
+        timing = run_machine(tasks, cfg)
+        assert timing.misspec_task_rate == pytest.approx(0.1)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"task_branches": 0},
+        {"leading_base_cpi": 0},
+        {"n_trailing": 0},
+        {"recovery_penalty": -1},
+        {"checkpoint_depth": 0},
+        {"max_elimination": 1.0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            MsspConfig(**kwargs)

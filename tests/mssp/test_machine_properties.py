@@ -1,0 +1,99 @@
+"""Property tests for the MSSP timing model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mssp.config import MsspConfig
+from repro.mssp.machine import baseline_cycles, run_machine
+from repro.mssp.task import Task
+
+
+@st.composite
+def task_lists(draw, max_tasks=60):
+    n = draw(st.integers(1, max_tasks))
+    tasks = []
+    for i in range(n):
+        branches = draw(st.integers(1, 32))
+        speculated = draw(st.integers(0, branches))
+        mispredicted = draw(st.integers(0, branches - speculated))
+        mispredicted_all = draw(st.integers(mispredicted, branches))
+        tasks.append(Task(
+            index=i,
+            instructions=draw(st.integers(branches, 400)),
+            branches=branches,
+            speculated=speculated,
+            misspeculated=draw(st.booleans()),
+            mispredicted=mispredicted,
+            mispredicted_all=mispredicted_all,
+        ))
+    return tasks
+
+
+class TestTimingInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(tasks=task_lists())
+    def test_cycles_cover_busy_time(self, tasks):
+        timing = run_machine(tasks, MsspConfig())
+        assert timing.cycles >= timing.leading_busy_cycles
+        assert timing.stall_cycles >= 0
+        assert timing.squash_cycles >= 0
+        assert timing.tasks == len(tasks)
+
+    @settings(max_examples=80, deadline=None)
+    @given(tasks=task_lists())
+    def test_misspeculation_counts(self, tasks):
+        timing = run_machine(tasks, MsspConfig())
+        assert timing.tasks_misspeculated == sum(
+            t.misspeculated for t in tasks)
+        if timing.tasks_misspeculated == 0:
+            assert timing.squash_cycles == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_lists())
+    def test_removing_misspeculation_never_slows(self, tasks):
+        clean = [dataclasses.replace(t, misspeculated=False)
+                 for t in tasks]
+        cfg = MsspConfig()
+        assert run_machine(clean, cfg).cycles \
+            <= run_machine(tasks, cfg).cycles + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_lists())
+    def test_unspeculated_clean_run_tracks_baseline(self, tasks):
+        """Without speculation or squashes, MSSP is the baseline plus
+        bounded pipeline effects."""
+        plain = [dataclasses.replace(t, speculated=0, misspeculated=False,
+                                     mispredicted=t.mispredicted_all)
+                 for t in tasks]
+        cfg = MsspConfig()
+        timing = run_machine(plain, cfg)
+        base = baseline_cycles(plain, cfg)
+        assert timing.leading_busy_cycles == pytest.approx(base)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_lists(), depth=st.integers(1, 32))
+    def test_deeper_checkpointing_never_slows(self, tasks, depth):
+        shallow = MsspConfig(checkpoint_depth=depth)
+        deep = MsspConfig(checkpoint_depth=depth + 8)
+        assert run_machine(tasks, deep).cycles \
+            <= run_machine(tasks, shallow).cycles + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(tasks=task_lists())
+    def test_measured_elimination_bounds(self, tasks):
+        """A measured elimination never inflates the distilled size
+        beyond the original, nor below the 20% skeleton floor."""
+        from repro.mssp.machine import distilled_instructions
+
+        cfg = MsspConfig()
+        for t in tasks:
+            with_elim = dataclasses.replace(t, eliminated=1e9)
+            assert distilled_instructions(with_elim, cfg) \
+                == 0.2 * t.instructions
+            no_elim = dataclasses.replace(t, eliminated=0.0)
+            assert distilled_instructions(no_elim, cfg) == t.instructions

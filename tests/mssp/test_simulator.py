@@ -1,0 +1,71 @@
+"""End-to-end tests of the MSSP simulation stack."""
+
+import pytest
+
+from repro.mssp.simulator import (
+    checkpoint_trace,
+    closed_loop_config,
+    open_loop_config,
+    simulate_mssp,
+)
+from repro.trace.patterns import ConstantBias, StepChange
+from repro.trace.synthetic import round_robin_trace
+from repro.trace.spec2000 import load_trace
+
+
+class TestConfigs:
+    def test_closed_loop_has_eviction(self):
+        assert closed_loop_config().eviction_enabled
+
+    def test_open_loop_differs_only_in_eviction(self):
+        closed = closed_loop_config()
+        open_ = open_loop_config()
+        assert not open_.eviction_enabled
+        assert open_.monitor_period == closed.monitor_period
+        assert open_.revisit_period == closed.revisit_period
+
+
+class TestSimulate:
+    def test_biased_workload_speeds_up(self):
+        trace = round_robin_trace(
+            [ConstantBias(1.0)] * 4 + [ConstantBias(0.5)],
+            length=40_000, seed=0)
+        result = simulate_mssp(trace)
+        assert result.speedup > 1.05
+        assert result.mean_distillation < 1.0
+
+    def test_changing_workload_punishes_open_loop(self):
+        """The paper's core MSSP result: reactivity decides between
+        speedup and slowdown when behavior changes mid-run."""
+        trace = round_robin_trace(
+            [StepChange(1.0, 0.0, 5_000)] * 2 + [ConstantBias(1.0)] * 2,
+            length=60_000, seed=1)
+        closed = simulate_mssp(trace, closed_loop_config())
+        open_ = simulate_mssp(trace, open_loop_config())
+        assert closed.speedup > open_.speedup
+        assert open_.tasks_misspeculated > closed.tasks_misspeculated
+
+    def test_control_result_attached(self):
+        trace = round_robin_trace([ConstantBias(1.0)], 10_000, seed=2)
+        result = simulate_mssp(trace)
+        assert result.control.metrics.dynamic_branches == 10_000
+
+    def test_summary_renders(self):
+        trace = round_robin_trace([ConstantBias(1.0)], 5_000, seed=3)
+        assert "speedup" in simulate_mssp(trace).summary()
+
+
+class TestCheckpointTrace:
+    def test_window_length_and_rebase(self):
+        trace = checkpoint_trace("eon", length=50_000)
+        assert len(trace) == 50_000
+        trace.validate()
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ValueError):
+            checkpoint_trace("eon", length=1_000, position=1.5)
+
+    def test_clamps_to_available_events(self):
+        full_len = len(load_trace("eon"))
+        trace = checkpoint_trace("eon", length=full_len + 10, position=0.9)
+        assert len(trace) == full_len

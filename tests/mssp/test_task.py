@@ -1,0 +1,70 @@
+"""Tests for MSSP task construction."""
+
+import numpy as np
+import pytest
+
+from repro.mssp.task import Task, build_tasks
+from repro.trace.synthetic import single_branch_trace
+
+
+def flags(n, true_at=()):
+    arr = np.zeros(n, dtype=bool)
+    arr[list(true_at)] = True
+    return arr
+
+
+class TestBuildTasks:
+    def test_slices_fixed_size(self):
+        trace = single_branch_trace([True] * 100)
+        tasks = build_tasks(trace, flags(100), flags(100), flags(100), 32)
+        assert [t.branches for t in tasks] == [32, 32, 32, 4]
+        assert sum(t.instructions for t in tasks) \
+            == trace.total_instructions
+
+    def test_speculation_counts_per_task(self):
+        trace = single_branch_trace([True] * 64)
+        spec = flags(64, range(0, 40))
+        tasks = build_tasks(trace, spec, flags(64), flags(64), 32)
+        assert tasks[0].speculated == 32
+        assert tasks[1].speculated == 8
+
+    def test_any_misspec_squashes_whole_task(self):
+        trace = single_branch_trace([True] * 64)
+        misspec = flags(64, [5, 6, 7])  # 3 misspecs, same task
+        spec = flags(64, [5, 6, 7])
+        tasks = build_tasks(trace, spec, misspec, flags(64), 32)
+        assert tasks[0].misspeculated
+        assert not tasks[1].misspeculated
+
+    def test_mispredictions_exclude_speculated(self):
+        trace = single_branch_trace([True] * 32)
+        spec = flags(32, [0, 1])
+        mispred = flags(32, [0, 1, 2])
+        tasks = build_tasks(trace, spec, flags(32), mispred, 32)
+        assert tasks[0].mispredicted == 1
+        assert tasks[0].mispredicted_all == 3
+
+    def test_rejects_mismatched_flags(self):
+        trace = single_branch_trace([True] * 10)
+        with pytest.raises(ValueError):
+            build_tasks(trace, flags(5), flags(10), flags(10), 4)
+
+
+class TestTaskValidation:
+    def test_speculated_fraction(self):
+        task = Task(0, 100, 32, 16, False, 2, 4)
+        assert task.speculated_fraction == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(instructions=0, branches=1, speculated=0,
+             misspeculated=False, mispredicted=0, mispredicted_all=0),
+        dict(instructions=10, branches=4, speculated=5,
+             misspeculated=False, mispredicted=0, mispredicted_all=0),
+        dict(instructions=10, branches=4, speculated=2,
+             misspeculated=False, mispredicted=3, mispredicted_all=3),
+        dict(instructions=10, branches=4, speculated=0,
+             misspeculated=False, mispredicted=2, mispredicted_all=1),
+    ])
+    def test_rejects_inconsistent_tasks(self, kwargs):
+        with pytest.raises(ValueError):
+            Task(index=0, **kwargs)

@@ -1,0 +1,59 @@
+"""Tests for initial-behavior training."""
+
+import pytest
+
+from repro.profiling.base import evaluate_policy
+from repro.profiling.initial import (
+    PAPER_TRAINING_PERIODS,
+    SCALED_TRAINING_PERIODS,
+    evaluate_initial_behavior,
+    initial_behavior_policy,
+)
+from repro.trace.synthetic import trace_from_outcomes
+
+
+class TestPolicy:
+    def test_trains_on_prefix(self):
+        # Biased for 20, then reverses: training on 10 selects it.
+        trace = trace_from_outcomes({0: [True] * 20 + [False] * 20})
+        policy = initial_behavior_policy(trace, training_period=10)
+        assert len(policy) == 1
+        assert policy.start_exec == 10
+
+    def test_counts_only_post_training(self):
+        trace = trace_from_outcomes({0: [True] * 20 + [False] * 20})
+        m = evaluate_initial_behavior(trace, training_period=10)
+        assert m.correct == 10   # executions 10..19
+        assert m.incorrect == 20  # the reversed tail
+
+    def test_short_lived_branches_not_trained(self):
+        trace = trace_from_outcomes({0: [True] * 5, 1: [True] * 50})
+        policy = initial_behavior_policy(trace, training_period=10)
+        assert {d.branch for d in policy.decisions} == {1}
+
+    def test_longer_training_reduces_misspecs_but_loses_benefit(self):
+        """The Figure 2 trade-off: longer training windows catch the
+        change (fewer misspecs) but speculate on fewer executions."""
+        trace = trace_from_outcomes({
+            0: [True] * 30 + [False] * 170,   # changes early
+            1: [True] * 200,                  # stable
+        })
+        short = evaluate_initial_behavior(trace, training_period=10)
+        long = evaluate_initial_behavior(trace, training_period=100)
+        assert long.incorrect < short.incorrect
+        assert long.correct < short.correct
+
+    def test_rejects_bad_period(self):
+        trace = trace_from_outcomes({0: [True] * 10})
+        with pytest.raises(ValueError):
+            initial_behavior_policy(trace, 0)
+
+
+class TestSweeps:
+    def test_paper_periods_match_section_2_2(self):
+        assert PAPER_TRAINING_PERIODS == (
+            1_000, 10_000, 100_000, 300_000, 1_000_000)
+
+    def test_scaled_periods_are_increasing(self):
+        assert list(SCALED_TRAINING_PERIODS) == \
+            sorted(SCALED_TRAINING_PERIODS)

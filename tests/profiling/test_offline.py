@@ -1,0 +1,48 @@
+"""Tests for cross-input offline profiling."""
+
+from repro.profiling.base import evaluate_policy
+from repro.profiling.offline import offline_policy
+from repro.trace.spec2000 import BENCHMARKS, load_trace
+from repro.trace.synthetic import trace_from_outcomes
+
+
+class TestOfflinePolicy:
+    def test_direction_comes_from_profile_run(self):
+        profile = trace_from_outcomes({0: [True] * 50})
+        evaluation = trace_from_outcomes({0: [False] * 50})
+        policy = offline_policy(profile)
+        m = evaluate_policy(policy, evaluation)
+        # 100% flipped between inputs: every speculation fails.
+        assert m.incorrect == 50
+        assert m.correct == 0
+
+    def test_unprofiled_branches_not_speculated(self):
+        profile = trace_from_outcomes({0: [True] * 50})
+        evaluation = trace_from_outcomes({0: [True] * 10,
+                                          1: [True] * 40})
+        m = evaluate_policy(offline_policy(profile), evaluation)
+        assert m.correct == 10  # branch 1 invisible to the profile
+
+    def test_threshold_filters_unbiased(self):
+        profile = trace_from_outcomes({0: [True, False] * 25})
+        policy = offline_policy(profile, threshold=0.99)
+        assert len(policy) == 0
+
+
+class TestCrossInputFailure:
+    """The Section 2.2 finding: cross-input profiles lose benefit and
+    multiply misspeculations relative to self-training."""
+
+    def test_cross_input_worse_than_self_training(self):
+        from repro.profiling.self_training import self_training_policy
+
+        name = "crafty"  # one of the paper's worst offenders
+        eval_trace = load_trace(name, length=150_000)
+        prof_trace = load_trace(
+            name, BENCHMARKS[name].profile_input, length=150_000)
+        self_m = evaluate_policy(
+            self_training_policy(eval_trace), eval_trace)
+        cross_m = evaluate_policy(
+            offline_policy(prof_trace), eval_trace)
+        assert cross_m.incorrect_rate > 3 * self_m.incorrect_rate
+        assert cross_m.correct_rate < self_m.correct_rate

@@ -1,0 +1,91 @@
+"""Tests for self-training (oracle) selection and the Pareto curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiling.base import evaluate_policy
+from repro.profiling.self_training import pareto_curve, self_training_policy
+from repro.trace.patterns import ConstantBias
+from repro.trace.synthetic import round_robin_trace, trace_from_outcomes
+
+
+def toy_trace():
+    """Three branches: perfect (20 execs), 75% (20), 50% (20)."""
+    return trace_from_outcomes({
+        0: [True] * 20,
+        1: [True] * 15 + [False] * 5,
+        2: [True, False] * 10,
+    })
+
+
+class TestParetoCurve:
+    def test_sorted_by_bias_descending(self):
+        curve = pareto_curve(toy_trace())
+        assert list(curve.bias) == sorted(curve.bias, reverse=True)
+
+    def test_cumulative_rates(self):
+        curve = pareto_curve(toy_trace())
+        # First point: the perfect branch only.
+        assert curve.correct_rate[0] == pytest.approx(20 / 60)
+        assert curve.incorrect_rate[0] == 0.0
+        # Full curve ends with all majorities/minorities.
+        assert curve.correct_rate[-1] == pytest.approx(45 / 60)
+        assert curve.incorrect_rate[-1] == pytest.approx(15 / 60)
+
+    def test_monotonically_increasing(self):
+        curve = pareto_curve(toy_trace())
+        assert np.all(np.diff(curve.correct_rate) >= 0)
+        assert np.all(np.diff(curve.incorrect_rate) >= 0)
+
+    def test_at_threshold(self):
+        curve = pareto_curve(toy_trace())
+        inc, corr = curve.at_threshold(0.99)
+        assert (inc, corr) == (0.0, pytest.approx(20 / 60))
+        inc, corr = curve.at_threshold(0.70)
+        assert corr == pytest.approx(35 / 60)
+
+    def test_at_threshold_nothing_selected(self):
+        curve = pareto_curve(toy_trace())
+        assert curve.at_threshold(1.01) == (0.0, 0.0)
+
+    def test_correct_at_incorrect_budget(self):
+        curve = pareto_curve(toy_trace())
+        assert curve.correct_at_incorrect_budget(0.0) \
+            == pytest.approx(20 / 60)
+        assert curve.correct_at_incorrect_budget(1.0) \
+            == pytest.approx(45 / 60)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_pareto_dominates_any_threshold_policy(self, seed):
+        """Any threshold policy's point lies on (not above) the curve."""
+        trace = round_robin_trace(
+            [ConstantBias(p) for p in (1.0, 0.95, 0.8, 0.6, 0.4)],
+            length=500, seed=seed)
+        curve = pareto_curve(trace)
+        for threshold in (0.99, 0.9, 0.7):
+            policy = self_training_policy(trace, threshold)
+            m = evaluate_policy(policy, trace)
+            best = curve.correct_at_incorrect_budget(
+                m.incorrect_rate + 1e-12)
+            assert m.correct_rate <= best + 1e-12
+
+
+class TestSelfTrainingPolicy:
+    def test_selects_by_whole_run_bias(self):
+        policy = self_training_policy(toy_trace(), threshold=0.99)
+        assert {d.branch for d in policy.decisions} == {0}
+
+    def test_locks_majority_direction(self):
+        trace = trace_from_outcomes({0: [False] * 30})
+        policy = self_training_policy(trace, threshold=0.99)
+        assert policy.decisions[0].direction is False
+
+    def test_evaluation_counts_everything(self):
+        trace = toy_trace()
+        policy = self_training_policy(trace, threshold=0.70)
+        m = evaluate_policy(policy, trace)
+        assert m.correct == 35
+        assert m.incorrect == 5
+        assert m.dynamic_branches == 60

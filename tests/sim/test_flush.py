@@ -1,0 +1,63 @@
+"""Tests for the Dynamo-style flush policy."""
+
+import pytest
+
+from repro.core.config import scaled_config
+from repro.sim.flush import run_with_flush
+from repro.sim.runner import run_reactive
+from repro.trace.patterns import ConstantBias, StepChange
+from repro.trace.spec2000 import load_trace
+from repro.trace.synthetic import round_robin_trace
+
+
+class TestMechanics:
+    def test_windows_partition_the_trace(self):
+        trace = load_trace("gzip", length=40_000)
+        result = run_with_flush(trace, scaled_config(), 50_000)
+        assert sum(w.metrics.dynamic_branches for w in result.windows) \
+            == len(trace)
+        assert result.n_flushes == len(result.windows) - 1
+
+    def test_flush_discards_speculation_state(self):
+        """A branch selected in window 1 must re-train in window 2, so
+        flushing strictly reduces coverage on a stable workload."""
+        trace = round_robin_trace([ConstantBias(1.0)] * 2, 40_000, seed=0)
+        config = scaled_config()
+        continuous = run_reactive(trace, config.decide_once())
+        flushed = run_with_flush(trace, config, 40_000)
+        assert flushed.metrics.correct < continuous.metrics.correct
+        assert flushed.n_flushes >= 1
+
+    def test_config_forced_open_loop(self):
+        trace = load_trace("gzip", length=10_000)
+        result = run_with_flush(trace, scaled_config(), 10**6)
+        assert not result.config.eviction_enabled
+        assert not result.config.revisit_enabled
+
+    def test_rejects_bad_period(self):
+        trace = load_trace("gzip", length=1_000)
+        with pytest.raises(ValueError):
+            run_with_flush(trace, scaled_config(), 0)
+
+
+class TestConjecture:
+    """Section 5: flushing should land between open and closed loop."""
+
+    def test_flush_bounds_open_loop_damage(self):
+        trace = round_robin_trace(
+            [StepChange(1.0, 0.0, 6_000)] * 2 + [ConstantBias(1.0)] * 2,
+            length=80_000, seed=1)
+        config = scaled_config()
+        closed = run_reactive(trace, config)
+        open_ = run_reactive(trace, config.without_eviction())
+        flushed = run_with_flush(trace, config, 40_000)
+        assert closed.metrics.incorrect_rate \
+            <= flushed.metrics.incorrect_rate \
+            <= open_.metrics.incorrect_rate
+
+    def test_flush_loses_benefit_vs_closed(self):
+        trace = round_robin_trace([ConstantBias(1.0)] * 4, 80_000, seed=2)
+        config = scaled_config()
+        closed = run_reactive(trace, config)
+        flushed = run_with_flush(trace, config, 30_000)
+        assert flushed.metrics.correct_rate < closed.metrics.correct_rate

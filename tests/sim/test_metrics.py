@@ -1,0 +1,57 @@
+"""Unit tests for speculation metrics."""
+
+import pytest
+
+from repro.sim.metrics import SpeculationMetrics
+
+
+def metrics(**kwargs):
+    base = dict(dynamic_branches=1000, correct=400, incorrect=10,
+                instructions=8000)
+    base.update(kwargs)
+    return SpeculationMetrics(**base)
+
+
+class TestRates:
+    def test_rates(self):
+        m = metrics()
+        assert m.correct_rate == pytest.approx(0.4)
+        assert m.incorrect_rate == pytest.approx(0.01)
+        assert m.coverage == pytest.approx(0.41)
+        assert m.misspec_distance == pytest.approx(800)
+
+    def test_zero_denominators(self):
+        m = SpeculationMetrics(0, 0, 0, 0)
+        assert m.correct_rate == 0.0
+        assert m.incorrect_rate == 0.0
+        assert m.coverage == 0.0
+
+    def test_infinite_misspec_distance(self):
+        m = metrics(incorrect=0)
+        assert m.misspec_distance == float("inf")
+        assert "inf" in m.summary()
+
+    def test_summary_renders(self):
+        assert "correct" in metrics().summary()
+
+
+class TestAlgebra:
+    def test_addition_pools_counts(self):
+        total = metrics() + metrics(correct=100)
+        assert total.dynamic_branches == 2000
+        assert total.correct == 500
+        assert total.instructions == 16000
+
+    def test_is_frozen(self):
+        with pytest.raises(Exception):
+            metrics().correct = 5
+
+
+class TestValidation:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            metrics(correct=-1)
+
+    def test_rejects_speculations_exceeding_dynamic(self):
+        with pytest.raises(ValueError):
+            metrics(correct=999, incorrect=2)

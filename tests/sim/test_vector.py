@@ -1,0 +1,104 @@
+"""Scenario tests for the vectorized engine against hand-computed
+expectations (complementing the randomized equivalence tests)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.states import BranchState, TransitionKind
+from repro.sim.vector import run_vector, simulate_branch
+from repro.trace.synthetic import single_branch_trace
+
+
+def config(**kwargs):
+    base = dict(monitor_period=4, selection_threshold=0.75,
+                evict_counter_max=100, misspec_increment=50,
+                correct_decrement=1, revisit_period=6,
+                oscillation_limit=3, optimization_latency=0)
+    base.update(kwargs)
+    return ControllerConfig(**base)
+
+
+def simulate(outcomes, cfg, stride=10):
+    taken = np.asarray(outcomes, dtype=bool)
+    instr = np.arange(1, len(taken) + 1, dtype=np.int64) * stride
+    return simulate_branch(0, taken, instr, cfg)
+
+
+class TestScenarios:
+    def test_perfect_branch_full_benefit(self):
+        s = simulate([True] * 100, config())
+        assert s.final_state is BranchState.BIASED
+        # The 4 monitor executions cannot speculate; the other 96 do.
+        assert s.correct == 96
+        assert s.incorrect == 0
+
+    def test_unbiased_branch_never_speculates(self):
+        s = simulate([True, False] * 50, config())
+        assert s.correct == 0 and s.incorrect == 0
+        assert s.bias_entries == 0
+
+    def test_reversal_evicted_after_two_misspecs(self):
+        s = simulate([True] * 20 + [False] * 30, config())
+        assert s.evictions == 1
+        assert s.incorrect == 2  # 2 x 50 saturates the counter at 100
+
+    def test_latency_window_counts_misspecs(self):
+        cfg = config(optimization_latency=100)
+        # Select at exec 3 (instr 40); lands instr 140 -> exec 13.
+        # Flip at exec 50; 2 misspecs -> evict at exec 51 (instr 520);
+        # repair lands instr 620 -> exec 61; execs 52..60 still misspec.
+        s = simulate([True] * 50 + [False] * 40, cfg)
+        assert s.evictions == 1
+        assert s.incorrect == 2 + 9
+
+    def test_oscillation_exhaustion(self):
+        cfg = config()
+        pattern = ([True] * 4 + [False] * 2) * 3 + [True] * 10
+        s = simulate(pattern, cfg)
+        assert s.final_state is BranchState.DISABLED
+        assert s.bias_entries == 3
+        kinds = [t.kind for t in s.transitions]
+        assert kinds[-1] is TransitionKind.DISABLE
+
+    def test_periodic_branch_reselected_each_good_regime(self):
+        cfg = config(revisit_period=3, oscillation_limit=10)
+        regime = [True] * 40 + [False] * 40
+        s = simulate(regime * 3, cfg)
+        # Reactive control exploits each regime (the gzip/mcf effect).
+        assert s.bias_entries >= 3
+        assert s.correct > 100
+
+    def test_monitor_never_completes_for_cold_branch(self):
+        s = simulate([True] * 3, config())
+        assert s.final_state is BranchState.MONITOR
+        assert not s.transitions
+
+
+class TestRunVector:
+    def test_aggregates_multiple_branches(self):
+        trace = single_branch_trace([True] * 50)
+        result = run_vector(trace, config())
+        assert result.metrics.dynamic_branches == 50
+        assert result.stats.touched == 1
+        assert result.branches[0].branch == 0
+
+    def test_metrics_match_branch_sums(self):
+        from repro.trace.synthetic import round_robin_trace
+        from repro.trace.patterns import ConstantBias, StepChange
+
+        trace = round_robin_trace(
+            [ConstantBias(1.0), StepChange(1.0, 0.0, 30),
+             ConstantBias(0.5)], length=300, seed=1)
+        result = run_vector(trace, config())
+        assert result.metrics.correct == sum(
+            s.correct for s in result.branches)
+        assert result.metrics.incorrect == sum(
+            s.incorrect for s in result.branches)
+
+    def test_branch_summary_lookup(self):
+        trace = single_branch_trace([True] * 10)
+        result = run_vector(trace, config())
+        assert result.branch_summary(0).exec_count == 10
+        with pytest.raises(KeyError):
+            result.branch_summary(5)

@@ -1,0 +1,40 @@
+"""Every example script must run to completion as a subprocess.
+
+Examples are the quickstart surface of the repository; a broken example
+is a broken deliverable, so they are tested like everything else.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, argv) — arguments chosen to keep runtimes in seconds.
+CASES = [
+    ("quickstart.py", ["gzip"]),
+    ("adaptive_jit.py", []),
+    ("mssp_speedup.py", ["gzip"]),
+    ("changing_branches.py", ["mcf"]),
+    ("hardware_vs_software.py", []),
+    ("distiller_tour.py", []),
+]
+
+
+@pytest.mark.parametrize("script,argv", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, argv):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {c[0] for c in CASES}

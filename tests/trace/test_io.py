@@ -1,0 +1,43 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.trace.io import load_trace_file, save_trace
+from repro.trace.synthetic import round_robin_trace
+from repro.trace.patterns import ConstantBias
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = round_robin_trace([ConstantBias(0.7), ConstantBias(0.2)],
+                                  length=500, seed=3, name="rt")
+        trace.meta["note"] = "hello"
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace_file(path)
+        assert loaded.name == "rt"
+        assert loaded.input_name == trace.input_name
+        assert loaded.meta["note"] == "hello"
+        assert np.array_equal(loaded.branch_ids, trace.branch_ids)
+        assert np.array_equal(loaded.taken, trace.taken)
+        assert np.array_equal(loaded.instrs, trace.instrs)
+
+    def test_creates_parent_directories(self, tmp_path):
+        trace = round_robin_trace([ConstantBias(1.0)], length=10)
+        path = save_trace(trace, tmp_path / "a" / "b" / "t.npz")
+        assert path.exists()
+
+    def test_rejects_unknown_version(self, tmp_path):
+        trace = round_robin_trace([ConstantBias(1.0)], length=10)
+        path = save_trace(trace, tmp_path / "t.npz")
+        import json
+
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["version"] = 99
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_trace_file(path)

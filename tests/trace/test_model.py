@@ -1,0 +1,56 @@
+"""Unit tests for the static program model."""
+
+import pytest
+
+from repro.trace.model import BenchmarkModel, Region, StaticBranch
+from repro.trace.patterns import ConstantBias
+
+
+def branch(i, p=1.0):
+    return StaticBranch(branch_id=i, pattern=ConstantBias(p))
+
+
+def region(rid, branch_ids, **kwargs):
+    kwargs.setdefault("body_instructions", 8 * len(branch_ids))
+    return Region(region_id=rid,
+                  branches=tuple(branch(i) for i in branch_ids), **kwargs)
+
+
+class TestRegion:
+    def test_requires_branches(self):
+        with pytest.raises(ValueError):
+            Region(region_id=0, branches=())
+
+    def test_requires_enough_instructions(self):
+        with pytest.raises(ValueError):
+            region(0, [1, 2, 3], body_instructions=2)
+
+    def test_requires_sane_trip_count(self):
+        with pytest.raises(ValueError):
+            region(0, [1], mean_trip_count=0.5)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            region(0, [1], weight=-1.0)
+
+
+class TestBenchmarkModel:
+    def test_rejects_duplicate_branch_ids(self):
+        with pytest.raises(ValueError):
+            BenchmarkModel("m", "i", (region(0, [1, 2]), region(1, [2])))
+
+    def test_requires_some_positive_weight(self):
+        with pytest.raises(ValueError):
+            BenchmarkModel("m", "i", (region(0, [1], weight=0.0),))
+
+    def test_static_branches_enumeration(self):
+        model = BenchmarkModel("m", "i",
+                               (region(0, [1, 2]), region(1, [3])))
+        assert [b.branch_id for b in model.static_branches] == [1, 2, 3]
+        assert model.n_static == 3
+
+    def test_branch_lookup(self):
+        model = BenchmarkModel("m", "i", (region(0, [5, 7]),))
+        assert model.branch(7).branch_id == 7
+        with pytest.raises(KeyError):
+            model.branch(99)

@@ -1,0 +1,163 @@
+"""Unit and property tests for behavior patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.patterns import (
+    BurstNoise,
+    ConstantBias,
+    GlobalPhase,
+    LinearDrift,
+    MultiPhase,
+    PeriodicBias,
+    PhaseSchedule,
+    StepChange,
+    induction_flip,
+)
+
+
+def probe(pattern, n=100, instr_stride=10):
+    exec_idx = np.arange(n, dtype=np.int64)
+    instr = exec_idx * instr_stride + 1
+    return pattern.p_taken(exec_idx, instr)
+
+
+class TestConstantBias:
+    def test_constant(self):
+        assert np.all(probe(ConstantBias(0.9)) == 0.9)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_rejects_bad_probability(self, p):
+        with pytest.raises(ValueError):
+            ConstantBias(p)
+
+    def test_flipped(self):
+        assert np.all(probe(ConstantBias(0.9).flipped()) == pytest.approx(0.1))
+
+    def test_double_flip_returns_original(self):
+        pattern = ConstantBias(0.7)
+        assert pattern.flipped().flipped() is pattern
+
+
+class TestStepChange:
+    def test_changes_at_boundary(self):
+        p = probe(StepChange(1.0, 0.0, 50))
+        assert np.all(p[:50] == 1.0)
+        assert np.all(p[50:] == 0.0)
+
+    def test_induction_flip_is_exact(self):
+        pattern = induction_flip(32_768)
+        exec_idx = np.array([0, 32_767, 32_768, 100_000])
+        p = pattern.p_taken(exec_idx, exec_idx)
+        assert list(p) == [0.0, 0.0, 1.0, 1.0]
+
+    def test_rejects_negative_change_point(self):
+        with pytest.raises(ValueError):
+            StepChange(0.0, 1.0, -1)
+
+
+class TestMultiPhase:
+    def test_piecewise_segments(self):
+        pattern = MultiPhase(((10, 1.0), (10, 0.5), (5, 0.0)))
+        p = probe(pattern, 40)
+        assert np.all(p[:10] == 1.0)
+        assert np.all(p[10:20] == 0.5)
+        assert np.all(p[20:] == 0.0)  # final segment extends forever
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MultiPhase(())
+
+    def test_rejects_zero_length_segment(self):
+        with pytest.raises(ValueError):
+            MultiPhase(((0, 0.5),))
+
+
+class TestLinearDrift:
+    def test_flat_then_ramp_then_flat(self):
+        pattern = LinearDrift(1.0, 0.5, drift_start=10, drift_len=10)
+        p = probe(pattern, 40)
+        assert np.all(p[:11] == 1.0)
+        assert p[15] == pytest.approx(0.75)
+        assert np.all(p[20:] == 0.5)
+
+    def test_monotone_during_ramp(self):
+        p = probe(LinearDrift(0.9, 0.1, 5, 20), 40)
+        assert np.all(np.diff(p[5:25]) <= 0)
+
+
+class TestPeriodicBias:
+    def test_alternates(self):
+        pattern = PeriodicBias(1.0, 0.0, len_a=5, len_b=5)
+        p = probe(pattern, 20)
+        assert np.all(p[:5] == 1.0)
+        assert np.all(p[5:10] == 0.0)
+        assert np.all(p[10:15] == 1.0)
+
+    def test_phase_offset(self):
+        pattern = PeriodicBias(1.0, 0.0, 5, 5, phase_offset=5)
+        assert probe(pattern, 1)[0] == 0.0
+
+
+class TestBurstNoise:
+    def test_bursts_override_base(self):
+        pattern = BurstNoise(ConstantBias(1.0), burst_period=10,
+                             burst_len=2, burst_p=0.0)
+        p = probe(pattern, 20)
+        # Last burst_len positions of each period are the burst.
+        assert np.all(p[[8, 9, 18, 19]] == 0.0)
+        assert np.all(p[:8] == 1.0)
+
+    def test_rejects_burst_longer_than_period(self):
+        with pytest.raises(ValueError):
+            BurstNoise(ConstantBias(1.0), burst_period=5, burst_len=5,
+                       burst_p=0.0)
+
+
+class TestGlobalPhase:
+    def test_phase_keyed_to_instructions(self):
+        schedule = PhaseSchedule((100, 200))
+        pattern = GlobalPhase(schedule, 1.0, 0.0)
+        instr = np.array([50, 150, 250])
+        p = pattern.p_taken(np.zeros(3, dtype=np.int64), instr)
+        assert list(p) == [1.0, 0.0, 1.0]
+
+    def test_shared_schedule_correlates_branches(self):
+        schedule = PhaseSchedule((1000,))
+        a = GlobalPhase(schedule, 1.0, 0.2)
+        b = GlobalPhase(schedule, 0.0, 0.9)
+        instr = np.array([500, 1500])
+        pa = a.p_taken(np.zeros(2, dtype=np.int64), instr)
+        pb = b.p_taken(np.zeros(2, dtype=np.int64), instr)
+        # Both change behavior at the same instant.
+        assert (pa[0], pa[1]) == (1.0, 0.2)
+        assert (pb[0], pb[1]) == (0.0, 0.9)
+
+    def test_schedule_requires_sorted_boundaries(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule((200, 100))
+
+
+class TestProperties:
+    @given(
+        p=st.floats(0.0, 1.0),
+        q=st.floats(0.0, 1.0),
+        change=st.integers(0, 1000),
+    )
+    def test_step_change_probabilities_in_range(self, p, q, change):
+        values = probe(StepChange(p, q, change), 200)
+        assert np.all((values >= 0.0) & (values <= 1.0))
+
+    @given(
+        start=st.floats(0.0, 1.0),
+        end=st.floats(0.0, 1.0),
+        drift_start=st.integers(0, 100),
+        drift_len=st.integers(1, 100),
+    )
+    def test_linear_drift_bounded_by_endpoints(self, start, end,
+                                               drift_start, drift_len):
+        values = probe(LinearDrift(start, end, drift_start, drift_len), 300)
+        lo, hi = min(start, end), max(start, end)
+        assert np.all(values >= lo - 1e-12)
+        assert np.all(values <= hi + 1e-12)

@@ -1,0 +1,112 @@
+"""Tests for the synthetic SPEC2000int benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.trace.spec2000 import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    benchmark_spec,
+    build_model,
+    load_trace,
+)
+
+
+class TestSuiteDefinition:
+    def test_twelve_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 12
+        assert set(BENCHMARK_NAMES) == {
+            "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf",
+            "parser", "perl", "twolf", "vortex", "vpr"}
+
+    def test_lookup(self):
+        assert benchmark_spec("gcc").name == "gcc"
+        with pytest.raises(KeyError):
+            benchmark_spec("nosuch")
+
+    def test_static_counts_scaled_from_table3(self):
+        # Table 3 touch counts / 10.
+        assert BENCHMARKS["gcc"].n_static == 794
+        assert BENCHMARKS["bzip2"].n_static == 28
+        assert BENCHMARKS["vortex"].n_static == 348
+
+    def test_distinct_inputs(self):
+        for spec in BENCHMARKS.values():
+            assert spec.profile_input != spec.eval_input
+
+
+class TestBuildModel:
+    def test_deterministic(self):
+        a = build_model("gzip")
+        b = build_model("gzip")
+        assert a.n_static == b.n_static
+        assert [r.weight for r in a.regions] == [r.weight for r in b.regions]
+
+    def test_structure_shared_across_inputs(self):
+        spec = benchmark_spec("crafty")
+        eval_model = build_model(spec, spec.eval_input)
+        prof_model = build_model(spec, spec.profile_input)
+        assert eval_model.n_static == prof_model.n_static
+        assert [len(r.branches) for r in eval_model.regions] == \
+            [len(r.branches) for r in prof_model.regions]
+
+    def test_inputs_change_behavior(self):
+        spec = benchmark_spec("crafty")
+        eval_model = build_model(spec, spec.eval_input)
+        prof_model = build_model(spec, spec.profile_input)
+        # Some branch patterns differ (direction flips / degradation).
+        diffs = sum(
+            1 for be, bp in zip(eval_model.static_branches,
+                                prof_model.static_branches)
+            if be.pattern != bp.pattern)
+        assert diffs > 0
+
+    def test_inputs_change_coverage(self):
+        spec = benchmark_spec("gcc")
+        eval_model = build_model(spec, spec.eval_input)
+        prof_model = build_model(spec, spec.profile_input)
+        eval_dead = {r.region_id for r in eval_model.regions
+                     if r.weight == 0.0}
+        prof_dead = {r.region_id for r in prof_model.regions
+                     if r.weight == 0.0}
+        assert eval_dead != prof_dead
+
+    def test_rejects_unknown_input(self):
+        with pytest.raises(ValueError):
+            build_model("gzip", "not-an-input")
+
+    def test_n_static_matches_spec(self):
+        for name in ("gzip", "mcf", "eon"):
+            model = build_model(name)
+            # Region sizing may round up by one to avoid 1-branch regions.
+            assert abs(model.n_static - BENCHMARKS[name].n_static) <= 1
+
+
+class TestLoadTrace:
+    def test_default_eval_input_and_length(self):
+        trace = load_trace("eon")
+        assert trace.input_name == BENCHMARKS["eon"].eval_input
+        assert len(trace) == BENCHMARKS["eon"].length
+
+    def test_custom_length(self):
+        trace = load_trace("eon", length=10_000)
+        assert len(trace) == 10_000
+
+    def test_deterministic(self):
+        a = load_trace("gzip", length=20_000)
+        b = load_trace("gzip", length=20_000)
+        assert np.array_equal(a.taken, b.taken)
+
+    def test_profile_and_eval_traces_differ(self):
+        spec = BENCHMARKS["crafty"]
+        a = load_trace("crafty", spec.eval_input, length=30_000)
+        b = load_trace("crafty", spec.profile_input, length=30_000)
+        assert not np.array_equal(a.branch_ids, b.branch_ids) or \
+            not np.array_equal(a.taken, b.taken)
+
+    def test_touched_close_to_static_count(self):
+        trace = load_trace("gzip")
+        n_static = BENCHMARKS["gzip"].n_static
+        # Input-exclusive and zero-weight regions keep some branches
+        # untouched, but most of the program should execute.
+        assert trace.n_touched >= 0.7 * n_static

@@ -1,0 +1,125 @@
+"""Unit and property tests for trace generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.model import BenchmarkModel, Region, StaticBranch
+from repro.trace.patterns import ConstantBias, StepChange
+from repro.trace.stream import Trace, generate_trace
+from repro.trace.synthetic import uniform_model
+
+
+def two_region_model():
+    r0 = Region(0, (StaticBranch(0, ConstantBias(1.0)),
+                    StaticBranch(1, ConstantBias(0.0))),
+                body_instructions=16, mean_trip_count=4.0, weight=3.0)
+    r1 = Region(1, (StaticBranch(2, ConstantBias(0.5)),),
+                body_instructions=8, mean_trip_count=2.0, weight=1.0)
+    return BenchmarkModel("two", "in", (r0, r1))
+
+
+class TestGenerate:
+    def test_exact_length(self):
+        trace = generate_trace(two_region_model(), 5_000, seed=1)
+        assert len(trace) == 5_000
+
+    def test_deterministic_for_seed(self):
+        a = generate_trace(two_region_model(), 2_000, seed=42)
+        b = generate_trace(two_region_model(), 2_000, seed=42)
+        assert np.array_equal(a.branch_ids, b.branch_ids)
+        assert np.array_equal(a.taken, b.taken)
+        assert np.array_equal(a.instrs, b.instrs)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(two_region_model(), 2_000, seed=1)
+        b = generate_trace(two_region_model(), 2_000, seed=2)
+        assert not (np.array_equal(a.branch_ids, b.branch_ids)
+                    and np.array_equal(a.taken, b.taken))
+
+    def test_instruction_stamps_strictly_increase(self):
+        trace = generate_trace(two_region_model(), 3_000, seed=3)
+        trace.validate()
+
+    def test_deterministic_patterns_realized_exactly(self):
+        trace = generate_trace(two_region_model(), 4_000, seed=4)
+        idx0 = trace.groups().indices_of(0)
+        idx1 = trace.groups().indices_of(1)
+        assert np.all(trace.taken[idx0])          # ConstantBias(1.0)
+        assert not np.any(trace.taken[idx1])      # ConstantBias(0.0)
+
+    def test_pattern_sees_per_branch_execution_index(self):
+        model = BenchmarkModel("m", "i", (
+            Region(0, (StaticBranch(0, StepChange(0.0, 1.0, 100)),),
+                   body_instructions=4),))
+        trace = generate_trace(model, 300, seed=5)
+        outcomes = trace.taken[trace.groups().indices_of(0)]
+        assert not outcomes[:100].any()
+        assert outcomes[100:].all()
+
+    def test_region_weights_shape_frequencies(self):
+        trace = generate_trace(two_region_model(), 20_000, seed=6)
+        counts = {b: len(idx) for b, idx in trace.groups()}
+        # Region 0 (weight 3, trips 4, 2 slots) dominates region 1.
+        assert counts[0] > counts[2]
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            generate_trace(two_region_model(), 0)
+
+
+class TestTrace:
+    def test_groups_partition_all_events(self):
+        trace = generate_trace(two_region_model(), 5_000, seed=7)
+        groups = trace.groups()
+        total = sum(len(idx) for _b, idx in groups)
+        assert total == len(trace)
+        assert trace.n_touched == len(groups)
+
+    def test_groups_preserve_program_order(self):
+        trace = generate_trace(two_region_model(), 5_000, seed=8)
+        for _branch, idx in trace.groups():
+            assert np.all(np.diff(idx) > 0)
+
+    def test_indices_of_unknown_branch_raises(self):
+        trace = generate_trace(two_region_model(), 1_000, seed=9)
+        with pytest.raises(KeyError):
+            trace.groups().indices_of(999)
+
+    def test_slice_rebases_instructions(self):
+        trace = generate_trace(two_region_model(), 2_000, seed=10)
+        sub = trace.slice(1_000, 1_500)
+        assert len(sub) == 500
+        assert sub.instrs[0] < trace.instrs[1_000]
+        assert sub.instrs[0] > 0
+        sub.validate()
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", "i",
+                  branch_ids=np.zeros(3, dtype=np.int32),
+                  taken=np.zeros(2, dtype=bool),
+                  instrs=np.arange(1, 4, dtype=np.int64))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", "i",
+                  branch_ids=np.zeros(0, dtype=np.int32),
+                  taken=np.zeros(0, dtype=bool),
+                  instrs=np.zeros(0, dtype=np.int64))
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_branches=st.integers(1, 8),
+        length=st.integers(10, 2_000),
+        seed=st.integers(0, 10_000),
+    )
+    def test_generation_invariants(self, n_branches, length, seed):
+        model = uniform_model(n_branches, p=1.0)
+        trace = generate_trace(model, length, seed=seed)
+        assert len(trace) == length
+        trace.validate()
+        assert trace.taken.all()  # p=1.0 branches always taken
+        assert set(np.unique(trace.branch_ids)) <= set(range(n_branches))

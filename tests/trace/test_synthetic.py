@@ -1,0 +1,61 @@
+"""Tests for the hand-rolled trace builders."""
+
+import numpy as np
+import pytest
+
+from repro.trace.patterns import ConstantBias, StepChange
+from repro.trace.synthetic import (
+    round_robin_trace,
+    single_branch_trace,
+    trace_from_outcomes,
+    uniform_model,
+)
+
+
+class TestTraceFromOutcomes:
+    def test_round_robin_interleave(self):
+        trace = trace_from_outcomes({0: [True, True], 1: [False, False]})
+        assert list(trace.branch_ids) == [0, 1, 0, 1]
+        assert list(trace.taken) == [True, False, True, False]
+
+    def test_uneven_lengths(self):
+        trace = trace_from_outcomes({0: [True], 1: [False, False, False]})
+        assert list(trace.branch_ids) == [0, 1, 1, 1]
+
+    def test_preserves_per_branch_order(self):
+        trace = trace_from_outcomes({0: [True, False, True]})
+        idx = trace.groups().indices_of(0)
+        assert list(trace.taken[idx]) == [True, False, True]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trace_from_outcomes({})
+
+    def test_instruction_stride(self):
+        trace = single_branch_trace([True, True], instr_stride=5)
+        assert list(trace.instrs) == [5, 10]
+
+
+class TestRoundRobinTrace:
+    def test_patterns_apply_per_branch(self):
+        trace = round_robin_trace(
+            [ConstantBias(1.0), ConstantBias(0.0)], length=100, seed=0)
+        g = trace.groups()
+        assert trace.taken[g.indices_of(0)].all()
+        assert not trace.taken[g.indices_of(1)].any()
+
+    def test_exec_indexed_patterns(self):
+        trace = round_robin_trace([StepChange(0.0, 1.0, 10)], length=30)
+        outcomes = trace.taken[trace.groups().indices_of(0)]
+        assert not outcomes[:10].any() and outcomes[10:].all()
+
+    def test_rejects_empty_patterns(self):
+        with pytest.raises(ValueError):
+            round_robin_trace([], length=10)
+
+
+class TestUniformModel:
+    def test_builds_single_region(self):
+        model = uniform_model(5, p=0.5)
+        assert model.n_static == 5
+        assert len(model.regions) == 1

@@ -1,0 +1,76 @@
+"""Tests for the cache models."""
+
+import pytest
+
+from repro.uarch.cache import (
+    Cache,
+    CacheConfig,
+    MemoryHierarchy,
+    leading_hierarchy,
+    trailing_hierarchy,
+)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache(CacheConfig(size_bytes=1024, ways=2))
+        assert not cache.access(100)
+        assert cache.access(100)
+        assert cache.access(101)  # same 64B block
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways x 64B = 256B; three blocks mapping to set 0.
+        cache = Cache(CacheConfig(size_bytes=256, ways=2))
+        a, b, c = 0, 128, 256  # all map to set 0 (block % 2 == 0)
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)          # evicts a (LRU)
+        assert not cache.access(a)
+        assert cache.access(c)
+
+    def test_lru_updated_on_hit(self):
+        cache = Cache(CacheConfig(size_bytes=256, ways=2))
+        a, b, c = 0, 128, 256
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)          # a becomes MRU
+        cache.access(c)          # evicts b
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_hit_rate(self):
+        cache = Cache(CacheConfig(size_bytes=1024, ways=2))
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3)  # not a multiple
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, ways=1)
+
+
+class TestHierarchy:
+    def test_latency_tiers(self):
+        h = MemoryHierarchy(
+            l1=Cache(CacheConfig(size_bytes=128, ways=1, hit_latency=3)),
+            l2=Cache(CacheConfig(size_bytes=1024, ways=2, hit_latency=10)),
+            l2_latency=10, memory_latency=200)
+        first = h.load_latency(0)      # cold: L1 miss, L2 miss
+        assert first == 3 + 10 + 200
+        assert h.load_latency(0) == 3  # L1 hit
+        # Evict from the tiny L1 (same L1 set, different L2 sets so the
+        # block survives in L2).
+        h.load_latency(128)
+        h.load_latency(256)
+        assert h.load_latency(0) == 13  # L1 miss, L2 hit
+
+    def test_table5_hierarchies(self):
+        lead = leading_hierarchy()
+        trail = trailing_hierarchy()
+        assert lead.l1.config.size_bytes == 64 * 1024
+        assert lead.l1.config.ways == 2
+        assert trail.l1.config.size_bytes == 8 * 1024
+        assert trail.l1.config.ways == 8
+        assert lead.memory_latency == 200

@@ -1,0 +1,114 @@
+"""Tests for the instruction-level pipeline timing model."""
+
+import pytest
+
+from repro.distill.isa import Reg, addq, beq, bne, ldq, li
+from repro.distill.region import CodeRegion, MachineState
+from repro.uarch.cache import leading_hierarchy
+from repro.uarch.pipeline import (
+    CoreConfig,
+    PipelinedCore,
+    leading_core,
+    trailing_core,
+)
+
+
+def core(width=4, depth=12):
+    return PipelinedCore(CoreConfig("t", width=width,
+                                    pipeline_depth=depth),
+                         hierarchy=leading_hierarchy())
+
+
+def straight_line(n):
+    """n independent immediate loads into distinct registers."""
+    return CodeRegion(tuple(li(Reg(i % 8), i) for i in range(n)),
+                      live_out=frozenset({Reg(0)}))
+
+
+class TestThroughput:
+    def test_width_limits_issue(self):
+        wide = core(width=4)
+        narrow = core(width=1)
+        region = straight_line(64)
+        state = MachineState()
+        wide.run_region(region, state)
+        narrow.run_region(region, state)
+        assert narrow.timing.cycles > 3 * wide.timing.cycles
+
+    def test_functional_results_match_interpreter(self):
+        from repro.distill.region import run_region
+
+        region = CodeRegion(
+            (li(Reg(1), 5), addq(Reg(2), Reg(1), Reg(1)),
+             ldq(Reg(3), 0, Reg(2))),
+            live_out=frozenset({Reg(3)}))
+        state = MachineState(memory={10: 42})
+        reference = run_region(region, state)
+        c = core()
+        timed_state, exit_label = c.run_region(region, state)
+        assert exit_label is None
+        assert timed_state.registers[3] == \
+            reference.state.registers[3] == 42
+
+
+class TestDependences:
+    def test_raw_chain_serializes(self):
+        chain = CodeRegion(
+            tuple([li(Reg(1), 1)]
+                  + [addq(Reg(1), Reg(1), Reg(1)) for _ in range(32)]),
+            live_out=frozenset({Reg(1)}))
+        parallel = straight_line(33)
+        c1, c2 = core(), core()
+        c1.run_region(chain, MachineState())
+        c2.run_region(parallel, MachineState())
+        assert c1.timing.cycles > 2 * c2.timing.cycles
+
+    def test_load_use_delay(self):
+        region = CodeRegion(
+            (ldq(Reg(1), 0, Reg(16)), addq(Reg(2), Reg(1), Reg(1))),
+            live_out=frozenset({Reg(2)}))
+        c = core()
+        c.run_region(region, MachineState(registers={16: 0}))
+        # Cold load: L1 miss -> L2 miss -> memory; the add waits.
+        assert c.timing.cycles >= 200
+
+
+class TestBranches:
+    def test_misprediction_penalty_charged(self):
+        # Alternating branch defeats a cold predictor early on.
+        region = CodeRegion(
+            (li(Reg(1), 1), bne(Reg(1), "end")), labels={"end": 2})
+        c_miss = core(depth=12)
+        c_miss.run_region(region, MachineState())
+        assert c_miss.timing.branches == 1
+
+    def test_trained_predictor_avoids_penalty(self):
+        region = CodeRegion(
+            (li(Reg(1), 0), beq(Reg(1), "end")), labels={"end": 2})
+        c = core()
+        state = MachineState()
+        # The first ~history-length executions see fresh gshare indices
+        # (cold counters); after that the branch predicts perfectly.
+        for _ in range(300):
+            c.run_region(region, state)
+        assert c.timing.mispredict_rate < 0.1
+
+    def test_side_exit_returns_label(self):
+        region = CodeRegion((li(Reg(1), 1), bne(Reg(1), "out")))
+        c = core()
+        _st, exit_label = c.run_region(region, MachineState())
+        assert exit_label == "out"
+
+
+class TestTable5Cores:
+    def test_leading_and_trailing_shapes(self):
+        lead = leading_core()
+        trail = trailing_core()
+        assert lead.config.width == 4
+        assert lead.config.pipeline_depth == 12
+        assert trail.config.width == 2
+        assert trail.config.pipeline_depth == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig("x", width=0, pipeline_depth=8)
