@@ -131,14 +131,8 @@ class ReactiveBranchController:
         self.exec_count += 1
 
         # 1. Land any pending re-optimizations due by now (FIFO).
-        while self._pending and instr >= self._pending[0][0]:
-            _when, speculative, direction = self._pending.pop(0)
-            self._deployed = speculative
-            if speculative:
-                self._deployed_direction = direction
-                self._episode_active = True
-                self._window_correct = 0
-                self._window_pos = 0
+        if self._pending:
+            self._land_due(instr)
 
         # 2. Account for the deployed code.
         if self._deployed:
@@ -164,6 +158,17 @@ class ReactiveBranchController:
         return outcome
 
     # ------------------------------------------------------------------
+    def _land_due(self, instr: int) -> None:
+        """Land every pending re-optimization due at ``instr`` (FIFO)."""
+        while self._pending and instr >= self._pending[0][0]:
+            _when, speculative, direction = self._pending.pop(0)
+            self._deployed = speculative
+            if speculative:
+                self._deployed_direction = direction
+                self._episode_active = True
+                self._window_correct = 0
+                self._window_pos = 0
+
     def _step_monitor(self, taken: bool, exec_idx: int, instr: int) -> None:
         cfg = self.config
         offset = exec_idx - self._state_entry_exec
@@ -171,9 +176,12 @@ class ReactiveBranchController:
             self._monitor_samples += 1
             if taken:
                 self._monitor_taken += 1
-        if offset + 1 < cfg.monitor_period:
-            return
-        # Monitor period complete: classify.
+        if offset + 1 >= cfg.monitor_period:
+            self._classify_monitor(exec_idx, instr)
+
+    def _classify_monitor(self, exec_idx: int, instr: int) -> None:
+        """Monitor period complete: classify the branch."""
+        cfg = self.config
         taken_count = self._monitor_taken
         samples = self._monitor_samples
         majority = max(taken_count, samples - taken_count)
@@ -266,6 +274,64 @@ class ReactiveBranchController:
         self.transitions.append(
             Transition(self.branch, kind, exec_idx, instr))
 
+    # -- snapshot hooks -------------------------------------------------
+    def export_state(self) -> dict:
+        """Full mutable state as JSON-serializable plain types.
+
+        Together with the (immutable) config this captures everything
+        :meth:`observe` reads or writes, so a controller restored via
+        :meth:`from_state` continues bit-identically.
+        """
+        return {
+            "branch": int(self.branch),
+            "state": self.state.value,
+            "exec_count": int(self.exec_count),
+            "state_entry_exec": int(self._state_entry_exec),
+            "monitor_taken": int(self._monitor_taken),
+            "monitor_samples": int(self._monitor_samples),
+            "counter": int(self._counter),
+            "bias_entries": int(self._bias_entries),
+            "deployed": bool(self._deployed),
+            "deployed_direction": bool(self._deployed_direction),
+            "pending": [[int(w), bool(s), bool(d)]
+                        for w, s, d in self._pending],
+            "episode_active": bool(self._episode_active),
+            "window_correct": int(self._window_correct),
+            "window_pos": int(self._window_pos),
+            "correct": int(self.correct),
+            "incorrect": int(self.incorrect),
+            "evictions": int(self.evictions),
+            "transitions": [[t.kind.value, int(t.exec_index), int(t.instr)]
+                            for t in self.transitions],
+        }
+
+    @classmethod
+    def from_state(cls, config: ControllerConfig,
+                   state: dict) -> "ReactiveBranchController":
+        """Rebuild a controller from :meth:`export_state` output."""
+        ctrl = cls(config, int(state["branch"]))
+        ctrl.state = BranchState(state["state"])
+        ctrl.exec_count = int(state["exec_count"])
+        ctrl._state_entry_exec = int(state["state_entry_exec"])
+        ctrl._monitor_taken = int(state["monitor_taken"])
+        ctrl._monitor_samples = int(state["monitor_samples"])
+        ctrl._counter = int(state["counter"])
+        ctrl._bias_entries = int(state["bias_entries"])
+        ctrl._deployed = bool(state["deployed"])
+        ctrl._deployed_direction = bool(state["deployed_direction"])
+        ctrl._pending = [(int(w), bool(s), bool(d))
+                         for w, s, d in state["pending"]]
+        ctrl._episode_active = bool(state["episode_active"])
+        ctrl._window_correct = int(state["window_correct"])
+        ctrl._window_pos = int(state["window_pos"])
+        ctrl.correct = int(state["correct"])
+        ctrl.incorrect = int(state["incorrect"])
+        ctrl.evictions = int(state["evictions"])
+        ctrl.transitions = [
+            Transition(ctrl.branch, TransitionKind(k), int(e), int(i))
+            for k, e, i in state["transitions"]]
+        return ctrl
+
 
 class ControllerBank:
     """One :class:`ReactiveBranchController` per static branch.
@@ -306,3 +372,19 @@ class ControllerBank:
         """Branches whose deployed code speculates at instruction ``instr``."""
         return {b for b, c in self._controllers.items()
                 if c.speculating_at(instr)}
+
+    # -- snapshot hooks -------------------------------------------------
+    def export_state(self) -> list[dict]:
+        """Per-controller states, ordered by branch id."""
+        return [self._controllers[b].export_state()
+                for b in sorted(self._controllers)]
+
+    @classmethod
+    def from_state(cls, config: ControllerConfig,
+                   states: list[dict]) -> "ControllerBank":
+        """Rebuild a bank from :meth:`export_state` output."""
+        bank = cls(config)
+        for state in states:
+            ctrl = ReactiveBranchController.from_state(config, state)
+            bank._controllers[ctrl.branch] = ctrl
+        return bank

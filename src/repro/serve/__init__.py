@@ -1,0 +1,59 @@
+"""repro.serve — reactive speculation control as an online service.
+
+The offline engines (:mod:`repro.sim`) answer "what would the
+controller have done over this trace"; this package runs the same
+controller *as a system*: a long-lived asyncio service that ingests
+branch-outcome batches, spreads them over hash-partitioned controller
+bank shards, answers ``should_speculate(pc)`` from the deployed-code
+view, applies backpressure when overloaded, and checkpoints its full
+state so a crashed process resumes bit-identically.
+
+Quickstart::
+
+    import asyncio
+    from repro import load_trace
+    from repro.serve import SpeculationService, feed_trace
+
+    async def demo():
+        trace = load_trace("gcc", length=100_000)
+        async with SpeculationService() as service:
+            await feed_trace(service, trace)
+            await service.drain()
+            print(service.metrics().summary())
+            print(service.should_speculate(int(trace.branch_ids[0])))
+
+    asyncio.run(demo())
+
+Or from the shell::
+
+    python -m repro.serve --benchmark gcc --max-events 50000 --verify
+"""
+
+from repro.serve.client import SpeculationClient, SubmitStats, feed_trace
+from repro.serve.events import BranchEvent, EventBatch, iter_trace_batches
+from repro.serve.service import (
+    BackpressureError,
+    SequenceError,
+    ServiceConfig,
+    SpeculationService,
+)
+from repro.serve.shard import BankShard, ShardedBank, shard_of
+from repro.serve.telemetry import ServiceTelemetry, TelemetryReading
+
+__all__ = [
+    "BackpressureError",
+    "BankShard",
+    "BranchEvent",
+    "EventBatch",
+    "SequenceError",
+    "ServiceConfig",
+    "ServiceTelemetry",
+    "ShardedBank",
+    "SpeculationClient",
+    "SpeculationService",
+    "SubmitStats",
+    "TelemetryReading",
+    "feed_trace",
+    "iter_trace_batches",
+    "shard_of",
+]

@@ -1,0 +1,12 @@
+"""``python -m repro.serve`` — dispatch to the service CLI."""
+
+import sys
+
+from repro.serve.cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:  # piping into head etc. is fine
+    sys.exit(0)
+except KeyboardInterrupt:
+    sys.exit(130)

@@ -1,0 +1,148 @@
+"""``repro.serve`` CLI — replay a benchmark through the online service.
+
+Usage::
+
+    python -m repro.serve --benchmark gcc --max-events 50000
+    python -m repro.serve --benchmark gcc --shards 8 --rate 500000
+    python -m repro.serve --benchmark gzip --snapshot-every 200000 \\
+        --snapshot-dir /tmp/snaps
+    python -m repro.serve --restore /tmp/snaps/snapshot-000000200000.json.gz \\
+        --benchmark gzip
+
+Feeds the chosen trace through a :class:`SpeculationService` at a
+configurable event rate, printing a live telemetry line as it goes and
+a final summary.  ``--verify`` additionally runs the offline engine on
+the same trace and checks the service produced identical metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run reactive speculation control as an online "
+                    "service over a benchmark trace.")
+    parser.add_argument("--benchmark", default="gcc",
+                        help="benchmark trace to replay (default: gcc)")
+    parser.add_argument("--input", dest="input_name", default=None,
+                        help="input name (default: evaluation input)")
+    parser.add_argument("--max-events", type=int, default=None,
+                        help="truncate the trace to N events")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="controller bank shards (default: 4)")
+    parser.add_argument("--batch-events", type=int, default=4096,
+                        help="events per submitted batch (default: 4096)")
+    parser.add_argument("--queue-events", type=int, default=32768,
+                        help="per-shard queue bound in events")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="target submission rate in events/sec "
+                             "(default: as fast as backpressure allows)")
+    parser.add_argument("--snapshot-every", type=int, default=None,
+                        help="auto-snapshot every N applied events")
+    parser.add_argument("--snapshot-dir", default=None,
+                        help="directory for auto-snapshots")
+    parser.add_argument("--restore", default=None, metavar="SNAPSHOT",
+                        help="resume from a snapshot file; the trace "
+                             "prefix it covers is skipped")
+    parser.add_argument("--report-every", type=int, default=250_000,
+                        help="print a telemetry line every N events")
+    parser.add_argument("--verify", action="store_true",
+                        help="also run the offline engine and compare "
+                             "metrics (exits 1 on mismatch)")
+    return parser
+
+
+async def _run(args) -> int:
+    from repro.serve.client import feed_trace
+    from repro.serve.service import ServiceConfig, SpeculationService
+    from repro.trace.spec2000 import load_trace
+
+    trace = load_trace(args.benchmark, args.input_name,
+                       length=args.max_events)
+    if args.restore is not None:
+        service = SpeculationService.restore(args.restore,
+                                             n_shards=args.shards)
+        print(f"restored {args.restore} "
+              f"(events applied: {service.metrics().dynamic_branches:,}, "
+              f"last seq: {service.last_seq})")
+    else:
+        scfg = ServiceConfig(
+            n_shards=args.shards,
+            queue_events=args.queue_events,
+            snapshot_interval_events=args.snapshot_every,
+            snapshot_dir=args.snapshot_dir,
+        )
+        service = SpeculationService(service_config=scfg)
+
+    def report() -> None:
+        print(service.reading().summary())
+
+    started = time.monotonic()
+    async with service:
+        stats = await feed_trace(
+            service, trace,
+            batch_events=args.batch_events,
+            max_events=args.max_events,
+            rate=args.rate,
+            progress=report,
+            progress_every=args.report_every)
+        await service.drain()
+        elapsed = time.monotonic() - started
+        reading = service.reading()
+        metrics = service.metrics()
+
+    print()
+    print(f"trace      {trace.name}/{trace.input_name}  "
+          f"{len(trace):,} events")
+    print(f"service    {service.bank.n_shards} shards, "
+          f"{stats.batches:,} batches submitted, "
+          f"{stats.rejections:,} backpressure rejections "
+          f"({stats.retry_wait:.2f}s waited)")
+    print(f"sustained  {metrics.dynamic_branches / elapsed / 1e3:,.0f}k "
+          f"events/sec over {elapsed:.2f}s")
+    print(f"queues     high water {max(reading.queue_high_water):,} "
+          f"events, shard skew {reading.shard_skew:.2f}, "
+          f"mean batch {reading.mean_batch_events:,.0f}")
+    print(f"metrics    {metrics.summary()}")
+    if service.snapshots_written:
+        print(f"snapshots  {len(service.snapshots_written)} written, "
+              f"last: {service.snapshots_written[-1]}")
+
+    if args.verify:
+        from repro.sim.runner import run_reactive
+
+        offline = run_reactive(trace, service.config).metrics
+        if offline == metrics:
+            print("verify     OK — service metrics identical to "
+                  "offline run_reactive")
+        else:
+            print("verify     MISMATCH")
+            print(f"  service  {metrics}")
+            print(f"  offline  {offline}")
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.snapshot_every is not None and args.snapshot_dir is None:
+        print("--snapshot-every requires --snapshot-dir")
+        return 2
+    try:
+        return asyncio.run(_run(args))
+    except (FileNotFoundError, KeyError, ValueError) as err:
+        # Usage errors (unknown benchmark, bad snapshot path/file,
+        # invalid knob combination) — report without a traceback.
+        if isinstance(err, OSError):
+            message = f"{err.strerror}: {err.filename}"
+        else:
+            message = err.args[0] if err.args else err
+        print(f"error: {message}")
+        return 2

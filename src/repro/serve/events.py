@@ -1,0 +1,128 @@
+"""Event model of the online service: branch-outcome batches.
+
+The service ingests :class:`EventBatch` objects — columnar batches of
+dynamic branch executions in program order, stamped with a monotonic
+``seq`` number by the producer.  Sequence numbers give the service an
+idempotent submission protocol: a batch rejected for backpressure is
+resubmitted with the *same* ``seq``, and any batch whose ``seq`` is not
+strictly greater than the last accepted one is refused, so a retrying
+client can never double-ingest.
+
+:func:`iter_trace_batches` adapts any offline :class:`~repro.trace.stream.Trace`
+into the online event model; it is how the CLI, benchmarks and tests
+feed recorded workloads through the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.trace.stream import Trace
+
+__all__ = ["BranchEvent", "EventBatch", "iter_trace_batches"]
+
+
+@dataclass(frozen=True)
+class BranchEvent:
+    """One dynamic execution of a static branch.
+
+    ``pc`` identifies the static branch (the paper's static-branch id;
+    in a real deployment the branch instruction's address), ``taken``
+    its outcome, and ``instr`` the global retired-instruction count at
+    the execution — the clock against which re-optimization latency is
+    measured.
+    """
+
+    pc: int
+    taken: bool
+    instr: int
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """A columnar batch of branch events in program order.
+
+    Attributes
+    ----------
+    seq:
+        Producer-assigned sequence number; must be strictly monotonic
+        across accepted batches of one service.
+    pcs / taken / instrs:
+        Parallel arrays (int32 / bool / int64) of static branch id,
+        outcome, and global instruction stamp per event.  Instruction
+        stamps must be non-decreasing within the batch and across
+        consecutive batches (program order).
+    """
+
+    seq: int
+    pcs: np.ndarray = field(repr=False)
+    taken: np.ndarray = field(repr=False)
+    instrs: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.pcs)
+        if len(self.taken) != n or len(self.instrs) != n:
+            raise ValueError("batch arrays must have equal length")
+        if n == 0:
+            raise ValueError("batch must contain at least one event")
+        if self.seq < 0:
+            raise ValueError("seq must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def last_instr(self) -> int:
+        return int(self.instrs[-1])
+
+    @classmethod
+    def from_events(cls, seq: int,
+                    events: list[BranchEvent] | tuple[BranchEvent, ...],
+                    ) -> "EventBatch":
+        """Build a columnar batch from row-form events."""
+        return cls(
+            seq=seq,
+            pcs=np.array([e.pc for e in events], dtype=np.int32),
+            taken=np.array([e.taken for e in events], dtype=bool),
+            instrs=np.array([e.instr for e in events], dtype=np.int64),
+        )
+
+    def events(self) -> Iterator[BranchEvent]:
+        """Row-form view (for debugging and tests; the hot path stays
+        columnar)."""
+        for i in range(len(self.pcs)):
+            yield BranchEvent(int(self.pcs[i]), bool(self.taken[i]),
+                              int(self.instrs[i]))
+
+
+def iter_trace_batches(trace: Trace, batch_events: int = 4096,
+                       start_seq: int = 0,
+                       max_events: int | None = None,
+                       ) -> Iterator[EventBatch]:
+    """Cut a trace into program-order :class:`EventBatch` chunks.
+
+    Yields batches of ``batch_events`` events (the last may be short)
+    with consecutive sequence numbers starting at ``start_seq``.
+    ``max_events`` truncates the trace; arrays are views into the trace
+    (zero-copy).
+    """
+    if batch_events <= 0:
+        raise ValueError("batch_events must be positive")
+    n = len(trace) if max_events is None else min(len(trace), max_events)
+    seq = start_seq
+    for lo in range(0, n, batch_events):
+        hi = min(lo + batch_events, n)
+        yield EventBatch(
+            seq=seq,
+            pcs=trace.branch_ids[lo:hi],
+            taken=trace.taken[lo:hi],
+            instrs=trace.instrs[lo:hi],
+        )
+        seq += 1

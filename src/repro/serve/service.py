@@ -1,0 +1,363 @@
+"""The asyncio speculation-control service loop.
+
+:class:`SpeculationService` turns the sharded controller bank into a
+long-lived online system with the deployment shape the paper assumes —
+a reactive controller that continuously ingests branch outcomes and
+re-decides, tolerating re-optimization latencies, while a JIT polls the
+deployed-code view through :meth:`should_speculate`.
+
+Design points:
+
+* **Bounded per-shard queues.**  Each shard owns a FIFO of routed
+  event partitions, bounded in *events* (not batches).  Bounded queues
+  are what make overload degrade predictably: memory per shard is
+  capped and latency cannot balloon unobserved.
+* **Explicit backpressure.**  A submission that would overflow any
+  destination shard's queue is rejected atomically (no partial
+  enqueue) with :class:`BackpressureError` carrying a ``retry_after``
+  hint derived from the observed drain rate.  Combined with monotonic
+  batch sequence numbers, rejected batches are resubmitted verbatim
+  and can never double-ingest.
+* **Adaptive micro-batching.**  Workers coalesce everything queued up
+  to a per-shard target that doubles while the queue stays deep and
+  halves when it runs dry — small batches (low latency) when lightly
+  loaded, large batches (high throughput, denser per-branch runs for
+  the vectorized fast path) under pressure.
+* **Quiesced snapshots.**  :meth:`snapshot` drains all queues and then
+  checkpoints full controller + deployment-queue state; a service
+  restored from the file continues bit-identically (see
+  :mod:`repro.serve.snapshot`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+from repro.serve.events import EventBatch
+from repro.serve.shard import ShardedBank
+from repro.serve.telemetry import ServiceTelemetry, TelemetryReading
+from repro.sim.metrics import SpeculationMetrics
+
+__all__ = ["ServiceConfig", "BackpressureError", "SequenceError",
+           "SpeculationService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the online service (not of the controller)."""
+
+    n_shards: int = 4
+    #: Per-shard queue bound, in events.  Overflow → backpressure.
+    queue_events: int = 32_768
+    #: Adaptive micro-batch coalescing floor/ceiling, in events.
+    min_batch_events: int = 512
+    max_batch_events: int = 8_192
+    #: Rolling telemetry window, in events.
+    telemetry_window: int = 65_536
+    #: Retry hint when no drain rate has been observed yet.
+    default_retry_after: float = 0.02
+    #: Auto-snapshot every N applied events (None = disabled).
+    snapshot_interval_events: int | None = None
+    snapshot_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if self.queue_events <= 0:
+            raise ValueError("queue_events must be positive")
+        if not 0 < self.min_batch_events <= self.max_batch_events:
+            raise ValueError("need 0 < min_batch_events <= max_batch_events")
+        if self.telemetry_window <= 0:
+            raise ValueError("telemetry_window must be positive")
+        if (self.snapshot_interval_events is not None
+                and self.snapshot_interval_events <= 0):
+            raise ValueError("snapshot_interval_events must be positive")
+        if (self.snapshot_interval_events is not None
+                and self.snapshot_dir is None):
+            raise ValueError("snapshot_interval_events needs snapshot_dir")
+
+
+class BackpressureError(Exception):
+    """A submission was rejected because a shard queue is full.
+
+    Resubmit the same batch (same ``seq``) after ``retry_after``
+    seconds; the hint is the time the hottest destination shard needs
+    to drain at its recently observed rate.
+    """
+
+    def __init__(self, shard: int, queued_events: int,
+                 retry_after: float) -> None:
+        super().__init__(
+            f"shard {shard} queue full ({queued_events} events); "
+            f"retry after {retry_after:.3f}s")
+        self.shard = shard
+        self.queued_events = queued_events
+        self.retry_after = retry_after
+
+
+class SequenceError(Exception):
+    """A batch arrived with a non-monotonic sequence number."""
+
+
+class SpeculationService:
+    """Online reactive speculation control over a sharded bank."""
+
+    def __init__(self, config: ControllerConfig | None = None,
+                 service_config: ServiceConfig | None = None,
+                 bank: ShardedBank | None = None,
+                 last_seq: int = -1) -> None:
+        self.service_config = service_config or ServiceConfig()
+        if bank is not None:
+            if bank.n_shards != self.service_config.n_shards:
+                raise ValueError(
+                    f"bank has {bank.n_shards} shards but service config "
+                    f"says {self.service_config.n_shards}")
+            self.bank = bank
+        else:
+            self.bank = ShardedBank(config, self.service_config.n_shards)
+        self.config = self.bank.config
+        n = self.bank.n_shards
+        self.telemetry = ServiceTelemetry(
+            n, self.service_config.telemetry_window)
+        self._queues: list[asyncio.Queue] = [asyncio.Queue()
+                                             for _ in range(n)]
+        self._queued_events = [0] * n
+        self._targets = [self.service_config.min_batch_events] * n
+        self._last_seq = last_seq
+        self._events_submitted = self.bank.events_applied
+        self._workers: list[asyncio.Task] = []
+        self._snapshot_task: asyncio.Task | None = None
+        self._snap_due = asyncio.Event()
+        self._next_snapshot_at = (
+            self.bank.events_applied
+            + (self.service_config.snapshot_interval_events or 0))
+        self.snapshots_written: list[Path] = []
+        self._running = False
+        self._quiescing = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn one worker task per shard (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._workers = [asyncio.create_task(self._worker(i),
+                                             name=f"repro-serve-shard-{i}")
+                         for i in range(self.bank.n_shards)]
+        if self.service_config.snapshot_interval_events is not None:
+            self._snapshot_task = asyncio.create_task(
+                self._autosnapshot(), name="repro-serve-snapshot")
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop workers; by default drain queued events first."""
+        if drain and self._running:
+            await self.drain()
+        self._running = False
+        tasks = self._workers + ([self._snapshot_task]
+                                 if self._snapshot_task else [])
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        self._snapshot_task = None
+
+    async def __aenter__(self) -> "SpeculationService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop(drain=exc[0] is None)
+
+    # -- ingestion ------------------------------------------------------
+    def submit_nowait(self, batch: EventBatch) -> None:
+        """Route a batch into shard queues, or reject it atomically.
+
+        Raises :class:`SequenceError` for non-monotonic ``seq`` and
+        :class:`BackpressureError` when any destination queue would
+        overflow (in which case *nothing* was enqueued).
+        """
+        if batch.seq <= self._last_seq:
+            raise SequenceError(
+                f"batch seq {batch.seq} not greater than last accepted "
+                f"seq {self._last_seq}")
+        if self._quiescing:
+            # A snapshot is quiescing the service; intake reopens once
+            # it is written.  Backpressure keeps retries idempotent.
+            deepest = max(range(len(self._queued_events)),
+                          key=self._queued_events.__getitem__)
+            raise BackpressureError(deepest, self._queued_events[deepest],
+                                    self._retry_after(deepest))
+        cap = self.service_config.queue_events
+        parts = self.bank.partition(batch)
+        for p in parts:
+            if p.n_events > cap:
+                raise ValueError(
+                    f"batch routes {p.n_events} events to shard "
+                    f"{p.shard}, above its whole queue capacity {cap}; "
+                    f"submit smaller batches")
+            if self._queued_events[p.shard] + p.n_events > cap:
+                raise BackpressureError(
+                    p.shard, self._queued_events[p.shard],
+                    self._retry_after(p.shard))
+        for p in parts:
+            self._queues[p.shard].put_nowait(p)
+            depth = self._queued_events[p.shard] + p.n_events
+            self._queued_events[p.shard] = depth
+            self.telemetry.record_enqueue(p.shard, p.n_events, depth)
+        self._last_seq = batch.seq
+        self._events_submitted += batch.n_events
+
+    async def submit(self, batch: EventBatch) -> None:
+        """:meth:`submit_nowait`, yielding to workers afterwards."""
+        self.submit_nowait(batch)
+        await asyncio.sleep(0)
+
+    def _retry_after(self, shard: int) -> float:
+        rate = self.telemetry.drain_rate
+        if rate <= 0:
+            return self.service_config.default_retry_after
+        # Time for the offending shard to drain half its queue.
+        eta = self._queued_events[shard] / (2 * rate)
+        return float(min(max(eta, 0.001), 1.0))
+
+    async def drain(self) -> None:
+        """Wait until every queued event has been applied."""
+        await asyncio.gather(*(q.join() for q in self._queues))
+
+    # -- shard workers --------------------------------------------------
+    async def _worker(self, shard_index: int) -> None:
+        queue = self._queues[shard_index]
+        shard = self.bank.shards[shard_index]
+        scfg = self.service_config
+        while True:
+            part = await queue.get()
+            parts = [part]
+            events = part.n_events
+            target = self._targets[shard_index]
+            while events < target:
+                try:
+                    extra = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                parts.append(extra)
+                events += extra.n_events
+            if len(parts) == 1:
+                pcs, taken, instrs = part.pcs, part.taken, part.instrs
+            else:
+                pcs = np.concatenate([p.pcs for p in parts])
+                taken = np.concatenate([p.taken for p in parts])
+                instrs = np.concatenate([p.instrs for p in parts])
+            result = shard.apply(pcs, taken, instrs)
+            depth = self._queued_events[shard_index] - events
+            self._queued_events[shard_index] = depth
+            self.telemetry.record_apply(
+                shard_index, events, result.correct, result.incorrect,
+                depth)
+            # Adapt the coalescing target to the observed queue depth.
+            if depth >= target and target < scfg.max_batch_events:
+                self._targets[shard_index] = min(
+                    scfg.max_batch_events, target * 2)
+            elif depth == 0 and target > scfg.min_batch_events:
+                self._targets[shard_index] = max(
+                    scfg.min_batch_events, target // 2)
+            if (scfg.snapshot_interval_events is not None
+                    and self.bank.events_applied >= self._next_snapshot_at):
+                self._snap_due.set()
+            for _ in parts:
+                queue.task_done()
+            # Yield so producers/other shards interleave under load.
+            await asyncio.sleep(0)
+
+    async def _autosnapshot(self) -> None:
+        scfg = self.service_config
+        Path(scfg.snapshot_dir).mkdir(parents=True, exist_ok=True)
+        while True:
+            await self._snap_due.wait()
+            await self.snapshot()
+            self._next_snapshot_at = (self.bank.events_applied
+                                      + scfg.snapshot_interval_events)
+            self._snap_due.clear()
+
+    # -- decision API ---------------------------------------------------
+    def should_speculate(self, pc: int) -> bool:
+        """Deployed-code view: does live code speculate on ``pc``?
+
+        This answers from the per-shard decision cache — the paper's
+        deployment-latency accounting — not from the FSM state: a
+        branch freshly SELECTed keeps answering False until its
+        speculative code lands, and keeps answering True after EVICT
+        until the repaired code lands.
+        """
+        return self.bank.should_speculate(pc)
+
+    # -- views ----------------------------------------------------------
+    def metrics(self) -> SpeculationMetrics:
+        """Merged speculation metrics over *applied* events."""
+        return self.bank.metrics()
+
+    def reading(self) -> TelemetryReading:
+        return self.telemetry.reading()
+
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    @property
+    def events_submitted(self) -> int:
+        return self._events_submitted
+
+    @property
+    def queued_events(self) -> int:
+        return sum(self._queued_events)
+
+    # -- snapshots ------------------------------------------------------
+    async def snapshot(self, path: str | Path | None = None) -> Path:
+        """Quiesce and checkpoint full service state to ``path``.
+
+        While the snapshot is in flight, new submissions are rejected
+        with :class:`BackpressureError` so the drained state stays
+        drained.  ``path=None`` auto-names the file into
+        ``snapshot_dir`` after quiescing, so the name reflects the
+        exact number of events it covers.
+        """
+        from repro.serve.snapshot import save_snapshot
+
+        self._quiescing = True
+        try:
+            await self.drain()
+            if path is None:
+                if self.service_config.snapshot_dir is None:
+                    raise ValueError(
+                        "snapshot() without a path needs snapshot_dir")
+                path = Path(self.service_config.snapshot_dir) / (
+                    f"snapshot-{self.bank.events_applied:012d}.json.gz")
+            out = save_snapshot(path, self)
+        finally:
+            self._quiescing = False
+        self.snapshots_written.append(out)
+        return out
+
+    @classmethod
+    def restore(cls, path: str | Path,
+                service_config: ServiceConfig | None = None,
+                n_shards: int | None = None) -> "SpeculationService":
+        """Rebuild a service from a snapshot file.
+
+        ``service_config`` overrides the snapshotted tuning knobs;
+        ``n_shards`` re-partitions the bank onto a different shard
+        count (controllers are branch-independent, so resharding is
+        exact).
+        """
+        from repro.serve.snapshot import load_snapshot
+
+        return load_snapshot(path, service_config=service_config,
+                             n_shards=n_shards)

@@ -1,0 +1,274 @@
+"""Sharded controller banks: hash-partitioning static branches.
+
+The reactive model tracks every static branch independently (the only
+global coupling — optimization latency — travels with each event as its
+instruction stamp), so a bank splits losslessly into N independent
+shards keyed by a hash of the branch PC.  Sharding buys two things:
+
+* **independence** — a hot branch only serializes its own shard, and a
+  shard worker can run wherever its queue lives;
+* **batching density** — a shard's micro-batch draws its events from
+  an N×-longer stretch of the trace for the same event count, so each
+  branch contributes longer runs and the vectorized per-branch fast
+  path (:mod:`repro.serve.fastpath`) amortizes its per-branch
+  overhead better.  Under a bursting producer this outweighs the
+  routing cost even on one core — modestly; the real scaling headroom
+  is that shards share nothing and can move to worker processes (see
+  ``benchmarks/bench_serve.py`` and docs/serving.md).
+
+Routing uses a SplitMix64 finalizer rather than ``pc % n_shards``:
+static branch ids (or real branch addresses) are clustered and stride-
+patterned, and a multiplicative avalanche keeps shard loads balanced
+regardless of the id distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+from repro.core.controller import ControllerBank, ReactiveBranchController
+from repro.serve.events import EventBatch
+from repro.serve.fastpath import apply_chunk
+from repro.sim.metrics import SpeculationMetrics
+
+__all__ = ["shard_of", "shard_ids", "BankShard", "ShardedBank",
+           "ShardApplyResult"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def shard_of(pc: int, n_shards: int) -> int:
+    """Shard owning static branch ``pc`` (SplitMix64 finalizer mod N)."""
+    x = (pc + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return int(x % n_shards)
+
+
+def shard_ids(pcs: np.ndarray, n_shards: int) -> np.ndarray:
+    """Vectorized :func:`shard_of` over an array of PCs."""
+    x = pcs.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return (x % np.uint64(n_shards)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ShardApplyResult:
+    """Outcome of applying one micro-batch to one shard."""
+
+    shard: int
+    events: int
+    correct: int
+    incorrect: int
+    #: PCs whose deployed-code view flipped during the batch (a SELECT
+    #: or EVICT landed) — exactly the decision-cache invalidation set.
+    changed: tuple[int, ...] = ()
+
+
+class BankShard:
+    """One shard: a :class:`ControllerBank` plus its decision cache.
+
+    The decision cache is the read-mostly, deployed-code view of every
+    branch the shard has seen — ``decisions[pc]`` answers
+    ``should_speculate(pc)`` without touching controller internals, and
+    is updated only when a batch application lands a SELECT or EVICT.
+    """
+
+    __slots__ = ("index", "bank", "decisions", "events_applied",
+                 "last_instr", "correct", "incorrect")
+
+    def __init__(self, index: int, config: ControllerConfig) -> None:
+        self.index = index
+        self.bank = ControllerBank(config)
+        self.decisions: dict[int, bool] = {}
+        self.events_applied = 0
+        self.last_instr = 0
+        self.correct = 0
+        self.incorrect = 0
+
+    def apply(self, pcs: np.ndarray, taken: np.ndarray,
+              instrs: np.ndarray) -> ShardApplyResult:
+        """Apply a program-order micro-batch of this shard's events.
+
+        Events are grouped per branch (stable, preserving program
+        order) and each group advances its controller through the
+        chunked fast path.
+        """
+        n = len(pcs)
+        order = np.argsort(pcs, kind="stable")
+        sorted_pcs = pcs[order]
+        # Gather once; per-branch chunks below are contiguous views.
+        sorted_taken = taken[order]
+        sorted_instrs = instrs[order]
+        bounds = np.flatnonzero(sorted_pcs[1:] != sorted_pcs[:-1]) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [n]))
+        controller = self.bank.controller
+        correct = 0
+        incorrect = 0
+        changed: list[int] = []
+        for s, e in zip(starts, ends):
+            pc = int(sorted_pcs[s])
+            ctrl = controller(pc)
+            before = ctrl._deployed
+            c, x = apply_chunk(ctrl, sorted_taken[s:e], sorted_instrs[s:e])
+            correct += c
+            incorrect += x
+            after = ctrl._deployed
+            if after != before or pc not in self.decisions:
+                self.decisions[pc] = after
+                if after != before:
+                    changed.append(pc)
+        self.events_applied += n
+        self.last_instr = max(self.last_instr, int(instrs[-1]))
+        self.correct += correct
+        self.incorrect += incorrect
+        return ShardApplyResult(shard=self.index, events=n, correct=correct,
+                                incorrect=incorrect, changed=tuple(changed))
+
+    def should_speculate(self, pc: int) -> bool:
+        """Deployed-code view: does the live code speculate on ``pc``?
+
+        Unknown branches answer False (unoptimized code never
+        speculates).
+        """
+        return self.decisions.get(pc, False)
+
+    # -- snapshot hooks -------------------------------------------------
+    def export_state(self) -> dict:
+        return {
+            "index": self.index,
+            "events_applied": int(self.events_applied),
+            "last_instr": int(self.last_instr),
+            "correct": int(self.correct),
+            "incorrect": int(self.incorrect),
+            "bank": self.bank.export_state(),
+        }
+
+    @classmethod
+    def from_state(cls, config: ControllerConfig, state: dict) -> "BankShard":
+        shard = cls(int(state["index"]), config)
+        shard.events_applied = int(state["events_applied"])
+        shard.last_instr = int(state["last_instr"])
+        shard.correct = int(state["correct"])
+        shard.incorrect = int(state["incorrect"])
+        shard.bank = ControllerBank.from_state(config, state["bank"])
+        for ctrl in shard.bank:
+            shard.decisions[ctrl.branch] = ctrl.deployed
+        return shard
+
+
+@dataclass
+class _Partition:
+    """One batch's events split by destination shard."""
+
+    shard: int
+    pcs: np.ndarray = field(repr=False)
+    taken: np.ndarray = field(repr=False)
+    instrs: np.ndarray = field(repr=False)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.pcs)
+
+
+class ShardedBank:
+    """N independent :class:`BankShard` partitions of one controller bank.
+
+    Synchronous core of the online service: routing, application, the
+    merged metrics view, and whole-bank snapshot state.  The asyncio
+    service (:mod:`repro.serve.service`) wraps it with queues and
+    backpressure; tests drive it directly.
+    """
+
+    def __init__(self, config: ControllerConfig | None = None,
+                 n_shards: int = 4) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if config is None:
+            from repro.core.config import scaled_config
+
+            config = scaled_config()
+        self.config = config
+        self.shards = tuple(BankShard(i, config) for i in range(n_shards))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def partition(self, batch: EventBatch) -> list[_Partition]:
+        """Split a batch by destination shard (program order kept).
+
+        One stable sort on the destination id, then contiguous view
+        slices per shard — cheaper than a boolean-mask pass per shard
+        and zero-copy downstream.
+        """
+        if self.n_shards == 1:
+            return [_Partition(0, batch.pcs, batch.taken, batch.instrs)]
+        dest = shard_ids(batch.pcs, self.n_shards)
+        order = np.argsort(dest, kind="stable")
+        dest = dest[order]
+        pcs = batch.pcs[order]
+        taken = batch.taken[order]
+        instrs = batch.instrs[order]
+        bounds = np.flatnonzero(dest[1:] != dest[:-1]) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [len(dest)]))
+        return [_Partition(int(dest[s]), pcs[s:e], taken[s:e], instrs[s:e])
+                for s, e in zip(starts, ends)]
+
+    def apply_batch(self, batch: EventBatch) -> list[ShardApplyResult]:
+        """Route and apply one batch synchronously (no queues)."""
+        return [self.shards[p.shard].apply(p.pcs, p.taken, p.instrs)
+                for p in self.partition(batch)]
+
+    def should_speculate(self, pc: int) -> bool:
+        return self.shards[shard_of(pc, self.n_shards)].should_speculate(pc)
+
+    def controller(self, pc: int) -> ReactiveBranchController:
+        return self.shards[shard_of(pc, self.n_shards)].bank.controller(pc)
+
+    @property
+    def events_applied(self) -> int:
+        return sum(s.events_applied for s in self.shards)
+
+    def metrics(self) -> SpeculationMetrics:
+        """Merged speculation metrics across shards.
+
+        Matches :func:`repro.sim.runner.run_reactive` metrics exactly
+        when the same events have been applied in program order.
+        """
+        return SpeculationMetrics(
+            dynamic_branches=self.events_applied,
+            correct=sum(s.correct for s in self.shards),
+            incorrect=sum(s.incorrect for s in self.shards),
+            instructions=max((s.last_instr for s in self.shards), default=0),
+        )
+
+    def shard_event_counts(self) -> tuple[int, ...]:
+        return tuple(s.events_applied for s in self.shards)
+
+    # -- snapshot hooks -------------------------------------------------
+    def export_state(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "shards": [s.export_state() for s in self.shards],
+        }
+
+    @classmethod
+    def from_state(cls, config: ControllerConfig,
+                   state: dict) -> "ShardedBank":
+        bank = cls(config, int(state["n_shards"]))
+        bank.shards = tuple(
+            BankShard.from_state(config, s) for s in state["shards"])
+        if tuple(s.index for s in bank.shards) != tuple(range(bank.n_shards)):
+            raise ValueError("snapshot shard indices are not 0..N-1")
+        return bank

@@ -1,0 +1,135 @@
+"""Snapshot/restore: crash-consistent checkpoints of the service.
+
+A snapshot is a gzip-compressed JSON document holding everything the
+controller model reads or writes — per-branch FSM state, saturating
+counters, monitor samples, the *deployment queue* (pending SELECT/EVICT
+landings with their landing stamps), accumulated outcome counts, and
+the service's sequence cursor.  Restoring it into a fresh process and
+replaying the remaining events produces bit-identical
+:class:`~repro.sim.metrics.SpeculationMetrics` to a run that never
+crashed — the kill/restore test in ``tests/serve/test_snapshot.py``
+asserts exactly that against the offline engines.
+
+Snapshots are written atomically (temp file + rename) so a crash while
+checkpointing never corrupts the latest good snapshot.  Because
+controllers are branch-independent, a snapshot taken with N shards can
+be restored onto M shards (``n_shards=``): controllers are re-placed
+by routing hash and the per-shard accumulators recomputed exactly.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.config import ControllerConfig
+from repro.core.controller import ReactiveBranchController
+from repro.serve.shard import ShardedBank, shard_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.service import SpeculationService
+
+__all__ = ["FORMAT_VERSION", "save_snapshot", "load_snapshot",
+           "restore_bank"]
+
+FORMAT_VERSION = 1
+_KIND = "repro.serve.snapshot"
+
+
+def save_snapshot(path: str | Path, service: "SpeculationService") -> Path:
+    """Write ``service``'s full state to ``path`` (gzip JSON, atomic).
+
+    The service must be quiesced — call through
+    :meth:`~repro.serve.service.SpeculationService.snapshot`, which
+    drains first.
+    """
+    if service.queued_events:
+        raise RuntimeError(
+            f"cannot snapshot with {service.queued_events} events still "
+            "queued; drain first")
+    state = {
+        "format": FORMAT_VERSION,
+        "kind": _KIND,
+        "controller_config": asdict(service.config),
+        "service_config": asdict(service.service_config),
+        "last_seq": int(service.last_seq),
+        "events_submitted": int(service.events_submitted),
+        "bank": service.bank.export_state(),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with gzip.open(tmp, "wt", encoding="utf-8") as fh:
+        json.dump(state, fh, separators=(",", ":"))
+    tmp.replace(path)
+    return path
+
+
+def _read(path: str | Path) -> dict:
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        state = json.load(fh)
+    if state.get("kind") != _KIND:
+        raise ValueError(f"{path} is not a repro.serve snapshot")
+    if state.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"snapshot format {state.get('format')} unsupported "
+            f"(expected {FORMAT_VERSION})")
+    return state
+
+
+def restore_bank(config: ControllerConfig, bank_state: dict,
+                 n_shards: int | None = None) -> ShardedBank:
+    """Rebuild a :class:`ShardedBank`, optionally re-partitioned.
+
+    With ``n_shards`` different from the snapshot's, every controller
+    is re-placed by the routing hash and per-shard accumulators are
+    recomputed from controller state — exact, because branches are
+    independent and outcome counts live on the controllers.
+    """
+    stored_n = int(bank_state["n_shards"])
+    if n_shards is None or n_shards == stored_n:
+        return ShardedBank.from_state(config, bank_state)
+    bank = ShardedBank(config, n_shards)
+    last_instr = max((int(s["last_instr"]) for s in bank_state["shards"]),
+                     default=0)
+    for shard_state in bank_state["shards"]:
+        for ctrl_state in shard_state["bank"]:
+            ctrl = ReactiveBranchController.from_state(config, ctrl_state)
+            shard = bank.shards[shard_of(ctrl.branch, n_shards)]
+            shard.bank._controllers[ctrl.branch] = ctrl
+            shard.decisions[ctrl.branch] = ctrl.deployed
+    for shard in bank.shards:
+        shard.events_applied = sum(c.exec_count for c in shard.bank)
+        shard.correct = sum(c.correct for c in shard.bank)
+        shard.incorrect = sum(c.incorrect for c in shard.bank)
+        shard.last_instr = last_instr
+    return bank
+
+
+def load_snapshot(path: str | Path,
+                  service_config=None,
+                  n_shards: int | None = None) -> "SpeculationService":
+    """Rebuild a :class:`SpeculationService` from a snapshot file.
+
+    ``service_config`` overrides the snapshotted tuning knobs (its
+    ``n_shards`` must then match the bank layout being restored);
+    ``n_shards`` re-partitions the bank.
+    """
+    from dataclasses import replace
+
+    from repro.serve.service import ServiceConfig, SpeculationService
+
+    state = _read(path)
+    config = ControllerConfig(**state["controller_config"])
+    scfg = (service_config if service_config is not None
+            else ServiceConfig(**state["service_config"]))
+    if n_shards is not None and n_shards != scfg.n_shards:
+        scfg = replace(scfg, n_shards=n_shards)
+    bank = restore_bank(config, state["bank"], n_shards=scfg.n_shards)
+    service = SpeculationService(service_config=scfg, bank=bank,
+                                 last_seq=int(state["last_seq"]))
+    service._events_submitted = int(state["events_submitted"])
+    return service

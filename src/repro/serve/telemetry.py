@@ -1,0 +1,146 @@
+"""Rolling service telemetry: windowed rates, queue depths, shard skew.
+
+The paper's metrics are whole-run aggregates; an online service needs
+the *recent* picture — is the misspeculation rate drifting, are queues
+backing up, is one shard hot?  :class:`ServiceTelemetry` keeps an
+event-count-bounded rolling window of applied outcomes (so the window
+is workload-relative, not wall-clock-relative, and behaves identically
+under replay at any speed) plus live queue accounting and an EMA of
+drain rate used to compute backpressure retry hints.
+
+Telemetry is deliberately *not* part of snapshots: it describes the
+process, not the controller state, and restoring it would make resumed
+runs depend on the crashed process's wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["TelemetryReading", "ServiceTelemetry"]
+
+
+@dataclass(frozen=True)
+class TelemetryReading:
+    """Point-in-time view of the service (see :class:`ServiceTelemetry`)."""
+
+    events_applied: int
+    batches_applied: int
+    window_events: int
+    window_speculated: int
+    window_misspeculated: int
+    drain_rate: float                 # events/sec EMA over applies
+    queue_depths: tuple[int, ...]     # events queued per shard, now
+    queue_high_water: tuple[int, ...]  # peak events queued per shard
+    shard_events: tuple[int, ...]     # events applied per shard
+    mean_batch_events: float          # mean coalesced apply size
+
+    @property
+    def window_misspec_rate(self) -> float:
+        """Misspeculations / dynamic branches over the rolling window."""
+        if not self.window_events:
+            return 0.0
+        return self.window_misspeculated / self.window_events
+
+    @property
+    def window_coverage(self) -> float:
+        """Speculated fraction of dynamic branches over the window."""
+        if not self.window_events:
+            return 0.0
+        return self.window_speculated / self.window_events
+
+    @property
+    def shard_skew(self) -> float:
+        """Max/mean applied events per shard (1.0 = perfectly even)."""
+        total = sum(self.shard_events)
+        if not total:
+            return 1.0
+        mean = total / len(self.shard_events)
+        return max(self.shard_events) / mean
+
+    def summary(self) -> str:
+        """One-line live summary (the CLI's progress line)."""
+        depth = sum(self.queue_depths)
+        return (f"applied {self.events_applied:>11,}  "
+                f"rate {self.drain_rate/1e3:7.0f}k ev/s  "
+                f"cover {self.window_coverage:6.1%}  "
+                f"misspec {self.window_misspec_rate:8.4%}  "
+                f"queued {depth:>7,}  skew {self.shard_skew:4.2f}")
+
+
+class ServiceTelemetry:
+    """Mutable telemetry accumulator driven by the service internals."""
+
+    def __init__(self, n_shards: int, window_events: int = 65_536) -> None:
+        if window_events <= 0:
+            raise ValueError("window_events must be positive")
+        self.window_events_limit = window_events
+        self._window: deque[tuple[int, int, int]] = deque()
+        self._win_events = 0
+        self._win_spec = 0
+        self._win_mis = 0
+        self.events_applied = 0
+        self.batches_applied = 0
+        self.queue_depths = [0] * n_shards
+        self.queue_high_water = [0] * n_shards
+        self.shard_events = [0] * n_shards
+        self._rate_ema = 0.0
+        self._last_apply_t: float | None = None
+
+    # -- hooks driven by the service ------------------------------------
+    def record_enqueue(self, shard: int, events: int, depth: int) -> None:
+        self.queue_depths[shard] = depth
+        if depth > self.queue_high_water[shard]:
+            self.queue_high_water[shard] = depth
+
+    def record_apply(self, shard: int, events: int, correct: int,
+                     incorrect: int, depth_after: int) -> None:
+        self.events_applied += events
+        self.batches_applied += 1
+        self.shard_events[shard] += events
+        self.queue_depths[shard] = depth_after
+        spec = correct + incorrect
+        self._window.append((events, spec, incorrect))
+        self._win_events += events
+        self._win_spec += spec
+        self._win_mis += incorrect
+        while (self._win_events - self._window[0][0]
+               >= self.window_events_limit):
+            e, s, m = self._window.popleft()
+            self._win_events -= e
+            self._win_spec -= s
+            self._win_mis -= m
+        now = time.monotonic()
+        if self._last_apply_t is not None:
+            dt = now - self._last_apply_t
+            if dt > 0:
+                inst = events / dt
+                # EMA smoothed over ~20 applies.
+                alpha = 0.05
+                self._rate_ema = (inst if not self._rate_ema
+                                  else (1 - alpha) * self._rate_ema
+                                  + alpha * inst)
+        self._last_apply_t = now
+
+    # -- views ----------------------------------------------------------
+    @property
+    def drain_rate(self) -> float:
+        """Events/sec EMA of recent applies (0.0 before the first)."""
+        return self._rate_ema
+
+    def reading(self) -> TelemetryReading:
+        return TelemetryReading(
+            events_applied=self.events_applied,
+            batches_applied=self.batches_applied,
+            window_events=self._win_events,
+            window_speculated=self._win_spec,
+            window_misspeculated=self._win_mis,
+            drain_rate=self._rate_ema,
+            queue_depths=tuple(self.queue_depths),
+            queue_high_water=tuple(self.queue_high_water),
+            shard_events=tuple(self.shard_events),
+            mean_batch_events=(self.events_applied / self.batches_applied
+                               if self.batches_applied else 0.0),
+        )

@@ -1,0 +1,51 @@
+"""Fixtures for the online-service tests.
+
+The suite leans on two kinds of input: small hand-built traces (via the
+top-level ``make_trace`` helper) for exact FSM scenarios, and a shared
+synthetic benchmark slice large enough to exercise every controller
+transition, deployment latencies included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import scaled_config
+from repro.trace.spec2000 import load_trace
+from repro.trace.stream import Trace
+
+
+@pytest.fixture(scope="session")
+def bench_trace() -> Trace:
+    """A slice of the synthetic gzip trace shared across this module.
+
+    60k events over a few hundred static branches — enough for
+    SELECT/EVICT/REVISIT traffic and in-flight deployments, small
+    enough to replay through a service in well under a second.
+    """
+    return load_trace("gzip", length=60_000)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return scaled_config()
+
+
+def random_trace(n_events: int, n_branches: int, seed: int,
+                 biases=None) -> Trace:
+    """An adversarial i.i.d. trace: random branch order, mixed biases."""
+    rng = np.random.default_rng(seed)
+    branch_ids = rng.integers(0, n_branches, n_events).astype(np.int32)
+    if biases is None:
+        biases = rng.uniform(0.0, 1.0, n_branches)
+    per_branch = np.asarray(biases)[branch_ids]
+    taken = rng.uniform(size=n_events) < per_branch
+    instrs = np.cumsum(rng.integers(1, 30, n_events)).astype(np.int64)
+    return Trace(name="rand", input_name=f"seed{seed}",
+                 branch_ids=branch_ids, taken=taken, instrs=instrs)
+
+
+@pytest.fixture
+def random_trace_fn():
+    return random_trace

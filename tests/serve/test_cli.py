@@ -1,0 +1,34 @@
+"""The ``python -m repro.serve`` entry point, end to end."""
+
+from __future__ import annotations
+
+from repro.serve.cli import main
+
+
+def test_cli_verify_roundtrip(capsys):
+    code = main(["--benchmark", "gzip", "--max-events", "20000",
+                 "--shards", "2", "--verify"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verify     OK" in out
+    assert "2 shards" in out
+
+
+def test_cli_snapshot_then_restore(tmp_path, capsys):
+    code = main(["--benchmark", "gzip", "--max-events", "30000",
+                 "--snapshot-every", "10000",
+                 "--snapshot-dir", str(tmp_path)])
+    assert code == 0
+    snaps = sorted(tmp_path.glob("snapshot-*.json.gz"))
+    assert snaps
+    capsys.readouterr()
+    code = main(["--benchmark", "gzip", "--max-events", "30000",
+                 "--restore", str(snaps[0]), "--verify"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "restored" in out
+    assert "verify     OK" in out
+
+
+def test_cli_snapshot_flag_needs_dir(capsys):
+    assert main(["--snapshot-every", "1000"]) == 2

@@ -1,0 +1,60 @@
+"""Event model: batch construction, validation, trace batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.events import BranchEvent, EventBatch, iter_trace_batches
+from tests.conftest import make_trace
+
+
+def test_from_events_roundtrip():
+    events = [BranchEvent(7, True, 10), BranchEvent(3, False, 18),
+              BranchEvent(7, True, 20)]
+    batch = EventBatch.from_events(5, events)
+    assert batch.seq == 5
+    assert batch.n_events == len(batch) == 3
+    assert batch.last_instr == 20
+    assert batch.pcs.dtype == np.int32
+    assert batch.taken.dtype == bool
+    assert batch.instrs.dtype == np.int64
+    assert list(batch.events()) == events
+
+
+def test_batch_validation():
+    with pytest.raises(ValueError, match="equal length"):
+        EventBatch(0, np.array([1, 2], np.int32), np.array([True]),
+                   np.array([1, 2], np.int64))
+    with pytest.raises(ValueError, match="at least one"):
+        EventBatch(0, np.array([], np.int32), np.array([], bool),
+                   np.array([], np.int64))
+    with pytest.raises(ValueError, match="non-negative"):
+        EventBatch.from_events(-1, [BranchEvent(0, True, 1)])
+
+
+def test_iter_trace_batches_covers_trace_exactly():
+    trace = make_trace([0, 1, 2, 0, 1, 2, 0], [1, 0, 1, 1, 0, 1, 0])
+    batches = list(iter_trace_batches(trace, batch_events=3))
+    assert [b.seq for b in batches] == [0, 1, 2]
+    assert [b.n_events for b in batches] == [3, 3, 1]
+    assert np.concatenate([b.pcs for b in batches]).tolist() \
+        == trace.branch_ids.tolist()
+    assert np.concatenate([b.instrs for b in batches]).tolist() \
+        == trace.instrs.tolist()
+
+
+def test_iter_trace_batches_truncation_and_start_seq():
+    trace = make_trace([0] * 10, [1] * 10)
+    batches = list(iter_trace_batches(trace, batch_events=4,
+                                      start_seq=7, max_events=6))
+    assert [b.seq for b in batches] == [7, 8]
+    assert sum(b.n_events for b in batches) == 6
+    with pytest.raises(ValueError):
+        next(iter_trace_batches(trace, batch_events=0))
+
+
+def test_iter_trace_batches_is_zero_copy():
+    trace = make_trace([0, 1, 2, 3], [1, 1, 0, 0])
+    (batch,) = iter_trace_batches(trace, batch_events=8)
+    assert batch.pcs.base is trace.branch_ids

@@ -1,0 +1,101 @@
+"""Shard routing and the sharded bank's equivalence to the engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.events import iter_trace_batches
+from repro.serve.shard import ShardedBank, shard_ids, shard_of
+from repro.sim.runner import run_reactive
+from tests.serve.conftest import random_trace
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 8])
+def test_shard_of_is_a_partition(n_shards):
+    """Every PC routes to exactly one valid shard, deterministically."""
+    pcs = list(range(500)) + [2**31 - 1, 7919, 104729]
+    for pc in pcs:
+        s = shard_of(pc, n_shards)
+        assert 0 <= s < n_shards
+        assert shard_of(pc, n_shards) == s  # stable
+
+
+def test_shard_ids_matches_scalar():
+    pcs = np.concatenate([np.arange(2000, dtype=np.int32),
+                          np.array([2**31 - 1, 0, 1], np.int32)])
+    for n in (1, 2, 5, 8):
+        vec = shard_ids(pcs, n)
+        assert [shard_of(int(pc), n) for pc in pcs] == vec.tolist()
+
+
+def test_shard_balance_on_clustered_pcs():
+    """Stride-clustered ids (like real branch addresses) stay balanced."""
+    pcs = np.arange(0, 64_000, 4, dtype=np.int32)  # 16k ids, stride 4
+    for n in (2, 4, 8):
+        counts = np.bincount(shard_ids(pcs, n), minlength=n)
+        assert counts.min() > 0.8 * len(pcs) / n
+        assert counts.max() < 1.2 * len(pcs) / n
+
+
+def test_partition_covers_batch_exactly(bench_trace):
+    bank = ShardedBank(n_shards=4)
+    batch = next(iter_trace_batches(bench_trace, 4096))
+    parts = bank.partition(batch)
+    assert sum(p.n_events for p in parts) == batch.n_events
+    for p in parts:
+        assert (shard_ids(p.pcs, 4) == p.shard).all()
+        # Program order within each partition is preserved.
+        assert (np.diff(p.instrs) >= 0).all()
+
+
+@pytest.mark.parametrize("n_shards", [1, 3, 4])
+def test_sharded_bank_matches_run_reactive(bench_trace, bench_config,
+                                           n_shards):
+    bank = ShardedBank(bench_config, n_shards)
+    for batch in iter_trace_batches(bench_trace, 4096):
+        bank.apply_batch(batch)
+    offline = run_reactive(bench_trace, bench_config)
+    assert bank.metrics() == offline.metrics
+
+
+def test_sharded_bank_matches_on_adversarial_random_trace():
+    trace = random_trace(20_000, 300, seed=3)
+    from repro.core.config import ControllerConfig
+
+    config = ControllerConfig(
+        monitor_period=8, selection_threshold=0.7, evict_counter_max=100,
+        misspec_increment=50, correct_decrement=1, revisit_period=20,
+        oscillation_limit=3, optimization_latency=200)
+    bank = ShardedBank(config, 5)
+    for batch in iter_trace_batches(trace, 777):
+        bank.apply_batch(batch)
+    assert bank.metrics() == run_reactive(trace, config).metrics
+
+
+def test_decision_cache_tracks_deployed_view(bench_trace, bench_config):
+    bank = ShardedBank(bench_config, 4)
+    for batch in iter_trace_batches(bench_trace, 4096):
+        bank.apply_batch(batch)
+    seen = set()
+    for shard in bank.shards:
+        for ctrl in shard.bank:
+            seen.add(ctrl.branch)
+            assert shard.decisions[ctrl.branch] == ctrl.deployed
+            assert bank.should_speculate(ctrl.branch) == ctrl.deployed
+    assert seen  # the trace exercised at least some branches
+    # Unknown branches never speculate.
+    assert bank.should_speculate(10**9 + 7) is False
+
+
+def test_apply_reports_decision_invalidations(bench_trace, bench_config):
+    """``changed`` must be exactly the PCs whose deployed view flipped."""
+    bank = ShardedBank(bench_config, 2)
+    views: dict[int, bool] = {}
+    for batch in iter_trace_batches(bench_trace, 2048):
+        for result in bank.apply_batch(batch):
+            shard = bank.shards[result.shard]
+            flipped = {pc for pc, dec in shard.decisions.items()
+                       if views.get(pc, False) != dec}
+            assert set(result.changed) == flipped
+            views.update(shard.decisions)
