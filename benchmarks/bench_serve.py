@@ -8,6 +8,13 @@ top of the controller model:
   table).  On a single-core host the scaling comes from batching
   density (larger per-branch runs through the vectorized fast path),
   not parallelism — see docs/serving.md for how to read the numbers.
+* single-process vs per-shard **worker processes**: the multi-core
+  scaling curve.  Run standalone for the JSON the CI bench-gate
+  compares against the committed baseline::
+
+      PYTHONPATH=src python benchmarks/bench_serve.py --quick \\
+          --out BENCH_serve.current.json
+
 * a 10x overload burst: producers submit far faster than shards drain,
   and the bounded queues + backpressure must hold the high-water mark
   at the configured cap while every event still lands exactly once.
@@ -15,7 +22,11 @@ top of the controller model:
 
 from __future__ import annotations
 
+import argparse
 import asyncio
+import json
+import os
+import sys
 import time
 
 import pytest
@@ -27,6 +38,7 @@ from repro.sim.runner import run_reactive
 from repro.trace.spec2000 import load_trace
 
 SHARD_COUNTS = (1, 2, 4, 8)
+WORKER_COUNTS = (1, 2, 4)
 
 
 @pytest.fixture(scope="module")
@@ -40,9 +52,12 @@ def offline_metrics(trace):
     return run_reactive(trace, scaled_config()).metrics
 
 
-def _ingest(trace, n_shards: int, queue_events: int = 65_536):
+def _ingest(trace, n_shards: int, queue_events: int = 65_536,
+            workers: int = 0, transport: str = "pipe"):
+    """One full replay; timing excludes worker-process startup."""
     async def run():
-        scfg = ServiceConfig(n_shards=n_shards, queue_events=queue_events)
+        scfg = ServiceConfig(n_shards=n_shards, queue_events=queue_events,
+                             workers=workers, transport=transport)
         async with SpeculationService(scaled_config(), scfg) as service:
             started = time.perf_counter()
             await feed_trace(service, trace, batch_events=8192)
@@ -116,6 +131,32 @@ def test_overload_burst_stays_bounded(benchmark, trace, offline_metrics):
           f"{stats.retry_wait:.2f}s backpressure wait")
 
 
+def test_multiprocess_scaling(benchmark, trace, offline_metrics):
+    """Single-process vs per-shard worker processes (2 workers here to
+    keep the suite quick; the standalone --quick mode sweeps {1,2,4}).
+    Exactness is asserted at every point — scaling must be free."""
+    def sweep():
+        return {
+            0: _ingest(trace, n_shards=4),
+            2: _ingest(trace, n_shards=2, workers=2),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    print()
+    print(f"    serve ingestion, gcc {len(trace):,} events, "
+          f"{os.cpu_count()} cpu(s)")
+    print("    mode                events/sec   vs single-process")
+    base = None
+    for workers, (metrics, _reading, elapsed) in results.items():
+        assert metrics == offline_metrics
+        rate = len(trace) / elapsed
+        base = base or rate
+        label = ("single-process" if workers == 0
+                 else f"{workers} workers")
+        print(f"    {label:<18} {rate:>12,.0f} {rate / base:>12.2f}x")
+
+
 def test_snapshot_cost(benchmark, trace, tmp_path):
     """Time one quiesce + checkpoint + restore cycle mid-trace."""
     async def prepare():
@@ -139,3 +180,92 @@ def test_snapshot_cost(benchmark, trace, tmp_path):
     print(f"    snapshot {size_kib:,.0f} KiB for "
           f"{service.metrics().dynamic_branches:,} events, "
           f"{len(list(service.bank.shards))} shards")
+
+
+# -- standalone scaling harness (the CI bench-gate entry point) -------------
+def run_scaling(events: int = 400_000, trace_name: str = "gcc",
+                worker_counts=WORKER_COUNTS, transport: str = "pipe",
+                verbose: bool = True) -> dict:
+    """Measure single-process vs worker-process ingestion throughput.
+
+    Returns the result document the bench-gate compares: absolute
+    events/sec per mode, the 4-worker speedup, and an exactness flag
+    (every mode's metrics must equal the offline engine's).  Timings
+    exclude worker-process startup; each mode runs once after a shared
+    warmup replay (the trace generator is deterministic, so exactness
+    holds machine-independently).
+    """
+    trace = load_trace(trace_name, length=events)
+    offline = run_reactive(trace, scaled_config()).metrics
+    exact = True
+
+    def measure(workers: int) -> float:
+        nonlocal exact
+        shards = workers if workers else 4
+        metrics, _reading, elapsed = _ingest(
+            trace, n_shards=shards, workers=workers, transport=transport)
+        if metrics != offline:
+            exact = False
+        return len(trace) / elapsed
+
+    _ingest(trace, n_shards=4)  # warmup: page in the trace + JIT numpy
+    single_eps = measure(0)
+    multi = {str(w): measure(w) for w in worker_counts}
+    top = str(max(worker_counts))
+    result = {
+        "kind": "repro.serve.bench",
+        "schema": 1,
+        "trace": {"name": trace_name, "events": len(trace)},
+        "machine": {"cpus": os.cpu_count()},
+        "transport": transport,
+        "single_process_eps": single_eps,
+        "multi_process_eps": multi,
+        "speedup_at_max_workers": multi[top] / single_eps,
+        "max_workers": int(top),
+        "exact": exact,
+    }
+    if verbose:
+        print(f"serve scaling, {trace_name} {len(trace):,} events, "
+              f"{os.cpu_count()} cpu(s), transport={transport}")
+        print(f"  single-process (4 shards) {single_eps:>12,.0f} ev/s")
+        for w in worker_counts:
+            eps = multi[str(w)]
+            print(f"  {w} worker process(es)     {eps:>12,.0f} ev/s "
+                  f"{eps / single_eps:>6.2f}x")
+        print(f"  exact vs offline engine: {exact}")
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure repro.serve single- vs multi-process "
+                    "ingestion scaling and write a JSON result for the "
+                    "CI bench-gate.")
+    parser.add_argument("--quick", action="store_true",
+                        help="quick mode: 400k events (the CI gate's "
+                             "configuration)")
+    parser.add_argument("--events", type=int, default=None,
+                        help="trace length (default: 400k quick, 3.2M full)")
+    parser.add_argument("--trace", default="gcc")
+    parser.add_argument("--transport", choices=("pipe", "socket"),
+                        default="pipe")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the result JSON to FILE")
+    args = parser.parse_args(argv)
+    events = args.events or (400_000 if args.quick else 3_200_000)
+    result = run_scaling(events=events, trace_name=args.trace,
+                         transport=args.transport)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if not result["exact"]:
+        print("ERROR: a mode diverged from the offline engine",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

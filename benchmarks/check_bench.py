@@ -1,0 +1,147 @@
+"""CI bench-gate: compare a fresh bench_serve run against the baseline.
+
+Two independent checks, both computed from the *current* run:
+
+1. **Scaling floor** — throughput at the max worker count must be at
+   least ``--min-speedup`` times single-process throughput *measured in
+   the same run* (so machine speed cancels out).  This is the real
+   gate: it proves the worker processes buy parallelism.  It is only
+   meaningful on a multi-core host, so when the current run reports
+   fewer than ``--min-cpus`` CPUs the check is skipped with a notice
+   (pass ``--strict`` to fail instead, e.g. if the CI runner shrank).
+
+2. **Throughput band** — every absolute events/sec figure must stay
+   within ``--tolerance`` of the committed baseline (current >=
+   tolerance * baseline).  This catches large regressions in either
+   mode without being flaky about runner-to-runner variance; the
+   committed baseline is deliberately conservative.
+
+Exactness is non-negotiable: if either JSON says ``exact: false`` the
+gate fails regardless of the numbers.
+
+Usage (what .github/workflows/ci.yml runs)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick \
+        --out BENCH_serve.current.json
+    python benchmarks/check_bench.py BENCH_serve.json \
+        BENCH_serve.current.json --min-speedup 1.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["check", "main"]
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("kind") != "repro.serve.bench":
+        raise SystemExit(f"{path}: not a bench_serve result document")
+    return doc
+
+
+def check(baseline: dict, current: dict, min_speedup: float,
+          tolerance: float, min_cpus: int, strict: bool) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    for name, doc in (("baseline", baseline), ("current", current)):
+        if not doc.get("exact", False):
+            failures.append(f"{name} run diverged from the offline engine "
+                            "(exact: false)")
+
+    cpus = current.get("machine", {}).get("cpus") or 0
+    speedup = current.get("speedup_at_max_workers", 0.0)
+    workers = current.get("max_workers")
+    if cpus >= min_cpus:
+        if speedup < min_speedup:
+            failures.append(
+                f"scaling floor: {workers}-worker speedup {speedup:.2f}x "
+                f"< required {min_speedup:.2f}x on a {cpus}-cpu host")
+    elif strict:
+        failures.append(f"host has {cpus} cpu(s) < required {min_cpus} "
+                        "(--strict)")
+    else:
+        print(f"NOTE: skipping the {min_speedup:.2f}x scaling floor — "
+              f"host has {cpus} cpu(s), need >= {min_cpus} for the check "
+              "to be meaningful")
+
+    def band(label: str, base: float, cur: float) -> None:
+        floor = tolerance * base
+        if cur < floor:
+            failures.append(
+                f"throughput band: {label} {cur:,.0f} ev/s < "
+                f"{floor:,.0f} ev/s ({tolerance:.0%} of baseline "
+                f"{base:,.0f})")
+
+    band("single-process", baseline["single_process_eps"],
+         current["single_process_eps"])
+    for w, base_eps in baseline.get("multi_process_eps", {}).items():
+        cur_eps = current.get("multi_process_eps", {}).get(w)
+        if cur_eps is None:
+            failures.append(f"current run is missing the {w}-worker point")
+        else:
+            band(f"{w}-worker", base_eps, cur_eps)
+    return failures
+
+
+def _table(baseline: dict, current: dict) -> None:
+    print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
+          f"{'ratio':>7}")
+    rows = [("single-process", baseline["single_process_eps"],
+             current["single_process_eps"])]
+    for w in sorted(baseline.get("multi_process_eps", {}), key=int):
+        rows.append((f"{w} workers", baseline["multi_process_eps"][w],
+                     current.get("multi_process_eps", {}).get(w)))
+    for label, base, cur in rows:
+        if cur is None:
+            print(f"{label:<18} {base:>15,.0f} {'missing':>15}")
+        else:
+            print(f"{label:<18} {base:>15,.0f} {cur:>15,.0f} "
+                  f"{cur / base:>6.2f}x")
+    print(f"{'speedup @ max workers':<34} "
+          f"{baseline.get('speedup_at_max_workers', 0):>7.2f}x (baseline) "
+          f"{current.get('speedup_at_max_workers', 0):>7.2f}x (current, "
+          f"{current.get('machine', {}).get('cpus', '?')} cpus)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate a bench_serve result against the committed "
+                    "baseline.")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument("--min-speedup", type=float, default=1.8,
+                        help="required max-workers/single speedup in the "
+                             "current run (default: 1.8)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="lower band: current throughput must be at "
+                             "least this fraction of baseline "
+                             "(default: 0.5)")
+    parser.add_argument("--min-cpus", type=int, default=4,
+                        help="CPUs needed for the speedup check to apply "
+                             "(default: 4)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail, rather than skip, the speedup check "
+                             "on an under-provisioned host")
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    _table(baseline, current)
+    failures = check(baseline, current, args.min_speedup, args.tolerance,
+                     args.min_cpus, args.strict)
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("\nbench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ from repro.serve.service import (
 )
 from repro.serve.shard import BankShard, ShardedBank, shard_of
 from repro.serve.telemetry import ServiceTelemetry, TelemetryReading
+from repro.serve.workers import WorkerDiedError, WorkerPool
 
 __all__ = [
     "BackpressureError",
@@ -53,6 +54,8 @@ __all__ = [
     "SpeculationService",
     "SubmitStats",
     "TelemetryReading",
+    "WorkerDiedError",
+    "WorkerPool",
     "feed_trace",
     "iter_trace_batches",
     "shard_of",

@@ -35,8 +35,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="input name (default: evaluation input)")
     parser.add_argument("--max-events", type=int, default=None,
                         help="truncate the trace to N events")
-    parser.add_argument("--shards", type=int, default=4,
+    parser.add_argument("--shards", type=int, default=None,
                         help="controller bank shards (default: 4)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="run N per-shard worker processes (implies "
+                             "--shards N; default: 0 = in-process)")
+    parser.add_argument("--transport", choices=("pipe", "socket"),
+                        default="pipe",
+                        help="worker wire transport (default: pipe)")
     parser.add_argument("--batch-events", type=int, default=4096,
                         help="events per submitted batch (default: 4096)")
     parser.add_argument("--queue-events", type=int, default=32768,
@@ -56,6 +62,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verify", action="store_true",
                         help="also run the offline engine and compare "
                              "metrics (exits 1 on mismatch)")
+    parser.add_argument("--dump-telemetry", default=None, metavar="FILE",
+                        help="write the final telemetry reading and "
+                             "metrics as JSON to FILE")
     return parser
 
 
@@ -66,18 +75,29 @@ async def _run(args) -> int:
 
     trace = load_trace(args.benchmark, args.input_name,
                        length=args.max_events)
+    if (args.workers and args.shards is not None
+            and args.shards != args.workers):
+        raise ValueError(f"--workers {args.workers} implies --shards "
+                         f"{args.workers}; drop the conflicting "
+                         f"--shards {args.shards}")
+    n_shards = args.workers or (4 if args.shards is None else args.shards)
     if args.restore is not None:
         service = SpeculationService.restore(args.restore,
-                                             n_shards=args.shards)
+                                             n_shards=n_shards,
+                                             workers=args.workers,
+                                             transport=args.transport)
         print(f"restored {args.restore} "
               f"(events applied: {service.metrics().dynamic_branches:,}, "
-              f"last seq: {service.last_seq})")
+              f"covered-seq watermark: {service.last_seq}; "
+              f"feed resumes at seq {service.last_seq + 1})")
     else:
         scfg = ServiceConfig(
-            n_shards=args.shards,
+            n_shards=n_shards,
             queue_events=args.queue_events,
             snapshot_interval_events=args.snapshot_every,
             snapshot_dir=args.snapshot_dir,
+            workers=args.workers,
+            transport=args.transport,
         )
         service = SpeculationService(service_config=scfg)
 
@@ -97,6 +117,7 @@ async def _run(args) -> int:
         elapsed = time.monotonic() - started
         reading = service.reading()
         metrics = service.metrics()
+        worker_pids = service.worker_pids
 
     print()
     print(f"trace      {trace.name}/{trace.input_name}  "
@@ -105,6 +126,10 @@ async def _run(args) -> int:
           f"{stats.batches:,} batches submitted, "
           f"{stats.rejections:,} backpressure rejections "
           f"({stats.retry_wait:.2f}s waited)")
+    if args.workers:
+        pids = ", ".join(str(p) for p in worker_pids)
+        print(f"workers    {args.workers} processes over "
+              f"{args.transport} transport (pids {pids})")
     print(f"sustained  {metrics.dynamic_branches / elapsed / 1e3:,.0f}k "
           f"events/sec over {elapsed:.2f}s")
     print(f"queues     high water {max(reading.queue_high_water):,} "
@@ -114,6 +139,30 @@ async def _run(args) -> int:
     if service.snapshots_written:
         print(f"snapshots  {len(service.snapshots_written)} written, "
               f"last: {service.snapshots_written[-1]}")
+
+    if args.dump_telemetry:
+        import json
+        from dataclasses import asdict
+        from pathlib import Path
+
+        dump = {
+            "trace": {"name": trace.name, "input": trace.input_name,
+                      "events": len(trace)},
+            "service": {"shards": service.bank.n_shards,
+                        "workers": args.workers,
+                        "transport": args.transport,
+                        "batch_events": args.batch_events},
+            "elapsed_sec": elapsed,
+            "events_per_sec": (metrics.dynamic_branches / elapsed
+                               if elapsed > 0 else 0.0),
+            "submission": asdict(stats),
+            "telemetry": asdict(reading),
+            "metrics": asdict(metrics),
+        }
+        out = Path(args.dump_telemetry)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(dump, indent=2) + "\n")
+        print(f"telemetry  dumped to {out}")
 
     if args.verify:
         from repro.sim.runner import run_reactive

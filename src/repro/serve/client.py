@@ -15,6 +15,7 @@ at an optional target event rate and reports submission statistics.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass
 from typing import Awaitable, Callable
@@ -24,6 +25,8 @@ from repro.serve.service import BackpressureError, SpeculationService
 from repro.trace.stream import Trace
 
 __all__ = ["SpeculationClient", "SubmitStats", "feed_trace"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -132,6 +135,10 @@ async def feed_trace(service: SpeculationService, trace: Trace,
     for batch in iter_trace_batches(trace, batch_events,
                                     max_events=max_events):
         if batch.seq < first_seq:
+            logger.debug(
+                "feed_trace: skipping batch seq=%d (%d events) — already "
+                "covered by seq watermark %d", batch.seq, batch.n_events,
+                first_seq - 1)
             continue
         if burst:
             await client.submit_burst(batch)

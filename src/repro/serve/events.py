@@ -15,6 +15,7 @@ feed recorded workloads through the service.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -22,7 +23,45 @@ import numpy as np
 
 from repro.trace.stream import Trace
 
-__all__ = ["BranchEvent", "EventBatch", "iter_trace_batches"]
+__all__ = ["BranchEvent", "EventBatch", "iter_trace_batches",
+           "pack_events", "unpack_events"]
+
+#: Bytes per event on the wire: int32 pc + uint8 taken + int64 instr.
+EVENT_WIRE_BYTES = 4 + 1 + 8
+
+_BATCH_HEADER = struct.Struct("<QI")
+
+
+def pack_events(pcs: np.ndarray, taken: np.ndarray,
+                instrs: np.ndarray) -> bytes:
+    """Columnar wire form of parallel event arrays.
+
+    Layout is the three arrays back to back — ``int32 pc[n]``,
+    ``uint8 taken[n]``, ``int64 instr[n]`` — so packing is three
+    ``tobytes`` calls and unpacking is three zero-copy views.
+    """
+    return (np.ascontiguousarray(pcs, dtype=np.int32).tobytes()
+            + np.ascontiguousarray(taken, dtype=np.uint8).tobytes()
+            + np.ascontiguousarray(instrs, dtype=np.int64).tobytes())
+
+
+def unpack_events(buf: bytes, offset: int, n: int,
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode :func:`pack_events` output at ``buf[offset:]``.
+
+    Returns ``(pcs, taken, instrs)`` as read-only views into ``buf``
+    (zero-copy); ``taken`` is viewed as bool.
+    """
+    if len(buf) < offset + n * EVENT_WIRE_BYTES:
+        raise ValueError(
+            f"event payload truncated: need {n * EVENT_WIRE_BYTES} bytes "
+            f"at offset {offset}, have {len(buf) - offset}")
+    pcs = np.frombuffer(buf, dtype=np.int32, count=n, offset=offset)
+    taken = np.frombuffer(buf, dtype=np.uint8, count=n,
+                          offset=offset + 4 * n).view(np.bool_)
+    instrs = np.frombuffer(buf, dtype=np.int64, count=n,
+                           offset=offset + 5 * n)
+    return pcs, taken, instrs
 
 
 @dataclass(frozen=True)
@@ -100,6 +139,25 @@ class EventBatch:
         for i in range(len(self.pcs)):
             yield BranchEvent(int(self.pcs[i]), bool(self.taken[i]),
                               int(self.instrs[i]))
+
+    # -- wire form ------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Wire form: ``<uint64 seq><uint32 n>`` + :func:`pack_events`."""
+        return (_BATCH_HEADER.pack(self.seq, len(self.pcs))
+                + pack_events(self.pcs, self.taken, self.instrs))
+
+    @classmethod
+    def from_bytes(cls, buf: bytes) -> "EventBatch":
+        """Decode :meth:`to_bytes` output (arrays are zero-copy views)."""
+        if len(buf) < _BATCH_HEADER.size:
+            raise ValueError("batch frame truncated: missing header")
+        seq, n = _BATCH_HEADER.unpack_from(buf)
+        expected = _BATCH_HEADER.size + n * EVENT_WIRE_BYTES
+        if len(buf) != expected:
+            raise ValueError(
+                f"batch frame length mismatch: {len(buf)} != {expected}")
+        pcs, taken, instrs = unpack_events(buf, _BATCH_HEADER.size, n)
+        return cls(seq=seq, pcs=pcs, taken=taken, instrs=instrs)
 
 
 def iter_trace_batches(trace: Trace, batch_events: int = 4096,

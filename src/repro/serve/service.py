@@ -39,8 +39,9 @@ import numpy as np
 
 from repro.core.config import ControllerConfig
 from repro.serve.events import EventBatch
-from repro.serve.shard import ShardedBank
+from repro.serve.shard import BankShard, ShardedBank
 from repro.serve.telemetry import ServiceTelemetry, TelemetryReading
+from repro.serve.workers import WorkerDiedError, WorkerPool
 from repro.sim.metrics import SpeculationMetrics
 
 __all__ = ["ServiceConfig", "BackpressureError", "SequenceError",
@@ -64,10 +65,27 @@ class ServiceConfig:
     #: Auto-snapshot every N applied events (None = disabled).
     snapshot_interval_events: int | None = None
     snapshot_dir: str | None = None
+    #: 0 = apply shards in-process on the asyncio loop; N = one OS
+    #: worker process per shard (requires ``workers == n_shards``) fed
+    #: over the binary wire protocol for real multi-core scaling.
+    workers: int = 0
+    #: Worker transport: ``pipe`` (multiprocessing.Pipe) or ``socket``
+    #: (AF_UNIX stream with explicit length-prefixed frames).
+    transport: str = "pipe"
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
             raise ValueError("n_shards must be positive")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+        if self.workers and self.workers != self.n_shards:
+            raise ValueError(
+                f"workers ({self.workers}) must equal n_shards "
+                f"({self.n_shards}): the execution model is one worker "
+                "process per shard")
+        if self.transport not in ("pipe", "socket"):
+            raise ValueError(f"unknown transport {self.transport!r} "
+                             "(expected 'pipe' or 'socket')")
         if self.queue_events <= 0:
             raise ValueError("queue_events must be positive")
         if not 0 < self.min_batch_events <= self.max_batch_events:
@@ -139,13 +157,40 @@ class SpeculationService:
         self.snapshots_written: list[Path] = []
         self._running = False
         self._quiescing = False
+        self._pool: WorkerPool | None = None
+        self._fatal: Exception | None = None
+        #: Newest batch seq covered by an on-disk snapshot.  A service
+        #: built from a snapshot starts durable up to its own last_seq.
+        self._last_durable_seq = last_seq
+        self._bank_stale = False
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
-        """Spawn one worker task per shard (idempotent)."""
+        """Spawn one worker task — and, in multi-process mode, one OS
+        worker process — per shard (idempotent)."""
         if self._running:
             return
+        if self._bank_stale:
+            raise RuntimeError(
+                "cannot restart: live shard state was lost when worker "
+                "processes were stopped without draining; restore a "
+                "snapshot instead")
         self._running = True
+        if self.service_config.workers and self._pool is None:
+            pool = WorkerPool(self.config, self.bank.n_shards,
+                              transport=self.service_config.transport)
+            try:
+                await pool.start([s.export_state()
+                                  for s in self.bank.shards])
+            except Exception:
+                self._running = False
+                await pool.shutdown()
+                raise
+            # Workers own the live controllers now; the parent keeps
+            # only mirror counters and the decision cache per shard.
+            for shard in self.bank.shards:
+                shard.bank._controllers.clear()
+            self._pool = pool
         self._workers = [asyncio.create_task(self._worker(i),
                                              name=f"repro-serve-shard-{i}")
                          for i in range(self.bank.n_shards)]
@@ -155,6 +200,8 @@ class SpeculationService:
 
     async def stop(self, drain: bool = True) -> None:
         """Stop workers; by default drain queued events first."""
+        if self._fatal is not None:
+            drain = False
         if drain and self._running:
             await self.drain()
         self._running = False
@@ -169,6 +216,17 @@ class SpeculationService:
                 pass
         self._workers = []
         self._snapshot_task = None
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            states = await pool.shutdown(gather=drain)
+            if states is not None:
+                # Re-absorb the authoritative shard state so the parent
+                # bank is complete again (snapshotable, restartable).
+                self.bank.shards = tuple(
+                    BankShard.from_state(self.config, s) for s in states)
+                self._bank_stale = False
+            else:
+                self._bank_stale = True
 
     async def __aenter__(self) -> "SpeculationService":
         await self.start()
@@ -185,6 +243,8 @@ class SpeculationService:
         :class:`BackpressureError` when any destination queue would
         overflow (in which case *nothing* was enqueued).
         """
+        if self._fatal is not None:
+            raise self._fatal
         if batch.seq <= self._last_seq:
             raise SequenceError(
                 f"batch seq {batch.seq} not greater than last accepted "
@@ -230,8 +290,22 @@ class SpeculationService:
         return float(min(max(eta, 0.001), 1.0))
 
     async def drain(self) -> None:
-        """Wait until every queued event has been applied."""
+        """Wait until every queued event has been applied.
+
+        Raises the pending :class:`~repro.serve.workers.WorkerDiedError`
+        if a shard worker process died while draining.
+        """
         await asyncio.gather(*(q.join() for q in self._queues))
+        if self._fatal is not None:
+            raise self._fatal
+
+    def _set_fatal(self, err: WorkerDiedError) -> WorkerDiedError:
+        """Annotate a worker death with the durability watermark and
+        latch it as the service's terminal error."""
+        err.last_durable_seq = self._last_durable_seq
+        if self._fatal is None:
+            self._fatal = err
+        return err
 
     # -- shard workers --------------------------------------------------
     async def _worker(self, shard_index: int) -> None:
@@ -256,7 +330,27 @@ class SpeculationService:
                 pcs = np.concatenate([p.pcs for p in parts])
                 taken = np.concatenate([p.taken for p in parts])
                 instrs = np.concatenate([p.instrs for p in parts])
-            result = shard.apply(pcs, taken, instrs)
+            if self._pool is not None:
+                try:
+                    result = await self._pool.apply(shard_index, pcs,
+                                                    taken, instrs)
+                except WorkerDiedError as err:
+                    self._set_fatal(err)
+                    # Release joiners: this shard's events can never be
+                    # applied, so account them out of the queue.
+                    for _ in parts:
+                        queue.task_done()
+                    while True:
+                        try:
+                            queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        queue.task_done()
+                    self._queued_events[shard_index] = 0
+                    return
+                shard.absorb(result)
+            else:
+                result = shard.apply(pcs, taken, instrs)
             depth = self._queued_events[shard_index] - events
             self._queued_events[shard_index] = depth
             self.telemetry.record_apply(
@@ -331,6 +425,10 @@ class SpeculationService:
         """
         from repro.serve.snapshot import save_snapshot
 
+        if self._bank_stale and self._pool is None:
+            raise RuntimeError(
+                "cannot snapshot: live shard state was lost when worker "
+                "processes were stopped without draining")
         self._quiescing = True
         try:
             await self.drain()
@@ -340,24 +438,53 @@ class SpeculationService:
                         "snapshot() without a path needs snapshot_dir")
                 path = Path(self.service_config.snapshot_dir) / (
                     f"snapshot-{self.bank.events_applied:012d}.json.gz")
-            out = save_snapshot(path, self)
+            if self._pool is not None:
+                # Phase two of the cross-process quiesce: every worker
+                # is drained (intake closed + queues joined above), so
+                # barrier them and collect per-shard state for one
+                # atomic checkpoint in the single-process format.
+                try:
+                    states = await self._pool.collect_states()
+                except WorkerDiedError as err:
+                    raise self._set_fatal(err)
+                out = save_snapshot(path, self, bank_state={
+                    "n_shards": self.bank.n_shards, "shards": states})
+            else:
+                out = save_snapshot(path, self)
         finally:
             self._quiescing = False
+        self._last_durable_seq = self._last_seq
         self.snapshots_written.append(out)
         return out
+
+    @property
+    def last_durable_seq(self) -> int:
+        """Newest batch seq covered by an on-disk snapshot (-1: none)."""
+        return self._last_durable_seq
+
+    @property
+    def worker_pids(self) -> list[int | None]:
+        """PIDs of the shard worker processes ([] in-process mode)."""
+        return self._pool.pids if self._pool is not None else []
 
     @classmethod
     def restore(cls, path: str | Path,
                 service_config: ServiceConfig | None = None,
-                n_shards: int | None = None) -> "SpeculationService":
+                n_shards: int | None = None,
+                workers: int | None = None,
+                transport: str | None = None) -> "SpeculationService":
         """Rebuild a service from a snapshot file.
 
         ``service_config`` overrides the snapshotted tuning knobs;
         ``n_shards`` re-partitions the bank onto a different shard
         count (controllers are branch-independent, so resharding is
-        exact).
+        exact).  ``workers``/``transport`` select the execution mode of
+        the restored service — snapshots are mode-agnostic, so a
+        single-process snapshot restores onto worker processes and vice
+        versa, onto any worker count.
         """
         from repro.serve.snapshot import load_snapshot
 
         return load_snapshot(path, service_config=service_config,
-                             n_shards=n_shards)
+                             n_shards=n_shards, workers=workers,
+                             transport=transport)

@@ -62,7 +62,13 @@ def shard_ids(pcs: np.ndarray, n_shards: int) -> np.ndarray:
 
 @dataclass(frozen=True)
 class ShardApplyResult:
-    """Outcome of applying one micro-batch to one shard."""
+    """Outcome of applying one micro-batch to one shard.
+
+    Carries everything a remote supervisor needs to mirror the shard —
+    outcome deltas, the instruction high-water mark, and the decision
+    flips — so it is also the body of the ``APPLY_RESULT`` wire frame
+    (:mod:`repro.serve.wire`).
+    """
 
     shard: int
     events: int
@@ -71,6 +77,10 @@ class ShardApplyResult:
     #: PCs whose deployed-code view flipped during the batch (a SELECT
     #: or EVICT landed) — exactly the decision-cache invalidation set.
     changed: tuple[int, ...] = ()
+    #: New deployed-code answer per changed PC (parallel to ``changed``).
+    changed_deployed: tuple[bool, ...] = ()
+    #: Shard's instruction stamp high-water mark after the batch.
+    last_instr: int = 0
 
 
 class BankShard:
@@ -131,8 +141,26 @@ class BankShard:
         self.last_instr = max(self.last_instr, int(instrs[-1]))
         self.correct += correct
         self.incorrect += incorrect
-        return ShardApplyResult(shard=self.index, events=n, correct=correct,
-                                incorrect=incorrect, changed=tuple(changed))
+        return ShardApplyResult(
+            shard=self.index, events=n, correct=correct,
+            incorrect=incorrect, changed=tuple(changed),
+            changed_deployed=tuple(self.decisions[pc] for pc in changed),
+            last_instr=self.last_instr)
+
+    def absorb(self, result: ShardApplyResult) -> None:
+        """Mirror a result computed elsewhere (a worker process).
+
+        In multi-process mode the parent's shard objects hold no live
+        controllers; this keeps their counters and decision cache in
+        lockstep with the worker that owns the real state, so
+        ``metrics()`` and ``should_speculate()`` read locally.
+        """
+        self.events_applied += result.events
+        self.correct += result.correct
+        self.incorrect += result.incorrect
+        self.last_instr = max(self.last_instr, result.last_instr)
+        for pc, deployed in zip(result.changed, result.changed_deployed):
+            self.decisions[pc] = deployed
 
     def should_speculate(self, pc: int) -> bool:
         """Deployed-code view: does the live code speculate on ``pc``?

@@ -35,16 +35,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["FORMAT_VERSION", "save_snapshot", "load_snapshot",
            "restore_bank"]
 
-FORMAT_VERSION = 1
+#: Version 2 adds the execution-mode knobs (``workers``/``transport``)
+#: to the embedded service config; the state schema is otherwise
+#: unchanged, so version-1 files load fine.
+FORMAT_VERSION = 2
+_COMPATIBLE_FORMATS = (1, 2)
 _KIND = "repro.serve.snapshot"
 
 
-def save_snapshot(path: str | Path, service: "SpeculationService") -> Path:
+def save_snapshot(path: str | Path, service: "SpeculationService",
+                  bank_state: dict | None = None) -> Path:
     """Write ``service``'s full state to ``path`` (gzip JSON, atomic).
 
     The service must be quiesced — call through
     :meth:`~repro.serve.service.SpeculationService.snapshot`, which
-    drains first.
+    drains first.  ``bank_state`` substitutes an externally collected
+    bank export (the multi-process path, where the authoritative
+    controller state lives in the worker processes); the written format
+    is identical either way, which is what makes snapshots
+    interchangeable across execution modes.
     """
     if service.queued_events:
         raise RuntimeError(
@@ -57,7 +66,8 @@ def save_snapshot(path: str | Path, service: "SpeculationService") -> Path:
         "service_config": asdict(service.service_config),
         "last_seq": int(service.last_seq),
         "events_submitted": int(service.events_submitted),
-        "bank": service.bank.export_state(),
+        "bank": (bank_state if bank_state is not None
+                 else service.bank.export_state()),
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -73,10 +83,10 @@ def _read(path: str | Path) -> dict:
         state = json.load(fh)
     if state.get("kind") != _KIND:
         raise ValueError(f"{path} is not a repro.serve snapshot")
-    if state.get("format") != FORMAT_VERSION:
+    if state.get("format") not in _COMPATIBLE_FORMATS:
         raise ValueError(
             f"snapshot format {state.get('format')} unsupported "
-            f"(expected {FORMAT_VERSION})")
+            f"(expected one of {_COMPATIBLE_FORMATS})")
     return state
 
 
@@ -111,12 +121,18 @@ def restore_bank(config: ControllerConfig, bank_state: dict,
 
 def load_snapshot(path: str | Path,
                   service_config=None,
-                  n_shards: int | None = None) -> "SpeculationService":
+                  n_shards: int | None = None,
+                  workers: int | None = None,
+                  transport: str | None = None) -> "SpeculationService":
     """Rebuild a :class:`SpeculationService` from a snapshot file.
 
     ``service_config`` overrides the snapshotted tuning knobs (its
     ``n_shards`` must then match the bank layout being restored);
-    ``n_shards`` re-partitions the bank.
+    ``n_shards`` re-partitions the bank.  ``workers``/``transport``
+    select the restored service's execution mode.  The snapshotted
+    ``workers`` knob is deliberately *not* inherited: it describes the
+    dead process's deployment, not the model, so a restore runs
+    in-process unless the caller asks otherwise.
     """
     from dataclasses import replace
 
@@ -124,10 +140,20 @@ def load_snapshot(path: str | Path,
 
     state = _read(path)
     config = ControllerConfig(**state["controller_config"])
-    scfg = (service_config if service_config is not None
-            else ServiceConfig(**state["service_config"]))
+    if service_config is not None:
+        scfg = service_config
+    else:
+        scfg = ServiceConfig(**{**state["service_config"],
+                                "workers": 0, "transport": "pipe"})
     if n_shards is not None and n_shards != scfg.n_shards:
         scfg = replace(scfg, n_shards=n_shards)
+    if workers is not None and workers != scfg.workers:
+        overrides = {"workers": workers}
+        if workers and n_shards is None and scfg.n_shards != workers:
+            overrides["n_shards"] = workers
+        scfg = replace(scfg, **overrides)
+    if transport is not None and transport != scfg.transport:
+        scfg = replace(scfg, transport=transport)
     bank = restore_bank(config, state["bank"], n_shards=scfg.n_shards)
     service = SpeculationService(service_config=scfg, bank=bank,
                                  last_seq=int(state["last_seq"]))

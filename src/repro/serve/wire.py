@@ -1,0 +1,264 @@
+"""Binary wire protocol between the service and shard worker processes.
+
+Frames are the unit of exchange: a one-byte frame type followed by a
+struct-packed, little-endian body.  Event payloads travel as raw
+columnar array bytes (int32 pcs / uint8 taken / int64 instrs — see
+:func:`repro.serve.events.pack_events`), so encoding a micro-batch is
+three ``tobytes`` calls and decoding is three zero-copy ``frombuffer``
+views; shard state travels as zlib-compressed JSON.
+
+Transports carry opaque frame payloads and differ only in framing:
+
+* :class:`PipeTransport` wraps a ``multiprocessing.Pipe`` connection,
+  whose ``send_bytes``/``recv_bytes`` already delimit messages;
+* :class:`SocketTransport` wraps a stream socket and adds the
+  explicit ``<uint32 length><payload>`` prefix itself.
+
+Both are blocking and thread-compatible: the supervisor sends from an
+executor thread and receives on a dedicated reader thread per worker
+(:mod:`repro.serve.workers`), while the worker process just loops
+``recv → dispatch → send``.
+
+Frame catalogue (body layouts, all little-endian)::
+
+    LOAD         uint32 zlen | zlib(JSON shard state)   parent → worker
+    HELLO        uint16 shard | uint32 pid              worker → parent
+    APPLY        uint64 ticket | uint32 n | events      parent → worker
+    APPLY_RESULT uint64 ticket | uint32 events
+                 | uint64 correct | uint64 incorrect
+                 | int64 last_instr | uint32 n_changed
+                 | int32 pc[n_changed] | uint8 deployed[n_changed]
+                                                        worker → parent
+    BARRIER      uint64 ticket                          parent → worker
+    BARRIER_ACK  uint64 ticket                          worker → parent
+    STATE_REQ    (empty)                                parent → worker
+    STATE        zlib(JSON shard state)                 worker → parent
+    SHUTDOWN     (empty)                                parent → worker
+    ERROR        utf-8 message                          worker → parent
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+
+import numpy as np
+
+from repro.serve.events import pack_events, unpack_events
+
+__all__ = [
+    "LOAD", "HELLO", "APPLY", "APPLY_RESULT", "BARRIER", "BARRIER_ACK",
+    "STATE_REQ", "STATE", "SHUTDOWN", "ERROR", "ProtocolError",
+    "encode_load", "decode_load", "encode_hello", "decode_hello",
+    "encode_apply", "decode_apply", "encode_apply_result",
+    "decode_apply_result", "encode_barrier", "decode_barrier",
+    "encode_state_req", "encode_state", "decode_state",
+    "encode_shutdown", "encode_error", "decode_error", "frame_type",
+    "PipeTransport", "SocketTransport",
+]
+
+LOAD = 0x01
+HELLO = 0x02
+APPLY = 0x03
+APPLY_RESULT = 0x04
+BARRIER = 0x05
+BARRIER_ACK = 0x06
+STATE_REQ = 0x07
+STATE = 0x08
+SHUTDOWN = 0x09
+ERROR = 0x0A
+
+_HELLO = struct.Struct("<BHI")
+_APPLY = struct.Struct("<BQI")
+_RESULT = struct.Struct("<BQIQQqI")
+_BARRIER = struct.Struct("<BQ")
+_LOAD = struct.Struct("<BI")
+_LEN = struct.Struct("<I")
+
+
+class ProtocolError(Exception):
+    """A frame failed to decode (truncated, wrong type, bad length)."""
+
+
+def frame_type(payload: bytes) -> int:
+    if not payload:
+        raise ProtocolError("empty frame")
+    return payload[0]
+
+
+def _expect(payload: bytes, ftype: int, name: str) -> None:
+    if not payload or payload[0] != ftype:
+        got = payload[0] if payload else None
+        raise ProtocolError(f"expected {name} frame, got type {got!r}")
+
+
+# -- shard state (zlib JSON) ------------------------------------------------
+def encode_load(state: dict | None) -> bytes:
+    """Parent → worker: initial shard state (None = start fresh)."""
+    if state is None:
+        return _LOAD.pack(LOAD, 0)
+    blob = zlib.compress(json.dumps(state, separators=(",", ":"))
+                         .encode("utf-8"))
+    return _LOAD.pack(LOAD, len(blob)) + blob
+
+
+def decode_load(payload: bytes) -> dict | None:
+    _expect(payload, LOAD, "LOAD")
+    _, zlen = _LOAD.unpack_from(payload)
+    if len(payload) != _LOAD.size + zlen:
+        raise ProtocolError("LOAD frame length mismatch")
+    if zlen == 0:
+        return None
+    return json.loads(zlib.decompress(payload[_LOAD.size:]).decode("utf-8"))
+
+
+def encode_hello(shard: int, pid: int) -> bytes:
+    return _HELLO.pack(HELLO, shard, pid)
+
+
+def decode_hello(payload: bytes) -> tuple[int, int]:
+    _expect(payload, HELLO, "HELLO")
+    _, shard, pid = _HELLO.unpack(payload)
+    return shard, pid
+
+
+# -- event application ------------------------------------------------------
+def encode_apply(ticket: int, pcs: np.ndarray, taken: np.ndarray,
+                 instrs: np.ndarray) -> bytes:
+    return _APPLY.pack(APPLY, ticket, len(pcs)) + pack_events(
+        pcs, taken, instrs)
+
+
+def decode_apply(payload: bytes,
+                 ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Returns ``(ticket, pcs, taken, instrs)`` — arrays are zero-copy
+    read-only views into ``payload``."""
+    _expect(payload, APPLY, "APPLY")
+    _, ticket, n = _APPLY.unpack_from(payload)
+    pcs, taken, instrs = unpack_events(payload, _APPLY.size, n)
+    return ticket, pcs, taken, instrs
+
+
+def encode_apply_result(ticket: int, events: int, correct: int,
+                        incorrect: int, last_instr: int,
+                        changed_pcs, changed_deployed) -> bytes:
+    pcs = np.asarray(changed_pcs, dtype=np.int32)
+    dep = np.asarray(changed_deployed, dtype=np.uint8)
+    head = _RESULT.pack(APPLY_RESULT, ticket, events, correct, incorrect,
+                        last_instr, len(pcs))
+    return head + pcs.tobytes() + dep.tobytes()
+
+
+def decode_apply_result(payload: bytes) -> tuple:
+    """Returns ``(ticket, events, correct, incorrect, last_instr,
+    changed_pcs, changed_deployed)``."""
+    _expect(payload, APPLY_RESULT, "APPLY_RESULT")
+    _, ticket, events, correct, incorrect, last_instr, n_changed = (
+        _RESULT.unpack_from(payload))
+    off = _RESULT.size
+    if len(payload) != off + 5 * n_changed:
+        raise ProtocolError("APPLY_RESULT frame length mismatch")
+    pcs = np.frombuffer(payload, dtype=np.int32, count=n_changed,
+                        offset=off)
+    dep = np.frombuffer(payload, dtype=np.uint8, count=n_changed,
+                        offset=off + 4 * n_changed)
+    return (ticket, events, correct, incorrect, last_instr,
+            tuple(int(p) for p in pcs), tuple(bool(d) for d in dep))
+
+
+# -- control frames ---------------------------------------------------------
+def encode_barrier(ticket: int, ack: bool = False) -> bytes:
+    return _BARRIER.pack(BARRIER_ACK if ack else BARRIER, ticket)
+
+
+def decode_barrier(payload: bytes) -> int:
+    if not payload or payload[0] not in (BARRIER, BARRIER_ACK):
+        raise ProtocolError("expected BARRIER/BARRIER_ACK frame")
+    return _BARRIER.unpack(payload)[1]
+
+
+def encode_state_req() -> bytes:
+    return bytes([STATE_REQ])
+
+
+def encode_state(state: dict) -> bytes:
+    blob = zlib.compress(json.dumps(state, separators=(",", ":"))
+                         .encode("utf-8"))
+    return bytes([STATE]) + blob
+
+
+def decode_state(payload: bytes) -> dict:
+    _expect(payload, STATE, "STATE")
+    return json.loads(zlib.decompress(payload[1:]).decode("utf-8"))
+
+
+def encode_shutdown() -> bytes:
+    return bytes([SHUTDOWN])
+
+
+def encode_error(message: str) -> bytes:
+    return bytes([ERROR]) + message.encode("utf-8", errors="replace")
+
+
+def decode_error(payload: bytes) -> str:
+    _expect(payload, ERROR, "ERROR")
+    return payload[1:].decode("utf-8", errors="replace")
+
+
+# -- transports -------------------------------------------------------------
+class PipeTransport:
+    """Frames over a ``multiprocessing.Pipe`` duplex connection.
+
+    ``Connection.send_bytes`` delimits messages itself, so no explicit
+    length prefix is added.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send(self, payload: bytes) -> None:
+        self._conn.send_bytes(payload)
+
+    def recv(self) -> bytes:
+        return self._conn.recv_bytes()
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class SocketTransport:
+    """Length-prefixed frames (``<uint32 length><payload>``) over a
+    stream socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        sock.settimeout(None)
+
+    def send(self, payload: bytes) -> None:
+        self._sock.sendall(_LEN.pack(len(payload)) + payload)
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self._sock.recv(min(n, 1 << 20))
+            if not chunk:
+                raise EOFError("socket closed mid-frame")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> bytes:
+        header = self._sock.recv(_LEN.size, socket.MSG_WAITALL)
+        if len(header) < _LEN.size:
+            raise EOFError("socket closed")
+        (length,) = _LEN.unpack(header)
+        return self._recv_exact(length)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()

@@ -1,0 +1,444 @@
+"""Per-shard worker processes: real multi-core speculation control.
+
+Shards share nothing — each owns its controllers, decision cache and
+fast-path engine — so the natural scaling step beyond one asyncio loop
+is one OS process per shard.  This module supplies both halves:
+
+* :func:`worker_main` is the child entry point: a blocking
+  ``recv → apply → reply`` loop over the binary wire protocol
+  (:mod:`repro.serve.wire`), owning exactly one
+  :class:`~repro.serve.shard.BankShard`.
+* :class:`WorkerPool` is the supervisor half, embedded in the asyncio
+  service: it spawns the processes, ships each its initial shard state
+  (``LOAD``), sends micro-batches (``APPLY``) from executor threads so
+  the event loop never blocks on a full pipe, and routes replies back
+  to awaiting futures via one reader thread per worker.
+
+The parent keeps mirror shards (counters + decision cache, no
+controllers) fed from ``APPLY_RESULT`` frames, so ``metrics()`` and
+``should_speculate()`` stay local reads.  Transports are selectable:
+``pipe`` (``multiprocessing.Pipe``) or ``socket`` (AF_UNIX stream with
+explicit length prefixes) — same frames either way.
+
+Failure model: a worker that disappears (kill -9, OOM) surfaces as
+:class:`WorkerDiedError` on the next interaction.  The error names the
+shard, the pid, and — once the service annotates it — the last
+*durable* sequence number (covered by the newest on-disk snapshot),
+which is exactly where a restore will resume.
+
+Snapshots are two-phase across processes: the service closes intake
+and drains its queues (phase one), then the pool barriers every worker
+and collects per-shard state (phase two, :meth:`WorkerPool.collect_states`),
+and the service writes one atomic checkpoint in the exact same format
+as single-process mode — so snapshots restore interchangeably across
+modes and worker counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import socket
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve import wire
+from repro.serve.shard import BankShard, ShardApplyResult
+
+__all__ = ["WorkerDiedError", "WorkerPool", "worker_main"]
+
+#: Seconds to wait for a spawned worker's HELLO before giving up.
+_HELLO_TIMEOUT = 60.0
+#: Seconds to wait for a worker to exit after SHUTDOWN.
+_JOIN_TIMEOUT = 5.0
+
+
+def _start_method() -> str:
+    """Process start method (``REPRO_SERVE_MP_START`` overrides).
+
+    ``spawn`` by default: the supervisor runs inside a live asyncio
+    loop with reader threads, which forked children must not inherit
+    mid-flight.
+    """
+    return os.environ.get("REPRO_SERVE_MP_START", "spawn")
+
+
+class WorkerDiedError(RuntimeError):
+    """A shard worker process vanished (dead pipe / killed).
+
+    ``last_durable_seq`` is the newest batch sequence number covered by
+    an on-disk snapshot (-1 if none was ever written): restoring that
+    snapshot and re-feeding from ``last_durable_seq + 1`` loses
+    nothing.  The service fills it in before re-raising.
+    """
+
+    def __init__(self, shard: int, pid: int | None = None,
+                 last_durable_seq: int | None = None) -> None:
+        super().__init__()
+        self.shard = shard
+        self.pid = pid
+        self.last_durable_seq = last_durable_seq
+
+    def __str__(self) -> str:
+        who = f"shard worker {self.shard}"
+        if self.pid is not None:
+            who += f" (pid {self.pid})"
+        msg = f"{who} died (dead pipe)"
+        if self.last_durable_seq is not None:
+            msg += (f"; last durable seq {self.last_durable_seq} — restore "
+                    "the latest snapshot and resubmit from "
+                    f"seq {self.last_durable_seq + 1}")
+        return msg
+
+
+# -- child side -------------------------------------------------------------
+def _connect_child(endpoint, kind: str):
+    if kind == "pipe":
+        return wire.PipeTransport(endpoint)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(endpoint)
+    return wire.SocketTransport(sock)
+
+
+def worker_main(index: int, config_dict: dict, endpoint, kind: str) -> None:
+    """Child entry point: own one shard, serve the wire protocol."""
+    from repro.core.config import ControllerConfig
+
+    transport = _connect_child(endpoint, kind)
+    config = ControllerConfig(**config_dict)
+    shard = BankShard(index, config)
+    transport.send(wire.encode_hello(index, os.getpid()))
+    try:
+        while True:
+            payload = transport.recv()
+            ftype = payload[0]
+            if ftype == wire.APPLY:
+                ticket, pcs, taken, instrs = wire.decode_apply(payload)
+                res = shard.apply(pcs, taken, instrs)
+                transport.send(wire.encode_apply_result(
+                    ticket, res.events, res.correct, res.incorrect,
+                    res.last_instr, res.changed, res.changed_deployed))
+            elif ftype == wire.BARRIER:
+                transport.send(wire.encode_barrier(
+                    wire.decode_barrier(payload), ack=True))
+            elif ftype == wire.LOAD:
+                state = wire.decode_load(payload)
+                if state is None:
+                    shard = BankShard(index, config)
+                else:
+                    shard = BankShard.from_state(config, state)
+                    if shard.index != index:
+                        raise ValueError(
+                            f"LOAD state is for shard {shard.index}, "
+                            f"this worker owns shard {index}")
+            elif ftype == wire.STATE_REQ:
+                transport.send(wire.encode_state(shard.export_state()))
+            elif ftype == wire.SHUTDOWN:
+                break
+            else:
+                transport.send(wire.encode_error(
+                    f"unknown frame type 0x{ftype:02x}"))
+    except (EOFError, OSError):
+        pass  # supervisor went away; nothing to report to
+    except Exception as err:  # decode/apply failure: tell the parent
+        try:
+            transport.send(wire.encode_error(
+                f"{type(err).__name__}: {err}"))
+        except (EOFError, OSError):
+            pass
+    finally:
+        transport.close()
+
+
+# -- supervisor side --------------------------------------------------------
+class _WorkerHandle:
+    """Supervisor-side state of one worker process."""
+
+    def __init__(self, shard: int, loop: asyncio.AbstractEventLoop) -> None:
+        self.shard = shard
+        self.loop = loop
+        self.process = None
+        self.transport = None
+        self.pid: int | None = None
+        self.send_lock = asyncio.Lock()
+        self.next_ticket = 0
+        self.pending: dict[int, asyncio.Future] = {}
+        self.hello: asyncio.Future = loop.create_future()
+        self.state_fut: asyncio.Future | None = None
+        self.dead: WorkerDiedError | None = None
+        self.closing = False
+        self.reader: threading.Thread | None = None
+
+    # All _on_* handlers run on the event loop thread
+    # (call_soon_threadsafe from the reader thread).
+    def _on_frame(self, payload: bytes) -> None:
+        ftype = payload[0]
+        if ftype == wire.APPLY_RESULT:
+            (ticket, events, correct, incorrect, last_instr,
+             changed, deployed) = wire.decode_apply_result(payload)
+            fut = self.pending.pop(ticket, None)
+            if fut is not None and not fut.done():
+                fut.set_result(ShardApplyResult(
+                    shard=self.shard, events=events, correct=correct,
+                    incorrect=incorrect, changed=changed,
+                    changed_deployed=deployed, last_instr=last_instr))
+        elif ftype == wire.BARRIER_ACK:
+            fut = self.pending.pop(wire.decode_barrier(payload), None)
+            if fut is not None and not fut.done():
+                fut.set_result(None)
+        elif ftype == wire.STATE:
+            if self.state_fut is not None and not self.state_fut.done():
+                self.state_fut.set_result(wire.decode_state(payload))
+        elif ftype == wire.HELLO:
+            shard, pid = wire.decode_hello(payload)
+            self.pid = pid
+            if not self.hello.done():
+                if shard != self.shard:
+                    self.hello.set_exception(wire.ProtocolError(
+                        f"worker said shard {shard}, expected {self.shard}"))
+                else:
+                    self.hello.set_result(pid)
+        elif ftype == wire.ERROR:
+            self._fail(RuntimeError(
+                f"shard worker {self.shard} error: "
+                f"{wire.decode_error(payload)}"))
+
+    def _on_disconnect(self) -> None:
+        if self.closing:
+            return
+        self._fail(WorkerDiedError(self.shard, self.pid))
+
+    def _fail(self, err: Exception) -> None:
+        if isinstance(err, WorkerDiedError) and self.dead is None:
+            self.dead = err
+        for fut in (*self.pending.values(), self.hello, self.state_fut):
+            if fut is not None and not fut.done():
+                fut.set_exception(err)
+        self.pending.clear()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                payload = self.transport.recv()
+            except (EOFError, OSError, ValueError):
+                self.loop.call_soon_threadsafe(self._on_disconnect)
+                return
+            self.loop.call_soon_threadsafe(self._on_frame, payload)
+
+    def start_reader(self) -> None:
+        self.reader = threading.Thread(
+            target=self._read_loop, daemon=True,
+            name=f"repro-serve-worker-{self.shard}-reader")
+        self.reader.start()
+
+    def check_alive(self) -> None:
+        if self.dead is not None:
+            raise self.dead
+
+    async def send(self, payload: bytes) -> None:
+        """Send one frame without blocking the event loop."""
+        self.check_alive()
+        async with self.send_lock:
+            try:
+                await self.loop.run_in_executor(
+                    None, self.transport.send, payload)
+            except (BrokenPipeError, EOFError, OSError) as err:
+                died = WorkerDiedError(self.shard, self.pid)
+                self._fail(died)
+                raise died from err
+
+
+class WorkerPool:
+    """One worker process per shard, driven from the asyncio service."""
+
+    def __init__(self, config, n_workers: int,
+                 transport: str = "pipe") -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        if transport not in ("pipe", "socket"):
+            raise ValueError(f"unknown transport {transport!r} "
+                             "(expected 'pipe' or 'socket')")
+        self.config = config
+        self.n_workers = n_workers
+        self.transport = transport
+        self.handles: list[_WorkerHandle] = []
+        self._ctx = multiprocessing.get_context(_start_method())
+        self._tmpdir = None
+        self._started = False
+
+    @property
+    def pids(self) -> list[int | None]:
+        return [h.pid for h in self.handles]
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self, shard_states: list[dict | None] | None = None,
+                    ) -> None:
+        """Spawn workers and ship each its initial shard state.
+
+        ``shard_states[i]`` is shard *i*'s ``export_state()`` dict (or
+        None / an empty-bank state for a fresh shard), e.g. from a
+        restored snapshot re-partitioned to this worker count.
+        """
+        if self._started:
+            return
+        loop = asyncio.get_running_loop()
+        from dataclasses import asdict
+
+        config_dict = asdict(self.config)
+        self.handles = [_WorkerHandle(i, loop)
+                        for i in range(self.n_workers)]
+        if self.transport == "socket":
+            await loop.run_in_executor(None, self._spawn_socket,
+                                       config_dict)
+        else:
+            await loop.run_in_executor(None, self._spawn_pipe, config_dict)
+        for handle in self.handles:
+            handle.start_reader()
+        await asyncio.gather(*(asyncio.wait_for(h.hello, _HELLO_TIMEOUT)
+                               for h in self.handles))
+        self._started = True
+        loads = []
+        for i, handle in enumerate(self.handles):
+            state = shard_states[i] if shard_states is not None else None
+            if state is not None and not state.get("bank"):
+                state = None  # empty bank: fresh shard is identical
+            loads.append(handle.send(wire.encode_load(state)))
+        await asyncio.gather(*loads)
+
+    def _spawn_pipe(self, config_dict: dict) -> None:
+        for handle in self.handles:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            handle.process = self._ctx.Process(
+                target=worker_main,
+                args=(handle.shard, config_dict, child_conn, "pipe"),
+                name=f"repro-serve-worker-{handle.shard}", daemon=True)
+            handle.process.start()
+            child_conn.close()
+            handle.transport = wire.PipeTransport(parent_conn)
+
+    def _spawn_socket(self, config_dict: dict) -> None:
+        self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        path = str(Path(self._tmpdir.name) / "workers.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(path)
+            listener.listen(self.n_workers)
+            listener.settimeout(_HELLO_TIMEOUT)
+            for handle in self.handles:
+                handle.process = self._ctx.Process(
+                    target=worker_main,
+                    args=(handle.shard, config_dict, path, "socket"),
+                    name=f"repro-serve-worker-{handle.shard}", daemon=True)
+                handle.process.start()
+            accepted = []
+            for _ in self.handles:
+                conn, _addr = listener.accept()
+                accepted.append(wire.SocketTransport(conn))
+            # Connections arrive in arbitrary order; the HELLO frame
+            # (first thing each worker sends) identifies the shard.
+            for transport in accepted:
+                payload = transport.recv()
+                shard, pid = wire.decode_hello(payload)
+                handle = self.handles[shard]
+                handle.transport = transport
+                handle.pid = pid
+                handle.loop.call_soon_threadsafe(handle._on_frame, payload)
+        finally:
+            listener.close()
+
+    async def shutdown(self, gather: bool = False) -> list[dict] | None:
+        """Stop all workers; optionally collect final shard states first."""
+        if not self.handles:
+            return None
+        states = None
+        if gather and all(h.dead is None for h in self.handles):
+            states = await self.collect_states()
+        for handle in self.handles:
+            handle.closing = True
+            if handle.dead is None and handle.transport is not None:
+                try:
+                    await handle.send(wire.encode_shutdown())
+                except (WorkerDiedError, RuntimeError):
+                    pass
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._join_all)
+        for handle in self.handles:
+            if handle.transport is not None:
+                try:
+                    handle.transport.close()
+                except OSError:
+                    pass
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        self.handles = []
+        self._started = False
+        return states
+
+    def _join_all(self) -> None:
+        for handle in self.handles:
+            proc = handle.process
+            if proc is None:
+                continue
+            proc.join(_JOIN_TIMEOUT)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(_JOIN_TIMEOUT)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join()
+
+    # -- protocol -------------------------------------------------------
+    async def apply(self, shard: int, pcs: np.ndarray, taken: np.ndarray,
+                    instrs: np.ndarray) -> ShardApplyResult:
+        """Ship one micro-batch to its worker; await the result."""
+        handle = self.handles[shard]
+        handle.check_alive()
+        ticket = handle.next_ticket
+        handle.next_ticket += 1
+        fut = handle.loop.create_future()
+        handle.pending[ticket] = fut
+        try:
+            await handle.send(wire.encode_apply(ticket, pcs, taken, instrs))
+        except Exception:
+            handle.pending.pop(ticket, None)
+            raise
+        return await fut
+
+    async def barrier(self) -> None:
+        """Wait until every worker has processed all frames sent so far
+        (transports are FIFO, so an acked barrier proves it)."""
+        async def one(handle: _WorkerHandle):
+            handle.check_alive()
+            ticket = handle.next_ticket
+            handle.next_ticket += 1
+            fut = handle.loop.create_future()
+            handle.pending[ticket] = fut
+            try:
+                await handle.send(wire.encode_barrier(ticket))
+            except Exception:
+                handle.pending.pop(ticket, None)
+                raise
+            await fut
+
+        await asyncio.gather(*(one(h) for h in self.handles))
+
+    async def collect_states(self) -> list[dict]:
+        """Two-phase state collection: barrier, then gather each
+        worker's full shard state (ordered by shard index)."""
+        await self.barrier()
+
+        async def one(handle: _WorkerHandle) -> dict:
+            handle.check_alive()
+            handle.state_fut = handle.loop.create_future()
+            await handle.send(wire.encode_state_req())
+            try:
+                return await handle.state_fut
+            finally:
+                handle.state_fut = None
+
+        return list(await asyncio.gather(*(one(h) for h in self.handles)))

@@ -1,6 +1,5 @@
 """Tests for correlated-change tracking (Figure 9 machinery)."""
 
-import numpy as np
 
 from repro.analysis.correlation import (
     correlated_change_groups,

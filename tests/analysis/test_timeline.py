@@ -1,6 +1,5 @@
 """Tests for bias timelines and biased intervals."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.timeline import bias_timeline, biased_intervals

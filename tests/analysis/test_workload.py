@@ -1,6 +1,5 @@
 """Tests for workload characterization."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.workload import bias_histogram, characterize

@@ -1,6 +1,5 @@
 """Tests for the memory-dependence behavior substrate."""
 
-import numpy as np
 import pytest
 
 from repro.behaviors.memdep import (

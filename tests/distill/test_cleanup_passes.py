@@ -2,11 +2,9 @@
 including semantic-preservation fuzzing of the full pass pipeline."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.distill.isa import (
-    Imm,
     Opcode,
     Reg,
     addq,

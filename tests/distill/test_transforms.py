@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.distill.figure1 import FIELD_OFFSETS, figure1a, figure1_distilled
+from repro.distill.figure1 import FIELD_OFFSETS, figure1_distilled
 from repro.distill.isa import Imm, Opcode, Reg, addq, beq, bne, cmplt, ldq, li
 from repro.distill.region import CodeRegion, MachineState, run_region
 from repro.distill.synthesis import SynthesisConfig, synthesize_region

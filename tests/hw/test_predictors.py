@@ -1,6 +1,5 @@
 """Tests for the hardware branch predictors."""
 
-import numpy as np
 import pytest
 
 from repro.hw.predictors import (

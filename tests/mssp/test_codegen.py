@@ -59,7 +59,6 @@ class TestEliminationTable:
         assert table[2] > table[3]
 
     def test_integrates_with_mssp(self):
-        from repro.core.config import scaled_config
         from repro.mssp.simulator import simulate_mssp
         from repro.trace.stream import generate_trace
 

@@ -79,7 +79,6 @@ class TestDetectOverTrace:
         assert in_region[50:].all()
 
     def test_mssp_gating_reduces_speculation(self):
-        from repro.core.config import scaled_config
         from repro.mssp.simulator import simulate_mssp
 
         trace = generate_trace(uniform_model(4), 30_000, seed=2)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.profiling.base import evaluate_policy
 from repro.profiling.initial import (
     PAPER_TRAINING_PERIODS,
     SCALED_TRAINING_PERIODS,

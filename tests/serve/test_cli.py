@@ -32,3 +32,39 @@ def test_cli_snapshot_then_restore(tmp_path, capsys):
 
 def test_cli_snapshot_flag_needs_dir(capsys):
     assert main(["--snapshot-every", "1000"]) == 2
+
+
+def test_cli_restore_prints_covered_seq_watermark(tmp_path, capsys):
+    """--restore must announce the seq watermark it resumes from."""
+    code = main(["--benchmark", "gzip", "--max-events", "30000",
+                 "--snapshot-every", "10000",
+                 "--snapshot-dir", str(tmp_path)])
+    assert code == 0
+    snaps = sorted(tmp_path.glob("snapshot-*.json.gz"))
+    capsys.readouterr()
+    code = main(["--benchmark", "gzip", "--max-events", "30000",
+                 "--restore", str(snaps[0]), "--verify"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "covered-seq watermark:" in out
+    assert "feed resumes at seq" in out
+
+
+def test_cli_workers_mode_verifies_and_dumps_telemetry(tmp_path, capsys):
+    """--workers N runs per-shard processes, stays bit-identical, and
+    --dump-telemetry writes the machine-readable run summary."""
+    import json
+
+    dump = tmp_path / "telemetry.json"
+    code = main(["--benchmark", "gzip", "--max-events", "20000",
+                 "--workers", "2", "--verify",
+                 "--dump-telemetry", str(dump)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verify     OK" in out
+    assert "workers    2 processes over pipe transport" in out
+    payload = json.loads(dump.read_text())
+    assert payload["service"]["workers"] == 2
+    assert payload["metrics"]["dynamic_branches"] == 20000
+    assert payload["telemetry"]["events_applied"] == 20000
+    assert payload["events_per_sec"] > 0

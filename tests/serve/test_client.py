@@ -174,3 +174,32 @@ def test_should_speculate_passthrough(bench_trace, bench_config):
             assert client.should_speculate(10**9) is False
 
     asyncio.run(run())
+
+
+def test_feed_trace_logs_skipped_batches_at_debug(bench_trace, bench_config,
+                                                  caplog):
+    """Resuming a feed past a seq watermark logs each skipped batch at
+    DEBUG — silent skipping made observable without noise by default."""
+    import logging
+
+    async def run():
+        async with SpeculationService(bench_config) as service:
+            await feed_trace(service, bench_trace, batch_events=1024,
+                             max_events=4096)
+            await service.drain()
+            applied = service.metrics().dynamic_branches
+            # Replay the same prefix: every batch is already covered.
+            with caplog.at_level(logging.DEBUG, logger="repro.serve.client"):
+                stats = await feed_trace(service, bench_trace,
+                                         batch_events=1024,
+                                         max_events=4096)
+            await service.drain()
+            assert service.metrics().dynamic_branches == applied
+            return stats
+
+    stats = asyncio.run(run())
+    assert stats.batches == 0
+    skipped = [r for r in caplog.records if "skipping batch" in r.message]
+    assert len(skipped) == 4
+    assert all(r.levelname == "DEBUG" for r in skipped)
+    assert "seq watermark 3" in skipped[0].message

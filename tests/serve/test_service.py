@@ -6,7 +6,7 @@ import asyncio
 
 import pytest
 
-from repro.serve.events import EventBatch, iter_trace_batches
+from repro.serve.events import iter_trace_batches
 from repro.serve.client import feed_trace
 from repro.serve.service import (
     BackpressureError,

@@ -1,0 +1,128 @@
+"""The binary wire protocol: frame encode/decode and transports."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import wire
+from repro.serve.events import EventBatch, pack_events, unpack_events
+
+
+def _arrays(n=100, seed=3):
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, 500, n).astype(np.int32)
+    taken = rng.uniform(size=n) < 0.5
+    instrs = np.cumsum(rng.integers(1, 20, n)).astype(np.int64)
+    return pcs, taken, instrs
+
+
+def test_pack_unpack_events_roundtrip():
+    pcs, taken, instrs = _arrays()
+    buf = b"prefix!" + pack_events(pcs, taken, instrs)
+    out_pcs, out_taken, out_instrs = unpack_events(buf, 7, len(pcs))
+    np.testing.assert_array_equal(out_pcs, pcs)
+    np.testing.assert_array_equal(out_taken, taken)
+    np.testing.assert_array_equal(out_instrs, instrs)
+
+
+def test_pack_events_accepts_noncontiguous_views():
+    pcs, taken, instrs = _arrays(200)
+    view = slice(10, 150)
+    buf = pack_events(pcs[view], taken[view], instrs[view])
+    out = unpack_events(buf, 0, 140)
+    np.testing.assert_array_equal(out[0], pcs[view])
+
+
+def test_unpack_events_rejects_truncation():
+    pcs, taken, instrs = _arrays(8)
+    buf = pack_events(pcs, taken, instrs)
+    with pytest.raises(ValueError, match="truncated"):
+        unpack_events(buf[:-1], 0, 8)
+
+
+def test_event_batch_wire_roundtrip():
+    pcs, taken, instrs = _arrays(64)
+    batch = EventBatch(seq=17, pcs=pcs, taken=taken, instrs=instrs)
+    clone = EventBatch.from_bytes(batch.to_bytes())
+    assert clone.seq == 17
+    np.testing.assert_array_equal(clone.pcs, batch.pcs)
+    np.testing.assert_array_equal(clone.taken, batch.taken)
+    np.testing.assert_array_equal(clone.instrs, batch.instrs)
+    with pytest.raises(ValueError, match="length mismatch"):
+        EventBatch.from_bytes(batch.to_bytes()[:-3])
+
+
+def test_apply_frame_roundtrip():
+    pcs, taken, instrs = _arrays(50)
+    frame = wire.encode_apply(42, pcs, taken, instrs)
+    ticket, out_pcs, out_taken, out_instrs = wire.decode_apply(frame)
+    assert ticket == 42
+    np.testing.assert_array_equal(out_pcs, pcs)
+    np.testing.assert_array_equal(out_taken, taken)
+    np.testing.assert_array_equal(out_instrs, instrs)
+
+
+def test_apply_result_frame_roundtrip():
+    frame = wire.encode_apply_result(
+        7, events=1000, correct=800, incorrect=3, last_instr=123456,
+        changed_pcs=(5, 9, 1000), changed_deployed=(True, False, True))
+    out = wire.decode_apply_result(frame)
+    assert out == (7, 1000, 800, 3, 123456, (5, 9, 1000),
+                   (True, False, True))
+    with pytest.raises(wire.ProtocolError, match="length mismatch"):
+        wire.decode_apply_result(frame[:-1])
+
+
+def test_load_and_state_frames_roundtrip():
+    state = {"index": 2, "bank": [{"branch": 7, "state": "biased"}],
+             "events_applied": 99}
+    assert wire.decode_load(wire.encode_load(state)) == state
+    assert wire.decode_load(wire.encode_load(None)) is None
+    assert wire.decode_state(wire.encode_state(state)) == state
+
+
+def test_control_frames():
+    assert wire.decode_hello(wire.encode_hello(3, 4242)) == (3, 4242)
+    assert wire.decode_barrier(wire.encode_barrier(9)) == 9
+    ack = wire.encode_barrier(9, ack=True)
+    assert wire.frame_type(ack) == wire.BARRIER_ACK
+    assert wire.decode_barrier(ack) == 9
+    assert wire.frame_type(wire.encode_shutdown()) == wire.SHUTDOWN
+    assert wire.decode_error(wire.encode_error("boom")) == "boom"
+
+
+def test_frame_type_mismatch_raises():
+    with pytest.raises(wire.ProtocolError, match="expected HELLO"):
+        wire.decode_hello(wire.encode_shutdown())
+    with pytest.raises(wire.ProtocolError, match="empty"):
+        wire.frame_type(b"")
+
+
+def test_socket_transport_length_prefixed_frames():
+    """Frames survive a real socket, including ones larger than any
+    single recv and back-to-back small ones."""
+    a, b = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+    left, right = wire.SocketTransport(a), wire.SocketTransport(b)
+    big = bytes([wire.APPLY]) + bytes(3_000_000)
+    frames = [wire.encode_hello(1, 2), big, wire.encode_shutdown()]
+
+    received = []
+
+    def reader():
+        for _ in frames:
+            received.append(right.recv())
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    for frame in frames:
+        left.send(frame)
+    thread.join(timeout=10)
+    assert received == frames
+    left.close()
+    with pytest.raises((EOFError, OSError)):
+        right.recv()
+    right.close()

@@ -6,7 +6,6 @@ alternative seeds and check the invariants the rest of the stack relies
 on.
 """
 
-import numpy as np
 import pytest
 
 from repro.trace.spec2000 import BENCHMARKS, build_model

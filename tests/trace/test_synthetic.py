@@ -1,6 +1,5 @@
 """Tests for the hand-rolled trace builders."""
 
-import numpy as np
 import pytest
 
 from repro.trace.patterns import ConstantBias, StepChange
