@@ -1,6 +1,9 @@
-"""CI bench-gate: compare a fresh bench_serve run against the baseline.
+"""CI bench-gate: compare a fresh bench run against its baseline.
 
-Two independent checks, both computed from the *current* run:
+The gate dispatches on the result document's ``kind``:
+
+``repro.serve.bench`` (bench_serve.py) — two independent checks, both
+computed from the *current* run:
 
 1. **Scaling floor** — throughput at the max worker count must be at
    least ``--min-speedup`` times single-process throughput *measured in
@@ -16,8 +19,14 @@ Two independent checks, both computed from the *current* run:
    mode without being flaky about runner-to-runner variance; the
    committed baseline is deliberately conservative.
 
-Exactness is non-negotiable: if either JSON says ``exact: false`` the
-gate fails regardless of the numbers.
+``repro.wal.bench`` (bench_wal.py) — the durability tax bound:
+ingestion with ``wal_fsync=batch`` must reach at least
+``1 - --max-wal-overhead`` of the same run's WAL-less throughput
+(default 15% overhead, the committed claim in docs/durability.md),
+plus the same tolerance band against the committed baseline.
+
+Exactness is non-negotiable for both kinds: if either JSON says
+``exact: false`` the gate fails regardless of the numbers.
 
 Usage (what .github/workflows/ci.yml runs)::
 
@@ -25,6 +34,10 @@ Usage (what .github/workflows/ci.yml runs)::
         --out BENCH_serve.current.json
     python benchmarks/check_bench.py BENCH_serve.json \
         BENCH_serve.current.json --min-speedup 1.8
+
+    PYTHONPATH=src python benchmarks/bench_wal.py --quick \
+        --out BENCH_wal.current.json
+    python benchmarks/check_bench.py BENCH_wal.json BENCH_wal.current.json
 """
 
 from __future__ import annotations
@@ -33,14 +46,17 @@ import argparse
 import json
 import sys
 
-__all__ = ["check", "main"]
+__all__ = ["check", "check_wal", "main"]
+
+_KINDS = ("repro.serve.bench", "repro.wal.bench")
 
 
 def _load(path: str) -> dict:
     with open(path) as fh:
         doc = json.load(fh)
-    if doc.get("kind") != "repro.serve.bench":
-        raise SystemExit(f"{path}: not a bench_serve result document")
+    if doc.get("kind") not in _KINDS:
+        raise SystemExit(f"{path}: not a known bench result document "
+                         f"(kind={doc.get('kind')!r})")
     return doc
 
 
@@ -88,6 +104,67 @@ def check(baseline: dict, current: dict, min_speedup: float,
     return failures
 
 
+def check_wal(baseline: dict, current: dict, max_overhead: float,
+              tolerance: float) -> list[str]:
+    """Gate a bench_wal result (empty list = pass)."""
+    failures: list[str] = []
+    for name, doc in (("baseline", baseline), ("current", current)):
+        if not doc.get("exact", False):
+            failures.append(f"{name} run (or its recovery) diverged from "
+                            "the offline engine (exact: false)")
+
+    # The committed claim, measured within one run so machine speed
+    # cancels out: group-commit logging costs at most max_overhead.
+    floor = (1.0 - max_overhead) * current["baseline_eps"]
+    batch_eps = current.get("wal_eps", {}).get("batch")
+    if batch_eps is None:
+        failures.append("current run is missing the fsync=batch point")
+    elif batch_eps < floor:
+        failures.append(
+            f"wal overhead: fsync=batch {batch_eps:,.0f} ev/s < "
+            f"{floor:,.0f} ev/s ({1 - max_overhead:.0%} of the same "
+            f"run's WAL-less {current['baseline_eps']:,.0f})")
+
+    def band(label: str, base: float, cur: float | None) -> None:
+        if cur is None:
+            failures.append(f"current run is missing the {label} point")
+            return
+        floor = tolerance * base
+        if cur < floor:
+            failures.append(
+                f"throughput band: {label} {cur:,.0f} ev/s < "
+                f"{floor:,.0f} ev/s ({tolerance:.0%} of baseline "
+                f"{base:,.0f})")
+
+    band("WAL-less", baseline["baseline_eps"], current.get("baseline_eps"))
+    for mode, base_eps in baseline.get("wal_eps", {}).items():
+        band(f"fsync={mode}", base_eps,
+             current.get("wal_eps", {}).get(mode))
+    band("replay", baseline["replay_eps"], current.get("replay_eps"))
+    return failures
+
+
+def _table_wal(baseline: dict, current: dict) -> None:
+    print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
+          f"{'ratio':>7}")
+    rows = [("no WAL", baseline["baseline_eps"],
+             current.get("baseline_eps"))]
+    for mode in baseline.get("wal_eps", {}):
+        rows.append((f"fsync={mode}", baseline["wal_eps"][mode],
+                     current.get("wal_eps", {}).get(mode)))
+    rows.append(("replay", baseline["replay_eps"],
+                 current.get("replay_eps")))
+    for label, base, cur in rows:
+        if cur is None:
+            print(f"{label:<18} {base:>15,.0f} {'missing':>15}")
+        else:
+            print(f"{label:<18} {base:>15,.0f} {cur:>15,.0f} "
+                  f"{cur / base:>6.2f}x")
+    print(f"{'batch-commit overhead':<34} "
+          f"{baseline.get('batch_overhead', 0):>7.1%} (baseline) "
+          f"{current.get('batch_overhead', 0):>7.1%} (current)")
+
+
 def _table(baseline: dict, current: dict) -> None:
     print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
           f"{'ratio':>7}")
@@ -127,13 +204,25 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="fail, rather than skip, the speedup check "
                              "on an under-provisioned host")
+    parser.add_argument("--max-wal-overhead", type=float, default=0.15,
+                        help="wal gate: highest tolerated fsync=batch "
+                             "throughput loss vs the same run without a "
+                             "WAL (default: 0.15)")
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
     current = _load(args.current)
-    _table(baseline, current)
-    failures = check(baseline, current, args.min_speedup, args.tolerance,
-                     args.min_cpus, args.strict)
+    if baseline["kind"] != current["kind"]:
+        raise SystemExit(f"kind mismatch: baseline is {baseline['kind']}, "
+                         f"current is {current['kind']}")
+    if baseline["kind"] == "repro.wal.bench":
+        _table_wal(baseline, current)
+        failures = check_wal(baseline, current, args.max_wal_overhead,
+                             args.tolerance)
+    else:
+        _table(baseline, current)
+        failures = check(baseline, current, args.min_speedup,
+                         args.tolerance, args.min_cpus, args.strict)
     if failures:
         print()
         for f in failures:

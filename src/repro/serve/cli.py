@@ -6,7 +6,11 @@ Usage::
     python -m repro.serve --benchmark gcc --shards 8 --rate 500000
     python -m repro.serve --benchmark gzip --snapshot-every 200000 \\
         --snapshot-dir /tmp/snaps
+    python -m repro.serve --benchmark gzip --wal-dir /tmp/wal \\
+        --wal-fsync batch --snapshot-every 200000 --snapshot-dir /tmp/snaps
     python -m repro.serve --restore /tmp/snaps/snapshot-000000200000.json.gz \\
+        --benchmark gzip
+    python -m repro.serve --restore-latest /tmp/snaps --wal-dir /tmp/wal \\
         --benchmark gzip
 
 Feeds the chosen trace through a :class:`SpeculationService` at a
@@ -57,6 +61,22 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--restore", default=None, metavar="SNAPSHOT",
                         help="resume from a snapshot file; the trace "
                              "prefix it covers is skipped")
+    parser.add_argument("--restore-latest", default=None, metavar="DIR",
+                        help="resume from the newest loadable snapshot "
+                             "in DIR (corrupt ones are skipped with a "
+                             "warning)")
+    parser.add_argument("--wal-dir", default=None, metavar="DIR",
+                        help="write-ahead-log directory: every accepted "
+                             "batch is logged before it is enqueued; on "
+                             "restore the log tail beyond the snapshot "
+                             "is replayed")
+    parser.add_argument("--wal-fsync", choices=("always", "batch", "off"),
+                        default="batch",
+                        help="WAL durability policy (default: batch = "
+                             "group commit riding the micro-batcher)")
+    parser.add_argument("--wal-segment-bytes", type=int,
+                        default=4 * 1024 * 1024,
+                        help="WAL segment rotation size (default: 4 MiB)")
     parser.add_argument("--report-every", type=int, default=250_000,
                         help="print a telemetry line every N events")
     parser.add_argument("--verify", action="store_true",
@@ -81,12 +101,36 @@ async def _run(args) -> int:
                          f"{args.workers}; drop the conflicting "
                          f"--shards {args.shards}")
     n_shards = args.workers or (4 if args.shards is None else args.shards)
-    if args.restore is not None:
-        service = SpeculationService.restore(args.restore,
+    restore_path = args.restore
+    if args.restore_latest is not None:
+        from repro.serve.snapshot import find_latest_snapshot
+
+        restore_path = find_latest_snapshot(args.restore_latest)
+        if restore_path is None and args.wal_dir is None:
+            raise ValueError(f"no loadable snapshot in "
+                             f"{args.restore_latest} (and no --wal-dir "
+                             f"to recover from)")
+        if restore_path is None:
+            print(f"no loadable snapshot in {args.restore_latest}; "
+                  f"recovering from the WAL alone")
+    restoring = (restore_path is not None
+                 or (args.restore_latest is not None
+                     and args.wal_dir is not None))
+    if restoring and args.wal_dir is not None:
+        from repro.wal.recovery import recover_service
+
+        service, report = recover_service(
+            args.wal_dir, snapshot=restore_path,
+            n_shards=n_shards, workers=args.workers,
+            transport=args.transport, wal_fsync=args.wal_fsync)
+        print(report.summary())
+        print(f"feed resumes at seq {service.last_seq + 1}")
+    elif restoring:
+        service = SpeculationService.restore(restore_path,
                                              n_shards=n_shards,
                                              workers=args.workers,
                                              transport=args.transport)
-        print(f"restored {args.restore} "
+        print(f"restored {restore_path} "
               f"(events applied: {service.metrics().dynamic_branches:,}, "
               f"covered-seq watermark: {service.last_seq}; "
               f"feed resumes at seq {service.last_seq + 1})")
@@ -98,6 +142,9 @@ async def _run(args) -> int:
             snapshot_dir=args.snapshot_dir,
             workers=args.workers,
             transport=args.transport,
+            wal_dir=args.wal_dir,
+            wal_fsync=args.wal_fsync,
+            wal_segment_bytes=args.wal_segment_bytes,
         )
         service = SpeculationService(service_config=scfg)
 
@@ -136,6 +183,13 @@ async def _run(args) -> int:
           f"events, shard skew {reading.shard_skew:.2f}, "
           f"mean batch {reading.mean_batch_events:,.0f}")
     print(f"metrics    {metrics.summary()}")
+    if args.wal_dir is not None:
+        print(f"wal        {reading.wal_records_appended:,} records / "
+              f"{reading.wal_bytes_appended:,} bytes appended, "
+              f"{reading.wal_fsyncs:,} fsyncs "
+              f"(mean commit {reading.wal_mean_commit_records:,.1f} "
+              f"records), {reading.wal_segments_compacted} segments "
+              f"compacted")
     if service.snapshots_written:
         print(f"snapshots  {len(service.snapshots_written)} written, "
               f"last: {service.snapshots_written[-1]}")
@@ -182,7 +236,11 @@ async def _run(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.snapshot_every is not None and args.snapshot_dir is None:
-        print("--snapshot-every requires --snapshot-dir")
+        print("error: --snapshot-every requires --snapshot-dir")
+        return 2
+    if args.restore is not None and args.restore_latest is not None:
+        print("error: --restore and --restore-latest are mutually "
+              "exclusive")
         return 2
     try:
         return asyncio.run(_run(args))

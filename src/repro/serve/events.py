@@ -45,12 +45,14 @@ def pack_events(pcs: np.ndarray, taken: np.ndarray,
             + np.ascontiguousarray(instrs, dtype=np.int64).tobytes())
 
 
-def unpack_events(buf: bytes, offset: int, n: int,
+def unpack_events(buf: bytes | memoryview, offset: int, n: int,
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Decode :func:`pack_events` output at ``buf[offset:]``.
 
     Returns ``(pcs, taken, instrs)`` as read-only views into ``buf``
-    (zero-copy); ``taken`` is viewed as bool.
+    (zero-copy, so a memoryview into a larger frame — e.g. a WAL
+    segment record — avoids a copy entirely); ``taken`` is viewed as
+    bool.
     """
     if len(buf) < offset + n * EVENT_WIRE_BYTES:
         raise ValueError(
@@ -147,7 +149,7 @@ class EventBatch:
                 + pack_events(self.pcs, self.taken, self.instrs))
 
     @classmethod
-    def from_bytes(cls, buf: bytes) -> "EventBatch":
+    def from_bytes(cls, buf: bytes | memoryview) -> "EventBatch":
         """Decode :meth:`to_bytes` output (arrays are zero-copy views)."""
         if len(buf) < _BATCH_HEADER.size:
             raise ValueError("batch frame truncated: missing header")

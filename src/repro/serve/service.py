@@ -27,6 +27,18 @@ Design points:
   checkpoints full controller + deployment-queue state; a service
   restored from the file continues bit-identically (see
   :mod:`repro.serve.snapshot`).
+* **Write-ahead logging.**  With ``wal_dir`` set, every *accepted*
+  batch is appended to a CRC-framed segment log
+  (:mod:`repro.wal`) before it is enqueued, so a crash loses at most
+  the tail the fsync policy permits — snapshot + WAL replay restores
+  the exact accepted stream, not just the snapshot-covered prefix.
+  ``last_durable_seq`` accordingly means *fsynced* (the WAL
+  watermark), falling back to snapshot-covered when the WAL is off.
+  Group commit (``wal_fsync="batch"``) rides the same micro-batch
+  cadence: appends return immediately and a committer task folds
+  everything outstanding into one fsync.  Snapshots double as
+  compaction anchors — segments fully below the covered sequence
+  number are deleted once the checkpoint is on disk.
 """
 
 from __future__ import annotations
@@ -72,6 +84,16 @@ class ServiceConfig:
     #: Worker transport: ``pipe`` (multiprocessing.Pipe) or ``socket``
     #: (AF_UNIX stream with explicit length-prefixed frames).
     transport: str = "pipe"
+    #: Write-ahead log directory (None = WAL disabled).  Every accepted
+    #: batch is appended before it is enqueued; see :mod:`repro.wal`.
+    wal_dir: str | None = None
+    #: WAL durability policy: ``always`` (fsync per append), ``batch``
+    #: (group commit — one fsync covers everything appended since the
+    #: last), or ``off`` (OS page cache only: survives process death,
+    #: not power loss).
+    wal_fsync: str = "batch"
+    #: WAL segment rotation threshold, in bytes.
+    wal_segment_bytes: int = 4 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
@@ -98,6 +120,11 @@ class ServiceConfig:
         if (self.snapshot_interval_events is not None
                 and self.snapshot_dir is None):
             raise ValueError("snapshot_interval_events needs snapshot_dir")
+        if self.wal_fsync not in ("always", "batch", "off"):
+            raise ValueError(f"unknown wal_fsync {self.wal_fsync!r} "
+                             "(expected 'always', 'batch' or 'off')")
+        if self.wal_segment_bytes <= 0:
+            raise ValueError("wal_segment_bytes must be positive")
 
 
 class BackpressureError(Exception):
@@ -161,8 +188,21 @@ class SpeculationService:
         self._fatal: Exception | None = None
         #: Newest batch seq covered by an on-disk snapshot.  A service
         #: built from a snapshot starts durable up to its own last_seq.
-        self._last_durable_seq = last_seq
+        self._snapshot_seq = last_seq
+        #: Snapshot file this service was restored from, if any (used
+        #: for the recovery hint in :class:`WorkerDiedError`).
+        self._restored_from: Path | None = None
         self._bank_stale = False
+        self._wal = None
+        self._wal_dirty = asyncio.Event()
+        self._wal_task: asyncio.Task | None = None
+        if self.service_config.wal_dir is not None:
+            from repro.wal.writer import WalWriter
+
+            self._wal = WalWriter(
+                self.service_config.wal_dir,
+                segment_bytes=self.service_config.wal_segment_bytes,
+                fsync=self.service_config.wal_fsync)
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -197,6 +237,9 @@ class SpeculationService:
         if self.service_config.snapshot_interval_events is not None:
             self._snapshot_task = asyncio.create_task(
                 self._autosnapshot(), name="repro-serve-snapshot")
+        if self._wal is not None and self.service_config.wal_fsync == "batch":
+            self._wal_task = asyncio.create_task(
+                self._wal_committer(), name="repro-serve-wal-commit")
 
     async def stop(self, drain: bool = True) -> None:
         """Stop workers; by default drain queued events first."""
@@ -205,8 +248,8 @@ class SpeculationService:
         if drain and self._running:
             await self.drain()
         self._running = False
-        tasks = self._workers + ([self._snapshot_task]
-                                 if self._snapshot_task else [])
+        tasks = self._workers + [t for t in (self._snapshot_task,
+                                             self._wal_task) if t]
         for task in tasks:
             task.cancel()
         for task in tasks:
@@ -216,6 +259,12 @@ class SpeculationService:
                 pass
         self._workers = []
         self._snapshot_task = None
+        self._wal_task = None
+        if self._wal is not None and self.service_config.wal_fsync == "batch":
+            # One final group commit so a clean stop leaves the durable
+            # watermark at the accepted watermark.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._wal.commit)
         if self._pool is not None:
             pool, self._pool = self._pool, None
             states = await pool.shutdown(gather=drain)
@@ -268,6 +317,14 @@ class SpeculationService:
                 raise BackpressureError(
                     p.shard, self._queued_events[p.shard],
                     self._retry_after(p.shard))
+        if self._wal is not None:
+            # Log-before-enqueue: once a batch is accepted it is in the
+            # WAL, so a crash can only lose what the fsync policy
+            # permits.  An append failure (disk) rejects atomically —
+            # nothing was enqueued yet.
+            self._wal.append(batch)
+            if self.service_config.wal_fsync == "batch":
+                self._wal_dirty.set()
         for p in parts:
             self._queues[p.shard].put_nowait(p)
             depth = self._queued_events[p.shard] + p.n_events
@@ -300,9 +357,15 @@ class SpeculationService:
             raise self._fatal
 
     def _set_fatal(self, err: WorkerDiedError) -> WorkerDiedError:
-        """Annotate a worker death with the durability watermark and
-        latch it as the service's terminal error."""
-        err.last_durable_seq = self._last_durable_seq
+        """Annotate a worker death with the durability watermark plus
+        the exact recovery command, and latch it as the service's
+        terminal error."""
+        err.last_durable_seq = self.last_durable_seq
+        if self.snapshots_written:
+            err.snapshot_path = self.snapshots_written[-1]
+        elif self._restored_from is not None:
+            err.snapshot_path = self._restored_from
+        err.wal_dir = self.service_config.wal_dir
         if self._fatal is None:
             self._fatal = err
         return err
@@ -371,6 +434,19 @@ class SpeculationService:
             # Yield so producers/other shards interleave under load.
             await asyncio.sleep(0)
 
+    async def _wal_committer(self) -> None:
+        """Group commit: one fsync covers every append since the last.
+
+        Runs the fsync in an executor so a slow disk never stalls the
+        event loop; appends arriving while a commit is in flight set
+        the dirty flag again and ride the next fsync.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wal_dirty.wait()
+            self._wal_dirty.clear()
+            await loop.run_in_executor(None, self._wal.commit)
+
     async def _autosnapshot(self) -> None:
         scfg = self.service_config
         Path(scfg.snapshot_dir).mkdir(parents=True, exist_ok=True)
@@ -399,7 +475,9 @@ class SpeculationService:
         return self.bank.metrics()
 
     def reading(self) -> TelemetryReading:
-        return self.telemetry.reading()
+        return self.telemetry.reading(
+            wal=self._wal.stats_snapshot() if self._wal is not None
+            else None)
 
     @property
     def last_seq(self) -> int:
@@ -453,14 +531,27 @@ class SpeculationService:
                 out = save_snapshot(path, self)
         finally:
             self._quiescing = False
-        self._last_durable_seq = self._last_seq
+        self._snapshot_seq = self._last_seq
         self.snapshots_written.append(out)
+        if self._wal is not None:
+            # The snapshot is the new compaction anchor: segments whose
+            # records it entirely covers are dead weight for recovery.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._wal.compact, self._snapshot_seq)
         return out
 
     @property
     def last_durable_seq(self) -> int:
-        """Newest batch seq covered by an on-disk snapshot (-1: none)."""
-        return self._last_durable_seq
+        """Newest batch seq guaranteed recoverable after a crash (-1:
+        none).
+
+        With a WAL attached this is the *fsynced* watermark (or the
+        snapshot's, whichever is newer); without one it degrades to
+        the newest snapshot-covered seq.
+        """
+        if self._wal is not None:
+            return max(self._snapshot_seq, self._wal.last_durable_seq)
+        return self._snapshot_seq
 
     @property
     def worker_pids(self) -> list[int | None]:
@@ -472,7 +563,9 @@ class SpeculationService:
                 service_config: ServiceConfig | None = None,
                 n_shards: int | None = None,
                 workers: int | None = None,
-                transport: str | None = None) -> "SpeculationService":
+                transport: str | None = None,
+                wal_dir: str | None = None,
+                wal_fsync: str | None = None) -> "SpeculationService":
         """Rebuild a service from a snapshot file.
 
         ``service_config`` overrides the snapshotted tuning knobs;
@@ -481,10 +574,14 @@ class SpeculationService:
         exact).  ``workers``/``transport`` select the execution mode of
         the restored service — snapshots are mode-agnostic, so a
         single-process snapshot restores onto worker processes and vice
-        versa, onto any worker count.
+        versa, onto any worker count.  ``wal_dir`` attaches a
+        write-ahead log to the restored service; note this restores the
+        *snapshot* only — to also replay a WAL tail, use
+        :func:`repro.wal.recovery.recover_service`.
         """
         from repro.serve.snapshot import load_snapshot
 
         return load_snapshot(path, service_config=service_config,
                              n_shards=n_shards, workers=workers,
-                             transport=transport)
+                             transport=transport, wal_dir=wal_dir,
+                             wal_fsync=wal_fsync)

@@ -10,8 +10,10 @@ replaying the remaining events produces bit-identical
 crashed — the kill/restore test in ``tests/serve/test_snapshot.py``
 asserts exactly that against the offline engines.
 
-Snapshots are written atomically (temp file + rename) so a crash while
-checkpointing never corrupts the latest good snapshot.  Because
+Snapshots are written atomically *and durably*: the temp file is
+fsynced before the rename and the parent directory is fsynced after
+it, so neither a crash while checkpointing nor a power loss right
+after one can corrupt or un-link the latest good snapshot.  Because
 controllers are branch-independent, a snapshot taken with N shards can
 be restored onto M shards (``n_shards=``): controllers are re-placed
 by routing hash and the per-shard accumulators recomputed exactly.
@@ -21,6 +23,8 @@ from __future__ import annotations
 
 import gzip
 import json
+import logging
+import os
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -33,13 +37,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serve.service import SpeculationService
 
 __all__ = ["FORMAT_VERSION", "save_snapshot", "load_snapshot",
-           "restore_bank"]
+           "restore_bank", "find_latest_snapshot"]
 
-#: Version 2 adds the execution-mode knobs (``workers``/``transport``)
-#: to the embedded service config; the state schema is otherwise
-#: unchanged, so version-1 files load fine.
-FORMAT_VERSION = 2
-_COMPATIBLE_FORMATS = (1, 2)
+logger = logging.getLogger(__name__)
+
+#: Version 2 added the execution-mode knobs (``workers``/``transport``)
+#: to the embedded service config; version 3 adds the WAL knobs
+#: (``wal_dir``/``wal_fsync``/``wal_segment_bytes``).  The state
+#: schema is otherwise unchanged, so version-1 and version-2 files
+#: load fine (missing knobs take their defaults); see
+#: ``tests/serve/test_snapshot.py::test_version1_snapshot_still_loads``.
+FORMAT_VERSION = 3
+_COMPATIBLE_FORMATS = (1, 2, 3)
 _KIND = "repro.serve.snapshot"
 
 
@@ -72,10 +81,32 @@ def save_snapshot(path: str | Path, service: "SpeculationService",
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
-    with gzip.open(tmp, "wt", encoding="utf-8") as fh:
-        json.dump(state, fh, separators=(",", ":"))
+    # Atomic AND durable: fsync the temp file before the rename (else
+    # the rename can land while the bytes are still only in the page
+    # cache, leaving a complete-looking but empty/truncated "latest
+    # good snapshot" after a power loss) and fsync the directory after
+    # it (else the rename itself can vanish).  mtime=0 keeps the gzip
+    # container deterministic for identical state.
+    with open(tmp, "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+            gz.write(json.dumps(state, separators=(",", ":"))
+                     .encode("utf-8"))
+        raw.flush()
+        os.fsync(raw.fileno())
     tmp.replace(path)
+    _fsync_dir(path.parent)
     return path
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry change (rename/create) to disk."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 def _read(path: str | Path) -> dict:
@@ -123,16 +154,21 @@ def load_snapshot(path: str | Path,
                   service_config=None,
                   n_shards: int | None = None,
                   workers: int | None = None,
-                  transport: str | None = None) -> "SpeculationService":
+                  transport: str | None = None,
+                  wal_dir: str | None = None,
+                  wal_fsync: str | None = None) -> "SpeculationService":
     """Rebuild a :class:`SpeculationService` from a snapshot file.
 
     ``service_config`` overrides the snapshotted tuning knobs (its
     ``n_shards`` must then match the bank layout being restored);
     ``n_shards`` re-partitions the bank.  ``workers``/``transport``
     select the restored service's execution mode.  The snapshotted
-    ``workers`` knob is deliberately *not* inherited: it describes the
-    dead process's deployment, not the model, so a restore runs
-    in-process unless the caller asks otherwise.
+    ``workers`` and ``wal_dir`` knobs are deliberately *not*
+    inherited: they describe the dead process's deployment, not the
+    model, so a restore runs in-process and WAL-less unless the caller
+    asks otherwise (``wal_dir=``/``wal_fsync=``, or
+    :func:`repro.wal.recovery.recover_service` for a restore that also
+    replays the log tail).
     """
     from dataclasses import replace
 
@@ -144,7 +180,8 @@ def load_snapshot(path: str | Path,
         scfg = service_config
     else:
         scfg = ServiceConfig(**{**state["service_config"],
-                                "workers": 0, "transport": "pipe"})
+                                "workers": 0, "transport": "pipe",
+                                "wal_dir": None})
     if n_shards is not None and n_shards != scfg.n_shards:
         scfg = replace(scfg, n_shards=n_shards)
     if workers is not None and workers != scfg.workers:
@@ -154,8 +191,41 @@ def load_snapshot(path: str | Path,
         scfg = replace(scfg, **overrides)
     if transport is not None and transport != scfg.transport:
         scfg = replace(scfg, transport=transport)
+    if wal_dir is not None and wal_dir != scfg.wal_dir:
+        scfg = replace(scfg, wal_dir=wal_dir)
+    if wal_fsync is not None and wal_fsync != scfg.wal_fsync:
+        scfg = replace(scfg, wal_fsync=wal_fsync)
     bank = restore_bank(config, state["bank"], n_shards=scfg.n_shards)
     service = SpeculationService(service_config=scfg, bank=bank,
                                  last_seq=int(state["last_seq"]))
     service._events_submitted = int(state["events_submitted"])
+    service._restored_from = Path(path)
     return service
+
+
+def find_latest_snapshot(directory: str | Path) -> Path | None:
+    """Newest loadable snapshot in ``directory`` (None if there is none).
+
+    Candidates are ``*.json.gz`` files ordered newest-first by name
+    (auto-snapshot names embed the covered event count, so the
+    lexicographic order is the coverage order) with modification time
+    as the tiebreak.  Files that fail the header check — truncated,
+    foreign, or an unsupported format — are skipped with a warning
+    rather than aborting the restore: the whole point of keeping
+    several snapshots is surviving a bad one.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(directory.glob("*.json.gz"),
+                        key=lambda p: (p.name, p.stat().st_mtime),
+                        reverse=True)
+    for path in candidates:
+        try:
+            _read(path)
+        except (OSError, ValueError, EOFError,
+                json.JSONDecodeError) as err:
+            logger.warning("skipping unusable snapshot %s: %s", path, err)
+            continue
+        return path
+    return None

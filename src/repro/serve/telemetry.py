@@ -36,6 +36,13 @@ class TelemetryReading:
     queue_high_water: tuple[int, ...]  # peak events queued per shard
     shard_events: tuple[int, ...]     # events applied per shard
     mean_batch_events: float          # mean coalesced apply size
+    # WAL durability counters (all zero when the WAL is disabled).
+    wal_records_appended: int = 0
+    wal_bytes_appended: int = 0
+    wal_fsyncs: int = 0
+    wal_mean_commit_records: float = 0.0  # group-commit batch size
+    wal_segments_created: int = 0
+    wal_segments_compacted: int = 0
 
     @property
     def window_misspec_rate(self) -> float:
@@ -130,7 +137,19 @@ class ServiceTelemetry:
         """Events/sec EMA of recent applies (0.0 before the first)."""
         return self._rate_ema
 
-    def reading(self) -> TelemetryReading:
+    def reading(self, wal=None) -> TelemetryReading:
+        """Build a reading; ``wal`` is a :class:`repro.wal.writer.WalStats`
+        copy when the service runs with a WAL attached."""
+        wal_fields = {}
+        if wal is not None:
+            wal_fields = {
+                "wal_records_appended": wal.records_appended,
+                "wal_bytes_appended": wal.bytes_appended,
+                "wal_fsyncs": wal.fsyncs,
+                "wal_mean_commit_records": wal.mean_commit_records,
+                "wal_segments_created": wal.segments_created,
+                "wal_segments_compacted": wal.segments_compacted,
+            }
         return TelemetryReading(
             events_applied=self.events_applied,
             batches_applied=self.batches_applied,
@@ -143,4 +162,5 @@ class ServiceTelemetry:
             shard_events=tuple(self.shard_events),
             mean_batch_events=(self.events_applied / self.batches_applied
                                if self.batches_applied else 0.0),
+            **wal_fields,
         )

@@ -70,18 +70,35 @@ def _start_method() -> str:
 class WorkerDiedError(RuntimeError):
     """A shard worker process vanished (dead pipe / killed).
 
-    ``last_durable_seq`` is the newest batch sequence number covered by
-    an on-disk snapshot (-1 if none was ever written): restoring that
-    snapshot and re-feeding from ``last_durable_seq + 1`` loses
-    nothing.  The service fills it in before re-raising.
+    ``last_durable_seq`` is the newest batch sequence number that is
+    durable on disk — covered by a snapshot, or fsynced into the WAL
+    when one is attached (-1 if neither): restoring from there and
+    re-feeding from ``last_durable_seq + 1`` loses nothing.  The
+    service fills it in before re-raising, along with
+    ``snapshot_path``/``wal_dir`` so the message can spell out the
+    exact recovery command instead of pointing at the docs.
     """
 
     def __init__(self, shard: int, pid: int | None = None,
-                 last_durable_seq: int | None = None) -> None:
+                 last_durable_seq: int | None = None,
+                 snapshot_path=None, wal_dir: str | None = None) -> None:
         super().__init__()
         self.shard = shard
         self.pid = pid
         self.last_durable_seq = last_durable_seq
+        self.snapshot_path = snapshot_path
+        self.wal_dir = wal_dir
+
+    def restore_command(self) -> str | None:
+        """The exact shell command that recovers this service's state."""
+        if self.wal_dir is not None:
+            cmd = f"python -m repro.wal replay --wal-dir {self.wal_dir}"
+            if self.snapshot_path is not None:
+                cmd += f" --snapshot {self.snapshot_path}"
+            return cmd
+        if self.snapshot_path is not None:
+            return f"python -m repro.serve --restore {self.snapshot_path}"
+        return None
 
     def __str__(self) -> str:
         who = f"shard worker {self.shard}"
@@ -92,6 +109,9 @@ class WorkerDiedError(RuntimeError):
             msg += (f"; last durable seq {self.last_durable_seq} — restore "
                     "the latest snapshot and resubmit from "
                     f"seq {self.last_durable_seq + 1}")
+        cmd = self.restore_command()
+        if cmd is not None:
+            msg += f"; recover with: {cmd}"
         return msg
 
 

@@ -1,0 +1,36 @@
+"""repro.wal — durable write-ahead event log for :mod:`repro.serve`.
+
+Every event batch the service accepts is appended as a CRC32-framed,
+length-prefixed record to rotating segment files *before* it is
+enqueued, so a crash — even ``kill -9`` between snapshots — loses at
+most a torn final record.  Snapshots double as compaction anchors:
+segments entirely below the covered sequence number are deleted.
+
+Layout of the package mirrors the log's life cycle:
+
+* :mod:`~repro.wal.segment` — the on-disk format (header, record
+  framing, scan/classify of torn vs corrupt damage);
+* :mod:`~repro.wal.writer` — :class:`WalWriter`: append, group commit
+  under the ``always``/``batch``/``off`` fsync policies, rotation,
+  snapshot-anchored compaction;
+* :mod:`~repro.wal.reader` — :class:`WalReader`: ordered validated
+  replay across segments;
+* :mod:`~repro.wal.recovery` — snapshot + tail replay with the
+  bit-identical recovery contract, used by ``python -m repro.wal
+  replay`` and ``python -m repro.serve --restore``.
+"""
+
+from repro.wal.reader import WalReader
+from repro.wal.recovery import RecoveryReport, recover_service, \
+    replay_into_service
+from repro.wal.segment import SegmentInfo, WalCorruptionError, \
+    list_segments, scan_segment
+from repro.wal.writer import DEFAULT_SEGMENT_BYTES, FSYNC_POLICIES, \
+    WalStats, WalWriter
+
+__all__ = [
+    "WalWriter", "WalStats", "WalReader",
+    "RecoveryReport", "recover_service", "replay_into_service",
+    "SegmentInfo", "WalCorruptionError", "list_segments", "scan_segment",
+    "FSYNC_POLICIES", "DEFAULT_SEGMENT_BYTES",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.wal``."""
+
+import sys
+
+from repro.wal.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

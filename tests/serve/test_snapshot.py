@@ -179,3 +179,60 @@ def test_restore_on_random_trace_with_reshard():
     with tempfile.TemporaryDirectory() as tmp:
         metrics = asyncio.run(run(Path(tmp)))
     assert metrics == run_reactive(trace, config).metrics
+
+
+def test_version1_snapshot_still_loads(bench_trace, bench_config):
+    """Format-compat anchor: a committed v1 fixture (written before the
+    execution-mode and WAL knobs existed) must keep loading, with the
+    missing knobs at their defaults, and must resume bit-identically.
+
+    The fixture is a real mid-trace checkpoint: gzip/60k, 2 shards,
+    snapshotted after 10,240 events in 1,024-event batches, with its
+    ``service_config`` stripped to the v1 schema.  Regenerate only if
+    the *state* schema changes (which would be format 4, not a silent
+    rewrite).
+    """
+    from pathlib import Path
+
+    fixture = Path(__file__).parent / "data" / "snapshot-v1.json.gz"
+    service = load_snapshot(fixture)
+    assert service.last_seq == 10_240 // 1024 - 1
+    # Knobs born after v1 take their defaults.
+    assert service.service_config.workers == 0
+    assert service.service_config.transport == "pipe"
+    assert service.service_config.wal_dir is None
+    assert service.service_config.wal_fsync == "batch"
+
+    async def finish():
+        async with service:
+            await feed_trace(service, bench_trace, batch_events=1024)
+            await service.drain()
+            return service.metrics()
+
+    assert (asyncio.run(finish())
+            == run_reactive(bench_trace, bench_config).metrics)
+
+
+def test_find_latest_snapshot_skips_corrupt(tmp_path, bench_config):
+    from repro.serve.snapshot import find_latest_snapshot
+
+    assert find_latest_snapshot(tmp_path) is None
+    assert find_latest_snapshot(tmp_path / "missing") is None
+
+    async def write(path):
+        service = SpeculationService(bench_config)
+        save_snapshot(path, service)
+
+    asyncio.run(write(tmp_path / "snapshot-000000001000.json.gz"))
+    asyncio.run(write(tmp_path / "snapshot-000000002000.json.gz"))
+    assert (find_latest_snapshot(tmp_path).name
+            == "snapshot-000000002000.json.gz")
+    # Corrupt decoys sorting above the good ones must be skipped: a
+    # truncated gzip, a foreign document, and plain garbage.
+    (tmp_path / "snapshot-000000003000.json.gz").write_bytes(
+        (tmp_path / "snapshot-000000002000.json.gz").read_bytes()[:40])
+    with gzip.open(tmp_path / "snapshot-000000004000.json.gz", "wt") as fh:
+        json.dump({"kind": "something-else"}, fh)
+    (tmp_path / "snapshot-000000005000.json.gz").write_bytes(b"garbage")
+    assert (find_latest_snapshot(tmp_path).name
+            == "snapshot-000000002000.json.gz")

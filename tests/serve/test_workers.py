@@ -147,6 +147,59 @@ def test_kill9_worker_reports_last_durable_seq_and_restores(
             == _offline(bench_trace, bench_config))
 
 
+def test_kill9_with_wal_recovers_every_accepted_batch(
+        tmp_path, bench_trace, bench_config):
+    """With a WAL attached, a worker death costs *nothing*: the error
+    names the exact recovery command, and snapshot + WAL tail recovers
+    every batch accepted before the kill — not just the snapshot-
+    covered prefix the WAL-less path falls back to."""
+    from repro.wal.recovery import recover_service
+
+    wal_dir = tmp_path / "wal"
+    snap = tmp_path / "durable.json.gz"
+
+    async def run_until_killed():
+        scfg = ServiceConfig(n_shards=2, workers=2, queue_events=8192,
+                             wal_dir=str(wal_dir), wal_fsync="always")
+        service = SpeculationService(bench_config, scfg)
+        async with service:
+            await feed_trace(service, bench_trace, batch_events=1024,
+                             max_events=20_480)
+            await service.snapshot(snap)
+            await feed_trace(service, bench_trace, batch_events=1024,
+                             max_events=30_720)
+            await service.drain()
+            accepted_seq = service.last_seq
+            os.kill(service.worker_pids[0], signal.SIGKILL)
+            with pytest.raises(WorkerDiedError) as excinfo:
+                await feed_trace(service, bench_trace, batch_events=1024)
+                await service.drain()
+            return accepted_seq, excinfo.value
+
+    accepted_seq, err = asyncio.run(run_until_killed())
+    snap_seq = 20_480 // 1024 - 1
+    # The WAL shifts last_durable_seq from snapshot-covered to fsynced:
+    # every accepted batch is durable, including the post-snapshot ones
+    # (and any accepted in the window before the dead pipe surfaced).
+    assert err.last_durable_seq >= accepted_seq > snap_seq
+    assert err.wal_dir == str(wal_dir)
+    assert err.snapshot_path == snap
+    assert (f"python -m repro.wal replay --wal-dir {wal_dir} "
+            f"--snapshot {snap}") in str(err)
+
+    service, report = recover_service(wal_dir, snapshot=snap, workers=2)
+    assert report.last_seq == err.last_durable_seq
+    assert report.replayed_batches == report.last_seq - snap_seq
+
+    async def finish():
+        async with service:
+            await feed_trace(service, bench_trace, batch_events=1024)
+            await service.drain()
+            return service.metrics()
+
+    assert asyncio.run(finish()) == _offline(bench_trace, bench_config)
+
+
 def test_fatal_service_refuses_submissions_and_snapshots(
         bench_trace, bench_config):
     """After a worker death the service stays failed: submissions raise

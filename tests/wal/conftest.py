@@ -1,0 +1,56 @@
+"""Fixtures for the WAL tests.
+
+Most tests operate on hand-built :class:`EventBatch` sequences (exact
+framing scenarios); the recovery tests reuse the same synthetic
+benchmark slice as the serve suite so the bit-identical contract is
+checked against the offline engines on a realistic workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import scaled_config
+from repro.serve.events import EventBatch
+from repro.trace.spec2000 import load_trace
+from repro.trace.stream import Trace
+
+
+@pytest.fixture(scope="session")
+def bench_trace() -> Trace:
+    return load_trace("gzip", length=60_000)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return scaled_config()
+
+
+def make_batch(seq: int, n: int = 16, start_instr: int = 0) -> EventBatch:
+    """A deterministic batch keyed on its sequence number."""
+    rng = np.random.default_rng(1000 + seq)
+    pcs = rng.integers(0, 64, n).astype(np.int32)
+    taken = rng.uniform(size=n) < 0.7
+    instrs = (start_instr
+              + np.cumsum(rng.integers(1, 20, n))).astype(np.int64)
+    return EventBatch(seq=seq, pcs=pcs, taken=taken, instrs=instrs)
+
+
+def make_batches(n_batches: int, events: int = 16,
+                 start_seq: int = 0) -> list[EventBatch]:
+    """``n_batches`` consecutive batches with program-order instrs."""
+    out: list[EventBatch] = []
+    instr = 0
+    for seq in range(start_seq, start_seq + n_batches):
+        batch = make_batch(seq, events, start_instr=instr)
+        instr = batch.last_instr
+        out.append(batch)
+    return out
+
+
+def batches_equal(a: EventBatch, b: EventBatch) -> bool:
+    return (a.seq == b.seq
+            and np.array_equal(a.pcs, b.pcs)
+            and np.array_equal(a.taken, b.taken)
+            and np.array_equal(a.instrs, b.instrs))

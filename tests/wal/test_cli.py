@@ -1,0 +1,126 @@
+"""``python -m repro.wal`` and the serve CLI's WAL/restore flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import cli as serve_cli
+from repro.wal import cli as wal_cli
+from repro.wal.segment import list_segments
+from repro.wal.writer import WalWriter
+from tests.wal.conftest import make_batches
+
+
+@pytest.fixture
+def small_log(tmp_path):
+    wal_dir = tmp_path / "wal"
+    with WalWriter(wal_dir, fsync="off",
+                   segment_bytes=24 + 3 * (8 + 12 + 16 * 13)) as wal:
+        for batch in make_batches(8):
+            wal.append(batch)
+    return wal_dir
+
+
+def test_inspect_prints_segment_table(small_log, capsys):
+    assert wal_cli.main(["inspect", "--wal-dir", str(small_log)]) == 0
+    out = capsys.readouterr().out
+    assert "wal-0000000000000000.log" in out
+    assert "8 records" in out
+    assert "replayable through seq 7" in out
+
+
+def test_inspect_reports_torn_tail(small_log, capsys):
+    newest = list_segments(small_log)[-1]
+    with open(newest, "ab") as fh:
+        fh.write(b"\x07" * 19)
+    assert wal_cli.main(["inspect", "--wal-dir", str(small_log)]) == 0
+    assert "TORN TAIL (19 bytes)" in capsys.readouterr().out
+
+
+def test_inspect_empty_dir(tmp_path, capsys):
+    assert wal_cli.main(["inspect", "--wal-dir", str(tmp_path)]) == 0
+    assert "no segments" in capsys.readouterr().out
+
+
+def test_inspect_corrupt_log_fails_cleanly(small_log, capsys):
+    first = list_segments(small_log)[0]
+    raw = bytearray(first.read_bytes())
+    raw[40] ^= 0xFF  # flip a payload byte mid-log
+    first.write_bytes(bytes(raw))
+    assert wal_cli.main(["inspect", "--wal-dir", str(small_log)]) == 1
+    assert "error:" in capsys.readouterr().out
+
+
+def test_serve_then_wal_replay_roundtrip(tmp_path, capsys):
+    """End-to-end through both CLIs: serve with a WAL, crash-less exit,
+    then ``repro.wal replay`` recovers identical metrics and ``--out``
+    writes a loadable snapshot."""
+    wal_dir = tmp_path / "wal"
+    snaps = tmp_path / "snaps"
+    rc = serve_cli.main([
+        "--benchmark", "gzip", "--max-events", "20000",
+        "--wal-dir", str(wal_dir), "--wal-fsync", "off", "--verify"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "wal " in out
+
+    recovered = snaps / "recovered.json.gz"
+    rc = wal_cli.main(["replay", "--wal-dir", str(wal_dir),
+                       "--out", str(recovered)])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "recovered from no snapshot" in out
+    assert recovered.exists()
+
+    # The replay-written snapshot restores and matches the offline run.
+    from repro.core.config import scaled_config
+    from repro.serve.snapshot import load_snapshot
+    from repro.sim.runner import run_reactive
+    from repro.trace.spec2000 import load_trace
+
+    service = load_snapshot(recovered)
+    trace = load_trace("gzip", length=20_000)
+    assert service.metrics() == run_reactive(trace, scaled_config()).metrics
+
+
+def test_serve_restore_latest_with_wal(tmp_path, capsys):
+    """--restore-latest + --wal-dir resumes exactly where the first run
+    stopped, replaying the WAL tail beyond the newest snapshot."""
+    wal_dir = tmp_path / "wal"
+    snaps = tmp_path / "snaps"
+    rc = serve_cli.main([
+        "--benchmark", "gzip", "--max-events", "30000",
+        "--wal-dir", str(wal_dir),
+        "--snapshot-every", "10000", "--snapshot-dir", str(snaps)])
+    assert rc == 0, capsys.readouterr().out
+    capsys.readouterr()
+    # A corrupt decoy must be skipped, not fatal.
+    (snaps / "zzz-newest-but-corrupt.json.gz").write_bytes(b"\x1f\x8b junk")
+    rc = serve_cli.main([
+        "--benchmark", "gzip", "--max-events", "30000",
+        "--wal-dir", str(wal_dir),
+        "--restore-latest", str(snaps), "--verify"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "recovered from snapshot" in out
+    assert "verify     OK" in out
+
+
+def test_wal_cli_rejects_missing_directory(tmp_path, capsys):
+    missing = str(tmp_path / "nope")
+    for sub in ("inspect", "replay"):
+        assert wal_cli.main([sub, "--wal-dir", missing]) == 2
+        assert "no such WAL directory" in capsys.readouterr().out
+
+
+def test_serve_restore_flags_are_exclusive(capsys):
+    rc = serve_cli.main(["--restore", "a.json.gz", "--restore-latest", "d"])
+    assert rc == 2
+    assert "mutually exclusive" in capsys.readouterr().out
+
+
+def test_restore_latest_without_candidates_or_wal_errors(tmp_path, capsys):
+    rc = serve_cli.main(["--benchmark", "gzip", "--max-events", "1000",
+                         "--restore-latest", str(tmp_path)])
+    assert rc == 2
+    assert "no loadable snapshot" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Reader semantics: ordered replay, cut-off skipping, damage policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wal.reader import WalReader
+from repro.wal.segment import WalCorruptionError, list_segments
+from repro.wal.writer import WalWriter
+from tests.wal.conftest import batches_equal, make_batches
+
+
+RECORD_BYTES = 8 + 12 + 16 * 13
+
+
+def write_log(directory, n_batches, per_segment=2):
+    batches = make_batches(n_batches)
+    with WalWriter(directory, fsync="off",
+                   segment_bytes=24 + per_segment * RECORD_BYTES) as wal:
+        for batch in batches:
+            wal.append(batch)
+    return batches
+
+
+def test_replay_roundtrip_across_segments(tmp_path):
+    batches = write_log(tmp_path, 9)
+    assert len(list_segments(tmp_path)) == 5
+    reader = WalReader(tmp_path)
+    read = list(reader)
+    assert len(read) == 9
+    assert all(batches_equal(a, b) for a, b in zip(batches, read))
+    assert reader.torn_tail is None
+    assert reader.last_seq() == 8
+
+
+def test_after_seq_skips_covered_segments(tmp_path):
+    write_log(tmp_path, 9)
+    reader = WalReader(tmp_path)
+    assert [b.seq for b in reader.batches(after_seq=4)] == [5, 6, 7, 8]
+    assert [b.seq for b in reader.batches(after_seq=8)] == []
+    assert [b.seq for b in reader.batches(after_seq=-1)] == list(range(9))
+
+
+def test_empty_directory_is_an_empty_log(tmp_path):
+    reader = WalReader(tmp_path / "never-created")
+    assert list(reader) == []
+    assert reader.last_seq() == -1
+
+
+def test_torn_tail_in_newest_segment_is_tolerated(tmp_path):
+    write_log(tmp_path, 5)
+    newest = list_segments(tmp_path)[-1]
+    with open(newest, "ab") as fh:
+        fh.write(b"\x07" * 31)
+    reader = WalReader(tmp_path)
+    assert [b.seq for b in reader.batches()] == [0, 1, 2, 3, 4]
+    assert reader.torn_tail is not None
+    assert reader.torn_tail.torn_bytes == 31
+
+
+def test_torn_record_before_the_tail_is_corruption(tmp_path):
+    write_log(tmp_path, 5)
+    first = list_segments(tmp_path)[0]
+    with open(first, "ab") as fh:
+        fh.write(b"\x07" * 9)
+    reader = WalReader(tmp_path)
+    with pytest.raises(WalCorruptionError, match="non-final"):
+        list(reader.batches())
+
+
+def test_overlapping_segments_are_corruption(tmp_path):
+    write_log(tmp_path, 4)
+    paths = list_segments(tmp_path)
+    # Duplicate the first segment under a later base name: its records
+    # rewind the sequence order.
+    clone = paths[-1].with_name("wal-0000000000009999.log")
+    clone.write_bytes(paths[0].read_bytes())
+    with pytest.raises(WalCorruptionError, match="does not"):
+        WalReader(tmp_path).scan()

@@ -1,0 +1,111 @@
+"""Segment format: framing, scan classification, torn vs corrupt."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.wal.segment import (
+    HEADER,
+    MAGIC,
+    RECORD_HEADER,
+    WalCorruptionError,
+    encode_record,
+    iter_segment_records,
+    list_segments,
+    parse_segment_name,
+    scan_segment,
+    segment_name,
+    write_header,
+)
+from tests.wal.conftest import batches_equal, make_batches
+
+
+def write_segment(path, batches, base_seq=None):
+    with open(path, "wb") as fh:
+        write_header(fh, batches[0].seq if base_seq is None else base_seq)
+        for batch in batches:
+            fh.write(encode_record(batch))
+    return path
+
+
+def test_segment_name_roundtrip():
+    assert segment_name(0) == "wal-0000000000000000.log"
+    assert parse_segment_name(segment_name(12345)) == 12345
+    assert parse_segment_name("snapshot-000123.json.gz") is None
+    assert parse_segment_name("wal-garbage.log") is None
+
+
+def test_scan_and_iter_roundtrip(tmp_path):
+    batches = make_batches(7, events=32)
+    path = write_segment(tmp_path / segment_name(0), batches)
+    info = scan_segment(path)
+    assert not info.torn
+    assert (info.base_seq, info.first_seq, info.last_seq) == (0, 0, 6)
+    assert info.records == 7
+    assert info.valid_bytes == info.size_bytes
+    read = list(iter_segment_records(path))
+    assert len(read) == 7
+    assert all(batches_equal(a, b) for a, b in zip(batches, read))
+
+
+@pytest.mark.parametrize("damage", ["partial_header", "partial_payload",
+                                    "bad_crc", "garbage_length"])
+def test_trailing_damage_classified_as_torn(tmp_path, damage):
+    batches = make_batches(4)
+    path = write_segment(tmp_path / segment_name(0), batches)
+    good = scan_segment(path)
+    raw = path.read_bytes()
+    if damage == "partial_header":
+        raw += RECORD_HEADER.pack(100, 0)[:5]
+    elif damage == "partial_payload":
+        raw += RECORD_HEADER.pack(500, 12345) + b"\x00" * 40
+    elif damage == "bad_crc":
+        tail = encode_record(make_batches(1, start_seq=4)[0])
+        raw += tail[:RECORD_HEADER.size] + b"\xff" + tail[9:]
+    else:
+        raw += struct.pack("<II", 2**31, 0) + b"junk"
+    path.write_bytes(raw)
+    info = scan_segment(path)
+    assert info.torn
+    assert info.valid_bytes == good.valid_bytes
+    assert info.torn_bytes == len(raw) - good.valid_bytes
+    assert info.records == 4
+
+    # Tolerant iteration yields every intact record and stops cleanly;
+    # strict iteration refuses.
+    assert len(list(iter_segment_records(path, tolerate_torn_tail=True))) == 4
+    with pytest.raises(WalCorruptionError, match="torn record"):
+        list(iter_segment_records(path))
+
+
+def test_non_monotonic_seq_is_corruption(tmp_path):
+    batches = make_batches(3)
+    path = write_segment(tmp_path / segment_name(0),
+                         [batches[0], batches[2], batches[1]])
+    with pytest.raises(WalCorruptionError, match="not above"):
+        scan_segment(path)
+
+
+def test_broken_header_is_corruption(tmp_path):
+    path = tmp_path / segment_name(0)
+    path.write_bytes(b"NOTAWAL!" + b"\x00" * 16)
+    with pytest.raises(WalCorruptionError, match="bad magic"):
+        scan_segment(path)
+    path.write_bytes(HEADER.pack(MAGIC, 99, 0, 0))
+    with pytest.raises(WalCorruptionError, match="version"):
+        scan_segment(path)
+    path.write_bytes(b"short")
+    with pytest.raises(WalCorruptionError, match="shorter"):
+        scan_segment(path)
+
+
+def test_list_segments_orders_by_base_seq(tmp_path):
+    for base in (30, 0, 12):
+        write_segment(tmp_path / segment_name(base),
+                      make_batches(1, start_seq=base))
+    (tmp_path / "not-a-segment.txt").write_text("ignore me")
+    assert [p.name for p in list_segments(tmp_path)] == [
+        segment_name(0), segment_name(12), segment_name(30)]
+    assert list_segments(tmp_path / "missing") == []
