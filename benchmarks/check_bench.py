@@ -25,6 +25,13 @@ ingestion with ``wal_fsync=batch`` must reach at least
 (default 15% overhead, the committed claim in docs/durability.md),
 plus the same tolerance band against the committed baseline.
 
+``repro.obs.bench`` (bench_obs.py) — the instrumentation tax bound:
+ingestion with full observability (histograms + transition-trace
+ring) must reach at least ``1 - --max-obs-overhead`` of the same
+run's uninstrumented throughput (default 10% overhead, the committed
+claim in docs/observability.md), plus the tolerance band against the
+committed baseline.
+
 Exactness is non-negotiable for both kinds: if either JSON says
 ``exact: false`` the gate fails regardless of the numbers.
 
@@ -38,6 +45,10 @@ Usage (what .github/workflows/ci.yml runs)::
     PYTHONPATH=src python benchmarks/bench_wal.py --quick \
         --out BENCH_wal.current.json
     python benchmarks/check_bench.py BENCH_wal.json BENCH_wal.current.json
+
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick \
+        --out BENCH_obs.current.json
+    python benchmarks/check_bench.py BENCH_obs.json BENCH_obs.current.json
 """
 
 from __future__ import annotations
@@ -46,9 +57,9 @@ import argparse
 import json
 import sys
 
-__all__ = ["check", "check_wal", "main"]
+__all__ = ["check", "check_wal", "check_obs", "main"]
 
-_KINDS = ("repro.serve.bench", "repro.wal.bench")
+_KINDS = ("repro.serve.bench", "repro.wal.bench", "repro.obs.bench")
 
 
 def _load(path: str) -> dict:
@@ -144,6 +155,61 @@ def check_wal(baseline: dict, current: dict, max_overhead: float,
     return failures
 
 
+def check_obs(baseline: dict, current: dict, max_overhead: float,
+              tolerance: float) -> list[str]:
+    """Gate a bench_obs result (empty list = pass)."""
+    failures: list[str] = []
+    for name, doc in (("baseline", baseline), ("current", current)):
+        if not doc.get("exact", False):
+            failures.append(f"{name} run diverged from the offline engine "
+                            "(exact: false)")
+
+    # The committed claim, measured within one run so machine speed
+    # cancels out: full instrumentation costs at most max_overhead.
+    floor = (1.0 - max_overhead) * current["baseline_eps"]
+    obs_eps = current.get("obs_eps")
+    if obs_eps is None:
+        failures.append("current run is missing the instrumented point")
+    elif obs_eps < floor:
+        failures.append(
+            f"obs overhead: instrumented {obs_eps:,.0f} ev/s < "
+            f"{floor:,.0f} ev/s ({1 - max_overhead:.0%} of the same "
+            f"run's uninstrumented {current['baseline_eps']:,.0f})")
+
+    def band(label: str, base: float, cur: float | None) -> None:
+        if cur is None:
+            failures.append(f"current run is missing the {label} point")
+            return
+        floor = tolerance * base
+        if cur < floor:
+            failures.append(
+                f"throughput band: {label} {cur:,.0f} ev/s < "
+                f"{floor:,.0f} ev/s ({tolerance:.0%} of baseline "
+                f"{base:,.0f})")
+
+    band("uninstrumented", baseline["baseline_eps"],
+         current.get("baseline_eps"))
+    band("instrumented", baseline["obs_eps"], current.get("obs_eps"))
+    return failures
+
+
+def _table_obs(baseline: dict, current: dict) -> None:
+    print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
+          f"{'ratio':>7}")
+    rows = [("obs off", baseline["baseline_eps"],
+             current.get("baseline_eps")),
+            ("obs on", baseline["obs_eps"], current.get("obs_eps"))]
+    for label, base, cur in rows:
+        if cur is None:
+            print(f"{label:<18} {base:>15,.0f} {'missing':>15}")
+        else:
+            print(f"{label:<18} {base:>15,.0f} {cur:>15,.0f} "
+                  f"{cur / base:>6.2f}x")
+    print(f"{'instrumentation overhead':<34} "
+          f"{baseline.get('overhead', 0):>7.1%} (baseline) "
+          f"{current.get('overhead', 0):>7.1%} (current)")
+
+
 def _table_wal(baseline: dict, current: dict) -> None:
     print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
           f"{'ratio':>7}")
@@ -208,6 +274,10 @@ def main(argv=None) -> int:
                         help="wal gate: highest tolerated fsync=batch "
                              "throughput loss vs the same run without a "
                              "WAL (default: 0.15)")
+    parser.add_argument("--max-obs-overhead", type=float, default=0.10,
+                        help="obs gate: highest tolerated instrumented "
+                             "throughput loss vs the same run with "
+                             "observability off (default: 0.10)")
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -218,6 +288,10 @@ def main(argv=None) -> int:
     if baseline["kind"] == "repro.wal.bench":
         _table_wal(baseline, current)
         failures = check_wal(baseline, current, args.max_wal_overhead,
+                             args.tolerance)
+    elif baseline["kind"] == "repro.obs.bench":
+        _table_obs(baseline, current)
+        failures = check_obs(baseline, current, args.max_obs_overhead,
                              args.tolerance)
     else:
         _table(baseline, current)

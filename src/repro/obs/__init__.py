@@ -1,0 +1,60 @@
+"""repro.obs — observability for the online speculation service.
+
+A dependency-free metrics core (:mod:`repro.obs.metrics`), Prometheus
+text + JSON exposition (:mod:`repro.obs.expo`) behind a stdlib HTTP
+endpoint (:mod:`repro.obs.http`), and the paper-specific piece: a
+bounded, sampled ring of FSM arc firings (:mod:`repro.obs.tracing`)
+that makes "why did PC X stop being speculated" a queryable question
+(``python -m repro.obs explain PC``).
+
+Quickstart::
+
+    from repro.obs import MetricsRegistry, MetricsServer
+
+    registry = MetricsRegistry()
+    requests = registry.counter("myapp_requests_total", "requests seen")
+    latency = registry.histogram("myapp_latency_seconds", "per request")
+    requests.inc()
+    latency.observe(0.012)
+    server = MetricsServer(registry, port=9100)   # GET /metrics
+
+The speculation service wires all of this up itself — run
+``python -m repro.serve --metrics-port 9100`` and scrape, or see
+docs/observability.md for the metric catalog.
+"""
+
+from repro.obs.expo import parse_exposition, render_json, render_prometheus
+from repro.obs.http import MetricsServer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    ARC_CODE,
+    ARC_ENDPOINTS,
+    ARCS,
+    TraceRecord,
+    TransitionTrace,
+    explain_records,
+)
+
+__all__ = [
+    "ARCS",
+    "ARC_CODE",
+    "ARC_ENDPOINTS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsServer",
+    "TraceRecord",
+    "TransitionTrace",
+    "explain_records",
+    "parse_exposition",
+    "render_json",
+    "render_prometheus",
+]

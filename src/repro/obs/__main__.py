@@ -1,0 +1,13 @@
+"""Entry point: ``python -m repro.obs``."""
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # piping into head etc. is fine
+        sys.exit(0)
+    except KeyboardInterrupt:
+        sys.exit(130)

@@ -1,0 +1,127 @@
+"""``repro.obs`` CLI — query metrics and the FSM transition trace.
+
+Usage::
+
+    # against a live service started with --metrics-port 9100
+    python -m repro.obs --url http://127.0.0.1:9100 tail -n 30
+    python -m repro.obs --url http://127.0.0.1:9100 explain 4711
+    python -m repro.obs --url http://127.0.0.1:9100 dump
+
+    # against a --metrics-json dump from a finished run
+    python -m repro.obs --file run-obs.json explain 4711
+
+``tail`` prints the newest ring records; ``dump`` prints the full
+metrics + trace document as JSON; ``explain PC`` narrates one branch's
+transition history — the concrete answer to "why did PC X stop being
+speculated".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+
+from repro.obs.tracing import TraceRecord, explain_records
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Query a running service's metrics endpoint or a "
+                    "--metrics-json dump.")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--url", metavar="URL",
+                        help="base URL of a live metrics endpoint "
+                             "(e.g. http://127.0.0.1:9100)")
+    source.add_argument("--file", metavar="PATH",
+                        help="a --metrics-json dump from a finished run")
+    sub = parser.add_subparsers(dest="command", required=True)
+    tail = sub.add_parser("tail", help="newest transition-ring records")
+    tail.add_argument("-n", type=int, default=20,
+                      help="records to show (default: 20)")
+    sub.add_parser("dump", help="full metrics + trace document as JSON")
+    explain = sub.add_parser(
+        "explain", help="narrate one branch's transition history")
+    explain.add_argument("pc", type=int, help="static branch id")
+    return parser
+
+
+def _fetch(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _load_trace_doc(args) -> dict:
+    """The trace document, from either source (normalized shape)."""
+    if args.url is not None:
+        base = args.url.rstrip("/")
+        query = ""
+        if args.command == "explain":
+            query = f"?pc={args.pc}"
+        return _fetch(f"{base}/trace.json{query}")
+    with open(args.file) as fh:
+        doc = json.load(fh)
+    if doc.get("kind") == "repro.obs.trace":
+        return doc
+    trace = doc.get("trace")
+    if not isinstance(trace, dict) or "records" not in trace:
+        raise ValueError(
+            f"{args.file} holds no transition trace (expected a "
+            "--metrics-json dump or a /trace.json document)")
+    return trace
+
+
+def _records(doc: dict) -> list[TraceRecord]:
+    return [TraceRecord.from_dict(d) for d in doc.get("records", [])]
+
+
+def _print_tail(records: list[TraceRecord], n: int) -> None:
+    rows = records[-n:] if n < len(records) else records
+    if not rows:
+        print("transition ring is empty")
+        return
+    print(f"{'seq':>8}  {'pc':>10}  {'arc':<8} {'from':>8} -> "
+          f"{'to':<8}  {'exec':>10}  {'instr':>14}")
+    for r in rows:
+        print(f"{r.seq:>8}  {r.pc:>10}  {r.arc:<8} {r.from_state:>8} -> "
+              f"{r.to_state:<8}  {r.exec_index:>10,}  {r.instr:>14,}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "dump":
+            if args.url is not None:
+                base = args.url.rstrip("/")
+                doc = {"kind": "repro.obs.snapshot",
+                       "metrics": _fetch(f"{base}/metrics.json")["metrics"],
+                       "trace": _fetch(f"{base}/trace.json")}
+            else:
+                with open(args.file) as fh:
+                    doc = json.load(fh)
+            print(json.dumps(doc, indent=2))
+            return 0
+        doc = _load_trace_doc(args)
+        records = _records(doc)
+        if args.command == "tail":
+            _print_tail(records, args.n)
+            return 0
+        # explain
+        matching = [r for r in records if r.pc == args.pc]
+        sample = int(doc.get("sample", 1))
+        traced = True
+        if sample > 1:
+            from repro.obs.tracing import _mix64
+
+            traced = _mix64(args.pc) % sample == 0
+        print(explain_records(matching, args.pc, traced=traced))
+        return 0 if matching else 1
+    except (OSError, ValueError, KeyError,
+            urllib.error.URLError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2

@@ -1,0 +1,154 @@
+"""Exposition: render a registry as Prometheus text or JSON.
+
+:func:`render_prometheus` emits the text exposition format (version
+0.0.4) that ``prometheus`` and every compatible scraper consume —
+``# HELP`` / ``# TYPE`` headers, escaped label values, and cumulative
+``_bucket``/``_sum``/``_count`` series for histograms.
+
+:func:`parse_exposition` is the consuming half: a small, strict parser
+used by the test suite and the CI smoke step to assert that what the
+endpoint serves actually *is* valid exposition (every non-comment line
+must parse as ``name{labels} value``), without depending on an
+external Prometheus client.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_prometheus", "render_json", "parse_exposition"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _fmt(value: int | float) -> str:
+    """Prometheus-friendly number: integral floats print as integers."""
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(text: str) -> str:
+    return (text.replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _labels(names: tuple[str, ...], values: tuple[str, ...],
+            extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    pairs += [f'{n}="{_escape_label(v)}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Text exposition (version 0.0.4) of every family in ``registry``."""
+    lines: list[str] = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for key, child in family.children():
+            if family.type == "histogram":
+                for bound, count in child.cumulative_buckets():
+                    le = "+Inf" if bound == float("inf") else _fmt(bound)
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_labels(family.labelnames, key, (('le', le),))}"
+                        f" {count}")
+                lines.append(f"{family.name}_sum"
+                             f"{_labels(family.labelnames, key)}"
+                             f" {_fmt(child.sum)}")
+                lines.append(f"{family.name}_count"
+                             f"{_labels(family.labelnames, key)}"
+                             f" {child.count}")
+            else:
+                lines.append(f"{family.name}"
+                             f"{_labels(family.labelnames, key)}"
+                             f" {_fmt(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricsRegistry) -> dict:
+    """JSON-shaped exposition: the registry snapshot under a kind tag."""
+    return {"kind": "repro.obs.metrics", "metrics": registry.snapshot()}
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises ValueError on garbage, as intended
+
+
+def _parse_labels(labels_text: str, lineno: int) -> dict[str, str]:
+    """Tokenize ``name="value"`` pairs strictly; raise on leftovers."""
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(labels_text):
+        match = _LABEL_PAIR_RE.match(labels_text, pos)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed labels: "
+                             f"{labels_text!r}")
+        labels[match.group(1)] = match.group(2)
+        pos = match.end()
+        if pos < len(labels_text):
+            if labels_text[pos] != ",":
+                raise ValueError(f"line {lineno}: malformed labels: "
+                                 f"{labels_text!r}")
+            pos += 1
+    return labels
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse Prometheus text exposition into ``{family: samples}``.
+
+    Samples are ``(labels_dict, value)`` tuples grouped under the
+    *family* name (``_bucket``/``_sum``/``_count`` suffixes fold into
+    their histogram's family, following the ``# TYPE`` declarations).
+    Raises :class:`ValueError` on any malformed line — which is what
+    makes this useful as a validity check.
+    """
+    families: dict[str, list[tuple[dict, float]]] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3] if len(parts) > 3 else ""
+                families.setdefault(parts[2], [])
+            elif len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: unknown comment form: "
+                                 f"{line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
+        name = match.group("name")
+        labels_text = match.group("labels") or ""
+        labels = _parse_labels(labels_text, lineno)
+        value = _parse_value(match.group("value"))
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[:-len(suffix)] if name.endswith(suffix) else None
+            if stem and types.get(stem) == "histogram":
+                base = stem
+                break
+        families.setdefault(base, []).append((labels, value))
+    return families

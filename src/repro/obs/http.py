@@ -1,0 +1,125 @@
+"""Scrapeable exposition endpoint, pure stdlib.
+
+:class:`MetricsServer` runs a :class:`~http.server.ThreadingHTTPServer`
+on a daemon thread and serves read-only views of a registry (and,
+optionally, a transition trace ring):
+
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4).
+``GET /metrics.json``
+    The registry snapshot as JSON.
+``GET /trace.json``
+    The transition ring (``?pc=N`` filters one branch, ``?n=K`` tails
+    the last K records) — what ``python -m repro.obs`` queries.
+
+Reads are lock-light snapshots of live instruments; the service's
+event loop is never blocked by a scrape (the server thread does the
+rendering), and a scrape observes each instrument atomically even if
+batches land mid-request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.expo import CONTENT_TYPE, render_json, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TransitionTrace
+
+__all__ = ["MetricsServer"]
+
+
+class MetricsServer:
+    """Serve ``registry`` (and ``trace``) over HTTP on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` for the
+    actual one.  Call :meth:`close` to stop serving (idempotent).
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 trace: TransitionTrace | None = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.registry = registry
+        self.trace = trace
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence per-request
+                pass
+
+            def do_GET(self) -> None:
+                server._handle(self)
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True,
+            name="repro-obs-metrics")
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling (runs on server threads) ----------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(request.path)
+        if parsed.path == "/metrics":
+            body = render_prometheus(self.registry).encode("utf-8")
+            self._reply(request, 200, CONTENT_TYPE, body)
+        elif parsed.path == "/metrics.json":
+            body = json.dumps(render_json(self.registry),
+                              indent=2).encode("utf-8")
+            self._reply(request, 200, "application/json", body)
+        elif parsed.path == "/trace.json":
+            if self.trace is None:
+                self._reply(request, 404, "text/plain",
+                            b"transition tracing is not enabled\n")
+                return
+            query = parse_qs(parsed.query)
+            try:
+                pc = (int(query["pc"][0]) if "pc" in query else None)
+                n = (int(query["n"][0]) if "n" in query else None)
+            except ValueError:
+                self._reply(request, 400, "text/plain",
+                            b"pc and n must be integers\n")
+                return
+            doc = self.trace.snapshot_doc(pc=pc, n=n)
+            body = json.dumps(doc, indent=2).encode("utf-8")
+            self._reply(request, 200, "application/json", body)
+        else:
+            self._reply(request, 404, "text/plain",
+                        b"try /metrics, /metrics.json or /trace.json\n")
+
+    @staticmethod
+    def _reply(request: BaseHTTPRequestHandler, status: int,
+               content_type: str, body: bytes) -> None:
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        try:
+            request.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # scraper left
+            pass
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -12,6 +12,8 @@ Usage::
         --benchmark gzip
     python -m repro.serve --restore-latest /tmp/snaps --wal-dir /tmp/wal \\
         --benchmark gzip
+    python -m repro.serve --benchmark gcc --metrics-port 9100 \\
+        --metrics-json run-obs.json
 
 Feeds the chosen trace through a :class:`SpeculationService` at a
 configurable event rate, printing a live telemetry line as it goes and
@@ -79,6 +81,24 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="WAL segment rotation size (default: 4 MiB)")
     parser.add_argument("--report-every", type=int, default=250_000,
                         help="print a telemetry line every N events")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve Prometheus metrics + the transition "
+                             "trace over HTTP on 127.0.0.1:PORT while "
+                             "the run is live (0 = pick a free port)")
+    parser.add_argument("--metrics-json", default=None, metavar="FILE",
+                        help="write the final metrics + transition-trace "
+                             "snapshot as JSON to FILE on clean shutdown "
+                             "(readable by python -m repro.obs --file)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable observability capture (latency "
+                             "histograms + transition tracing); counters "
+                             "and gauges stay on")
+    parser.add_argument("--trace-ring", type=int, default=4096,
+                        help="transition-ring capacity (default: 4096)")
+    parser.add_argument("--trace-sample", type=int, default=1,
+                        help="trace 1-in-N PCs by hash (default: 1 = "
+                             "every PC; arc counters always cover all)")
     parser.add_argument("--verify", action="store_true",
                         help="also run the offline engine and compare "
                              "metrics (exits 1 on mismatch)")
@@ -145,26 +165,43 @@ async def _run(args) -> int:
             wal_dir=args.wal_dir,
             wal_fsync=args.wal_fsync,
             wal_segment_bytes=args.wal_segment_bytes,
+            obs=not args.no_obs,
+            trace_ring=args.trace_ring,
+            trace_sample=args.trace_sample,
         )
         service = SpeculationService(service_config=scfg)
+
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.obs.http import MetricsServer
+
+        metrics_server = MetricsServer(service.registry,
+                                       trace=service.trace,
+                                       port=args.metrics_port)
+        print(f"metrics    {metrics_server.url}/metrics "
+              f"(also /metrics.json, /trace.json)")
 
     def report() -> None:
         print(service.reading().summary())
 
     started = time.monotonic()
-    async with service:
-        stats = await feed_trace(
-            service, trace,
-            batch_events=args.batch_events,
-            max_events=args.max_events,
-            rate=args.rate,
-            progress=report,
-            progress_every=args.report_every)
-        await service.drain()
-        elapsed = time.monotonic() - started
-        reading = service.reading()
-        metrics = service.metrics()
-        worker_pids = service.worker_pids
+    try:
+        async with service:
+            stats = await feed_trace(
+                service, trace,
+                batch_events=args.batch_events,
+                max_events=args.max_events,
+                rate=args.rate,
+                progress=report,
+                progress_every=args.report_every)
+            await service.drain()
+            elapsed = time.monotonic() - started
+            reading = service.reading()
+            metrics = service.metrics()
+            worker_pids = service.worker_pids
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
 
     print()
     print(f"trace      {trace.name}/{trace.input_name}  "
@@ -183,6 +220,12 @@ async def _run(args) -> int:
           f"events, shard skew {reading.shard_skew:.2f}, "
           f"mean batch {reading.mean_batch_events:,.0f}")
     print(f"metrics    {metrics.summary()}")
+    if not args.no_obs:
+        arcs = service.trace.arc_counts()
+        print(f"fsm arcs   select {arcs['select']:,}  "
+              f"reject {arcs['reject']:,}  evict {arcs['evict']:,}  "
+              f"revisit {arcs['revisit']:,}  disable {arcs['disable']:,} "
+              f"({len(service.trace)} in the trace ring)")
     if args.wal_dir is not None:
         print(f"wal        {reading.wal_records_appended:,} records / "
               f"{reading.wal_bytes_appended:,} bytes appended, "
@@ -217,6 +260,20 @@ async def _run(args) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(dump, indent=2) + "\n")
         print(f"telemetry  dumped to {out}")
+
+    if args.metrics_json:
+        import json
+        from pathlib import Path
+
+        doc = {
+            "kind": "repro.obs.snapshot",
+            "metrics": service.registry.snapshot(),
+            "trace": service.trace.snapshot_doc(),
+        }
+        out = Path(args.metrics_json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"obs        metrics + trace dumped to {out}")
 
     if args.verify:
         from repro.sim.runner import run_reactive

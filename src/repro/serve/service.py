@@ -50,6 +50,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import ControllerConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TransitionTrace
 from repro.serve.events import EventBatch
 from repro.serve.shard import BankShard, ShardedBank
 from repro.serve.telemetry import ServiceTelemetry, TelemetryReading
@@ -94,6 +96,18 @@ class ServiceConfig:
     wal_fsync: str = "batch"
     #: WAL segment rotation threshold, in bytes.
     wal_segment_bytes: int = 4 * 1024 * 1024
+    #: Observability capture: apply-latency/batch-size histograms, WAL
+    #: latency histograms, and FSM transition tracing.  Counters and
+    #: gauges stay on either way (they replace the old plain-int
+    #: telemetry); turning this off removes every per-apply
+    #: ``perf_counter`` call and transition copy — the obs-off
+    #: baseline of ``benchmarks/bench_obs.py``.
+    obs: bool = True
+    #: Transition-ring capacity (most recent arc firings kept).
+    trace_ring: int = 4096
+    #: Trace 1-in-N PCs by deterministic hash (1 = every PC).
+    #: Arc counters always cover every transition.
+    trace_sample: int = 1
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
@@ -125,6 +139,11 @@ class ServiceConfig:
                              "(expected 'always', 'batch' or 'off')")
         if self.wal_segment_bytes <= 0:
             raise ValueError("wal_segment_bytes must be positive")
+        if self.trace_ring <= 0:
+            raise ValueError("trace_ring must be positive")
+        if self.trace_sample <= 0:
+            raise ValueError("trace_sample must be positive "
+                             "(1 = trace every PC)")
 
 
 class BackpressureError(Exception):
@@ -167,8 +186,17 @@ class SpeculationService:
             self.bank = ShardedBank(config, self.service_config.n_shards)
         self.config = self.bank.config
         n = self.bank.n_shards
+        #: One registry for the whole service: telemetry, the WAL
+        #: writer and the transition trace all register into it, and
+        #: the ``--metrics-port`` endpoint serves it.
+        self.registry = MetricsRegistry()
+        self.trace = TransitionTrace(
+            capacity=self.service_config.trace_ring,
+            sample=self.service_config.trace_sample,
+            registry=self.registry)
         self.telemetry = ServiceTelemetry(
-            n, self.service_config.telemetry_window)
+            n, self.service_config.telemetry_window,
+            registry=self.registry)
         self._queues: list[asyncio.Queue] = [asyncio.Queue()
                                              for _ in range(n)]
         self._queued_events = [0] * n
@@ -202,7 +230,9 @@ class SpeculationService:
             self._wal = WalWriter(
                 self.service_config.wal_dir,
                 segment_bytes=self.service_config.wal_segment_bytes,
-                fsync=self.service_config.wal_fsync)
+                fsync=self.service_config.wal_fsync,
+                registry=(self.registry if self.service_config.obs
+                          else None))
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -216,9 +246,13 @@ class SpeculationService:
                 "processes were stopped without draining; restore a "
                 "snapshot instead")
         self._running = True
+        if self.service_config.obs:
+            for shard in self.bank.shards:
+                shard.capture = True
         if self.service_config.workers and self._pool is None:
             pool = WorkerPool(self.config, self.bank.n_shards,
-                              transport=self.service_config.transport)
+                              transport=self.service_config.transport,
+                              capture=self.service_config.obs)
             try:
                 await pool.start([s.export_state()
                                   for s in self.bank.shards])
@@ -416,9 +450,16 @@ class SpeculationService:
                 result = shard.apply(pcs, taken, instrs)
             depth = self._queued_events[shard_index] - events
             self._queued_events[shard_index] = depth
-            self.telemetry.record_apply(
-                shard_index, events, result.correct, result.incorrect,
-                depth)
+            if scfg.obs:
+                self.telemetry.record_apply(
+                    shard_index, events, result.correct, result.incorrect,
+                    depth, apply_seconds=result.apply_seconds)
+                if result.transitions:
+                    self.trace.extend(result.transitions)
+            else:
+                self.telemetry.record_apply(
+                    shard_index, events, result.correct, result.incorrect,
+                    depth)
             # Adapt the coalescing target to the observed queue depth.
             if depth >= target and target < scfg.max_batch_events:
                 self._targets[shard_index] = min(

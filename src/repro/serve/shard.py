@@ -25,11 +25,13 @@ regardless of the id distribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.config import ControllerConfig
 from repro.core.controller import ControllerBank, ReactiveBranchController
+from repro.obs.tracing import ARC_CODE
 from repro.serve.events import EventBatch
 from repro.serve.fastpath import apply_chunk
 from repro.sim.metrics import SpeculationMetrics
@@ -81,6 +83,14 @@ class ShardApplyResult:
     changed_deployed: tuple[bool, ...] = ()
     #: Shard's instruction stamp high-water mark after the batch.
     last_instr: int = 0
+    #: FSM arc firings during the batch, as ``(pc, arc_code,
+    #: exec_index, instr)`` tuples (arc codes index
+    #: :data:`repro.obs.tracing.ARCS`).  Empty unless the shard's
+    #: ``capture`` flag is on.
+    transitions: tuple[tuple[int, int, int, int], ...] = ()
+    #: Wall-clock seconds the apply took where it ran (0.0 when the
+    #: shard is not capturing observability data).
+    apply_seconds: float = 0.0
 
 
 class BankShard:
@@ -93,7 +103,7 @@ class BankShard:
     """
 
     __slots__ = ("index", "bank", "decisions", "events_applied",
-                 "last_instr", "correct", "incorrect")
+                 "last_instr", "correct", "incorrect", "capture")
 
     def __init__(self, index: int, config: ControllerConfig) -> None:
         self.index = index
@@ -103,6 +113,10 @@ class BankShard:
         self.last_instr = 0
         self.correct = 0
         self.incorrect = 0
+        #: When True, :meth:`apply` times itself and collects the FSM
+        #: arc firings of the batch into the result (read-only
+        #: observation — controller state is bit-identical either way).
+        self.capture = False
 
     def apply(self, pcs: np.ndarray, taken: np.ndarray,
               instrs: np.ndarray) -> ShardApplyResult:
@@ -112,6 +126,8 @@ class BankShard:
         order) and each group advances its controller through the
         chunked fast path.
         """
+        capture = self.capture
+        t0 = perf_counter() if capture else 0.0
         n = len(pcs)
         order = np.argsort(pcs, kind="stable")
         sorted_pcs = pcs[order]
@@ -125,13 +141,21 @@ class BankShard:
         correct = 0
         incorrect = 0
         changed: list[int] = []
+        fired: list[tuple[int, int, int, int]] = []
         for s, e in zip(starts, ends):
             pc = int(sorted_pcs[s])
             ctrl = controller(pc)
             before = ctrl._deployed
+            seen = len(ctrl.transitions) if capture else 0
             c, x = apply_chunk(ctrl, sorted_taken[s:e], sorted_instrs[s:e])
             correct += c
             incorrect += x
+            if capture and len(ctrl.transitions) > seen:
+                # The controller logs every arc anyway; capture only
+                # reads the delta this chunk appended.
+                fired.extend(
+                    (pc, ARC_CODE[t.kind.value], t.exec_index, t.instr)
+                    for t in ctrl.transitions[seen:])
             after = ctrl._deployed
             if after != before or pc not in self.decisions:
                 self.decisions[pc] = after
@@ -145,7 +169,8 @@ class BankShard:
             shard=self.index, events=n, correct=correct,
             incorrect=incorrect, changed=tuple(changed),
             changed_deployed=tuple(self.decisions[pc] for pc in changed),
-            last_instr=self.last_instr)
+            last_instr=self.last_instr, transitions=tuple(fired),
+            apply_seconds=perf_counter() - t0 if capture else 0.0)
 
     def absorb(self, result: ShardApplyResult) -> None:
         """Mirror a result computed elsewhere (a worker process).

@@ -42,13 +42,14 @@ __all__ = ["FORMAT_VERSION", "save_snapshot", "load_snapshot",
 logger = logging.getLogger(__name__)
 
 #: Version 2 added the execution-mode knobs (``workers``/``transport``)
-#: to the embedded service config; version 3 adds the WAL knobs
-#: (``wal_dir``/``wal_fsync``/``wal_segment_bytes``).  The state
-#: schema is otherwise unchanged, so version-1 and version-2 files
-#: load fine (missing knobs take their defaults); see
+#: to the embedded service config; version 3 added the WAL knobs
+#: (``wal_dir``/``wal_fsync``/``wal_segment_bytes``); version 4 adds
+#: the observability knobs (``obs``/``trace_ring``/``trace_sample``).
+#: The state schema is otherwise unchanged, so every older version
+#: loads fine (missing knobs take their defaults); see
 #: ``tests/serve/test_snapshot.py::test_version1_snapshot_still_loads``.
-FORMAT_VERSION = 3
-_COMPATIBLE_FORMATS = (1, 2, 3)
+FORMAT_VERSION = 4
+_COMPATIBLE_FORMATS = (1, 2, 3, 4)
 _KIND = "repro.serve.snapshot"
 
 

@@ -27,7 +27,10 @@ Frame catalogue (body layouts, all little-endian)::
     APPLY_RESULT uint64 ticket | uint32 events
                  | uint64 correct | uint64 incorrect
                  | int64 last_instr | uint32 n_changed
+                 | uint32 n_trans | float64 apply_seconds
                  | int32 pc[n_changed] | uint8 deployed[n_changed]
+                 | int32 trans_pc[n_trans] | uint8 trans_arc[n_trans]
+                 | int64 trans_exec[n_trans] | int64 trans_instr[n_trans]
                                                         worker → parent
     BARRIER      uint64 ticket                          parent → worker
     BARRIER_ACK  uint64 ticket                          worker → parent
@@ -72,7 +75,7 @@ ERROR = 0x0A
 
 _HELLO = struct.Struct("<BHI")
 _APPLY = struct.Struct("<BQI")
-_RESULT = struct.Struct("<BQIQQqI")
+_RESULT = struct.Struct("<BQIQQqIId")
 _BARRIER = struct.Struct("<BQ")
 _LOAD = struct.Struct("<BI")
 _LEN = struct.Struct("<I")
@@ -143,29 +146,63 @@ def decode_apply(payload: bytes,
 
 def encode_apply_result(ticket: int, events: int, correct: int,
                         incorrect: int, last_instr: int,
-                        changed_pcs, changed_deployed) -> bytes:
+                        changed_pcs, changed_deployed,
+                        transitions=(), apply_seconds: float = 0.0,
+                        ) -> bytes:
+    """``transitions`` piggybacks the worker's FSM arc firings —
+    ``(pc, arc_code, exec_index, instr)`` tuples — and
+    ``apply_seconds`` its measured apply latency, so observability
+    data rides the result frame instead of needing a side channel."""
     pcs = np.asarray(changed_pcs, dtype=np.int32)
     dep = np.asarray(changed_deployed, dtype=np.uint8)
     head = _RESULT.pack(APPLY_RESULT, ticket, events, correct, incorrect,
-                        last_instr, len(pcs))
-    return head + pcs.tobytes() + dep.tobytes()
+                        last_instr, len(pcs), len(transitions),
+                        apply_seconds)
+    body = head + pcs.tobytes() + dep.tobytes()
+    if transitions:
+        t_pc = np.fromiter((t[0] for t in transitions), dtype=np.int32,
+                           count=len(transitions))
+        t_arc = np.fromiter((t[1] for t in transitions), dtype=np.uint8,
+                            count=len(transitions))
+        t_exec = np.fromiter((t[2] for t in transitions), dtype=np.int64,
+                             count=len(transitions))
+        t_instr = np.fromiter((t[3] for t in transitions), dtype=np.int64,
+                              count=len(transitions))
+        body += (t_pc.tobytes() + t_arc.tobytes() + t_exec.tobytes()
+                 + t_instr.tobytes())
+    return body
 
 
 def decode_apply_result(payload: bytes) -> tuple:
     """Returns ``(ticket, events, correct, incorrect, last_instr,
-    changed_pcs, changed_deployed)``."""
+    changed_pcs, changed_deployed, transitions, apply_seconds)``."""
     _expect(payload, APPLY_RESULT, "APPLY_RESULT")
-    _, ticket, events, correct, incorrect, last_instr, n_changed = (
-        _RESULT.unpack_from(payload))
+    (_, ticket, events, correct, incorrect, last_instr, n_changed,
+     n_trans, apply_seconds) = _RESULT.unpack_from(payload)
     off = _RESULT.size
-    if len(payload) != off + 5 * n_changed:
+    if len(payload) != off + 5 * n_changed + 21 * n_trans:
         raise ProtocolError("APPLY_RESULT frame length mismatch")
     pcs = np.frombuffer(payload, dtype=np.int32, count=n_changed,
                         offset=off)
     dep = np.frombuffer(payload, dtype=np.uint8, count=n_changed,
                         offset=off + 4 * n_changed)
+    transitions: tuple = ()
+    if n_trans:
+        t_off = off + 5 * n_changed
+        t_pc = np.frombuffer(payload, dtype=np.int32, count=n_trans,
+                             offset=t_off)
+        t_arc = np.frombuffer(payload, dtype=np.uint8, count=n_trans,
+                              offset=t_off + 4 * n_trans)
+        t_exec = np.frombuffer(payload, dtype=np.int64, count=n_trans,
+                               offset=t_off + 5 * n_trans)
+        t_instr = np.frombuffer(payload, dtype=np.int64, count=n_trans,
+                                offset=t_off + 13 * n_trans)
+        transitions = tuple(
+            (int(a), int(b), int(c), int(d))
+            for a, b, c, d in zip(t_pc, t_arc, t_exec, t_instr))
     return (ticket, events, correct, incorrect, last_instr,
-            tuple(int(p) for p in pcs), tuple(bool(d) for d in dep))
+            tuple(int(p) for p in pcs), tuple(bool(d) for d in dep),
+            transitions, float(apply_seconds))
 
 
 # -- control frames ---------------------------------------------------------

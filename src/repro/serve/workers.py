@@ -124,13 +124,20 @@ def _connect_child(endpoint, kind: str):
     return wire.SocketTransport(sock)
 
 
-def worker_main(index: int, config_dict: dict, endpoint, kind: str) -> None:
-    """Child entry point: own one shard, serve the wire protocol."""
+def worker_main(index: int, config_dict: dict, endpoint, kind: str,
+                capture: bool = False) -> None:
+    """Child entry point: own one shard, serve the wire protocol.
+
+    ``capture`` turns on the shard's observability hooks (apply timing
+    + transition capture); the extra data rides home piggybacked on
+    ``APPLY_RESULT`` frames.
+    """
     from repro.core.config import ControllerConfig
 
     transport = _connect_child(endpoint, kind)
     config = ControllerConfig(**config_dict)
     shard = BankShard(index, config)
+    shard.capture = capture
     transport.send(wire.encode_hello(index, os.getpid()))
     try:
         while True:
@@ -141,7 +148,8 @@ def worker_main(index: int, config_dict: dict, endpoint, kind: str) -> None:
                 res = shard.apply(pcs, taken, instrs)
                 transport.send(wire.encode_apply_result(
                     ticket, res.events, res.correct, res.incorrect,
-                    res.last_instr, res.changed, res.changed_deployed))
+                    res.last_instr, res.changed, res.changed_deployed,
+                    res.transitions, res.apply_seconds))
             elif ftype == wire.BARRIER:
                 transport.send(wire.encode_barrier(
                     wire.decode_barrier(payload), ack=True))
@@ -155,6 +163,7 @@ def worker_main(index: int, config_dict: dict, endpoint, kind: str) -> None:
                         raise ValueError(
                             f"LOAD state is for shard {shard.index}, "
                             f"this worker owns shard {index}")
+                shard.capture = capture
             elif ftype == wire.STATE_REQ:
                 transport.send(wire.encode_state(shard.export_state()))
             elif ftype == wire.SHUTDOWN:
@@ -199,13 +208,15 @@ class _WorkerHandle:
         ftype = payload[0]
         if ftype == wire.APPLY_RESULT:
             (ticket, events, correct, incorrect, last_instr,
-             changed, deployed) = wire.decode_apply_result(payload)
+             changed, deployed, transitions,
+             apply_seconds) = wire.decode_apply_result(payload)
             fut = self.pending.pop(ticket, None)
             if fut is not None and not fut.done():
                 fut.set_result(ShardApplyResult(
                     shard=self.shard, events=events, correct=correct,
                     incorrect=incorrect, changed=changed,
-                    changed_deployed=deployed, last_instr=last_instr))
+                    changed_deployed=deployed, last_instr=last_instr,
+                    transitions=transitions, apply_seconds=apply_seconds))
         elif ftype == wire.BARRIER_ACK:
             fut = self.pending.pop(wire.decode_barrier(payload), None)
             if fut is not None and not fut.done():
@@ -276,7 +287,7 @@ class WorkerPool:
     """One worker process per shard, driven from the asyncio service."""
 
     def __init__(self, config, n_workers: int,
-                 transport: str = "pipe") -> None:
+                 transport: str = "pipe", capture: bool = False) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         if transport not in ("pipe", "socket"):
@@ -285,6 +296,7 @@ class WorkerPool:
         self.config = config
         self.n_workers = n_workers
         self.transport = transport
+        self.capture = capture
         self.handles: list[_WorkerHandle] = []
         self._ctx = multiprocessing.get_context(_start_method())
         self._tmpdir = None
@@ -334,7 +346,8 @@ class WorkerPool:
             parent_conn, child_conn = self._ctx.Pipe(duplex=True)
             handle.process = self._ctx.Process(
                 target=worker_main,
-                args=(handle.shard, config_dict, child_conn, "pipe"),
+                args=(handle.shard, config_dict, child_conn, "pipe",
+                      self.capture),
                 name=f"repro-serve-worker-{handle.shard}", daemon=True)
             handle.process.start()
             child_conn.close()
@@ -351,7 +364,8 @@ class WorkerPool:
             for handle in self.handles:
                 handle.process = self._ctx.Process(
                     target=worker_main,
-                    args=(handle.shard, config_dict, path, "socket"),
+                    args=(handle.shard, config_dict, path, "socket",
+                          self.capture),
                     name=f"repro-serve-worker-{handle.shard}", daemon=True)
                 handle.process.start()
             accepted = []

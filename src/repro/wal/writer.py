@@ -43,8 +43,13 @@ import os
 import threading
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 from repro.serve.events import EventBatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 from repro.wal.segment import (
     HEADER,
     SegmentInfo,
@@ -100,6 +105,44 @@ class WalStats:
         return replace(self)
 
 
+#: Group-commit size buckets (records per fsync), powers of two.
+_COMMIT_BUCKETS = tuple(float(1 << i) for i in range(13))
+
+
+class _WalObs:
+    """Registry-backed instruments for one writer (obs on only)."""
+
+    __slots__ = ("append_latency", "fsync_latency", "commit_records",
+                 "records", "bytes", "fsyncs", "segments_created",
+                 "segments_compacted")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        from repro.obs.metrics import LATENCY_BUCKETS
+
+        self.append_latency = registry.histogram(
+            "repro_wal_append_latency_seconds",
+            "Wall time of one WAL append (includes the fsync under "
+            "policy 'always').", buckets=LATENCY_BUCKETS)
+        self.fsync_latency = registry.histogram(
+            "repro_wal_fsync_latency_seconds",
+            "Wall time of one WAL file fsync.", buckets=LATENCY_BUCKETS)
+        self.commit_records = registry.histogram(
+            "repro_wal_commit_records",
+            "Records made durable per fsync (group-commit batch size).",
+            buckets=_COMMIT_BUCKETS)
+        self.records = registry.counter(
+            "repro_wal_records_appended_total", "Batches appended.")
+        self.bytes = registry.counter(
+            "repro_wal_bytes_appended_total", "Record bytes appended.")
+        self.fsyncs = registry.counter(
+            "repro_wal_fsyncs_total", "WAL file fsyncs issued.")
+        self.segments_created = registry.counter(
+            "repro_wal_segments_created_total", "Segment files created.")
+        self.segments_compacted = registry.counter(
+            "repro_wal_segments_compacted_total",
+            "Segment files deleted by snapshot-anchored compaction.")
+
+
 @dataclass
 class _Segment:
     """Writer-side view of one on-disk segment."""
@@ -123,7 +166,8 @@ class WalWriter:
 
     def __init__(self, directory: str | Path, *,
                  segment_bytes: int = DEFAULT_SEGMENT_BYTES,
-                 fsync: str = "batch") -> None:
+                 fsync: str = "batch",
+                 registry: "MetricsRegistry | None" = None) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(f"unknown fsync policy {fsync!r} "
                              f"(expected one of {FSYNC_POLICIES})")
@@ -133,6 +177,10 @@ class WalWriter:
         self.segment_bytes = segment_bytes
         self.fsync_policy = fsync
         self.stats = WalStats()
+        #: Latency histograms + counter mirrors for the shared metrics
+        #: registry; None keeps the append path free of perf_counter
+        #: calls (the obs-off baseline).
+        self._obs = _WalObs(registry) if registry is not None else None
         self._lock = threading.Lock()
         self._file = None           # active segment's raw (unbuffered) file
         self._active: _Segment | None = None
@@ -212,6 +260,20 @@ class WalWriter:
             return out
 
     # -- appending ------------------------------------------------------
+    def _fsync_file(self, fd: int) -> None:
+        """fsync one file descriptor, feeding the latency histogram."""
+        if self._obs is None:
+            os.fsync(fd)
+            return
+        t0 = perf_counter()
+        os.fsync(fd)
+        self._obs.fsync_latency.observe(perf_counter() - t0)
+        self._obs.fsyncs.inc()
+
+    def _note_commit(self, covered: int) -> None:
+        if self._obs is not None and covered:
+            self._obs.commit_records.observe(covered)
+
     def append(self, batch: EventBatch) -> None:
         """Append one accepted batch; durability per the fsync policy."""
         if self._closed:
@@ -221,6 +283,8 @@ class WalWriter:
                 f"batch seq {batch.seq} not greater than the WAL's last "
                 f"seq {self._last_seq}; a fresh service cannot reuse a "
                 "directory holding a newer log — replay or remove it")
+        obs = self._obs
+        t0 = perf_counter() if obs is not None else 0.0
         record = encode_record(batch)
         with self._lock:
             if (self._active is not None
@@ -242,16 +306,22 @@ class WalWriter:
             self.stats.bytes_appended += len(record)
             self._pending_records += 1
             if self.fsync_policy == "always":
-                os.fsync(self._file.fileno())
+                covered = self._pending_records
+                self._fsync_file(self._file.fileno())
                 self.stats.fsyncs += 1
                 self.stats.commits += 1
-                self.stats.committed_records += self._pending_records
+                self.stats.committed_records += covered
                 self._pending_records = 0
                 self._durable_seq = batch.seq
+                self._note_commit(covered)
             elif self.fsync_policy == "off":
                 # Optimistic: in the kernel, not on the platter.
                 self._pending_records = 0
                 self._durable_seq = batch.seq
+        if obs is not None:
+            obs.append_latency.observe(perf_counter() - t0)
+            obs.records.inc()
+            obs.bytes.inc(len(record))
 
     def _open_segment_locked(self, base_seq: int) -> None:
         path = self.directory / segment_name(base_seq)
@@ -259,12 +329,14 @@ class WalWriter:
         write_header(self._file, base_seq)
         self._active = _Segment(path=path, base_seq=base_seq)
         self.stats.segments_created += 1
+        if self._obs is not None:
+            self._obs.segments_created.inc()
         if self.fsync_policy != "off":
             _fsync_dir(self.directory)
 
     def _rotate_locked(self) -> None:
         if self.fsync_policy != "off":
-            os.fsync(self._file.fileno())
+            self._fsync_file(self._file.fileno())
             self.stats.fsyncs += 1
         self._file.close()
         self._closed_segments.append(self._active)
@@ -288,7 +360,7 @@ class WalWriter:
             self._pending_records = 0
             fd = os.dup(self._file.fileno())
         try:
-            os.fsync(fd)
+            self._fsync_file(fd)
         finally:
             os.close(fd)
         with self._lock:
@@ -297,6 +369,7 @@ class WalWriter:
             self.stats.committed_records += covered
             if target > self._durable_seq:
                 self._durable_seq = target
+        self._note_commit(covered)
         return self._durable_seq
 
     def sync(self) -> int:
@@ -307,11 +380,12 @@ class WalWriter:
             target = self._active.last_seq
             covered = self._pending_records
             self._pending_records = 0
-            os.fsync(self._file.fileno())
+            self._fsync_file(self._file.fileno())
             self.stats.fsyncs += 1
             if covered:
                 self.stats.commits += 1
                 self.stats.committed_records += covered
+                self._note_commit(covered)
             if target > self._durable_seq:
                 self._durable_seq = target
             return self._durable_seq
@@ -344,6 +418,8 @@ class WalWriter:
             self._closed_segments = keep
             if deleted:
                 self.stats.segments_compacted += len(deleted)
+                if self._obs is not None:
+                    self._obs.segments_compacted.inc(len(deleted))
                 if self.fsync_policy != "off":
                     _fsync_dir(self.directory)
         return deleted
@@ -358,10 +434,11 @@ class WalWriter:
         with self._lock:
             if self._file is not None:
                 if self._pending_records and self.fsync_policy != "off":
-                    os.fsync(self._file.fileno())
+                    self._fsync_file(self._file.fileno())
                     self.stats.fsyncs += 1
                     self.stats.commits += 1
                     self.stats.committed_records += self._pending_records
+                    self._note_commit(self._pending_records)
                     self._pending_records = 0
                     self._durable_seq = self._active.last_seq
                 self._file.close()

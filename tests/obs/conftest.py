@@ -1,0 +1,20 @@
+"""Fixtures for observability integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import scaled_config
+from repro.trace.spec2000 import load_trace
+from repro.trace.stream import Trace
+
+
+@pytest.fixture(scope="session")
+def bench_trace() -> Trace:
+    """Synthetic gzip slice with SELECT/EVICT/REVISIT traffic."""
+    return load_trace("gzip", length=60_000)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return scaled_config()

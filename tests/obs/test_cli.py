@@ -1,0 +1,80 @@
+"""``python -m repro.obs`` against files and a live endpoint."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.http import MetricsServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TransitionTrace
+
+
+def _trace() -> TransitionTrace:
+    trace = TransitionTrace(capacity=16)
+    trace.record(7, "select", 10, 100)
+    trace.record(7, "evict", 40, 900)
+    trace.record(9, "reject", 5, 50)
+    return trace
+
+
+@pytest.fixture
+def dump_file(tmp_path):
+    doc = {"kind": "repro.obs.snapshot",
+           "metrics": MetricsRegistry().snapshot(),
+           "trace": _trace().snapshot_doc()}
+    path = tmp_path / "obs.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_tail_from_file(dump_file, capsys):
+    assert main(["--file", dump_file, "tail", "-n", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "evict" in out and "reject" in out
+    assert "select" not in out   # only the last two records
+
+
+def test_explain_from_file(dump_file, capsys):
+    assert main(["--file", dump_file, "explain", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "pc 7: 2 transition(s)" in out
+    assert "speculation is currently OFF" in out
+    # No records for this PC → exit 1, still a narrative.
+    assert main(["--file", dump_file, "explain", "12345"]) == 1
+    assert "no transitions" in capsys.readouterr().out
+
+
+def test_dump_from_file(dump_file, capsys):
+    assert main(["--file", dump_file, "dump"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "repro.obs.snapshot"
+    assert len(doc["trace"]["records"]) == 3
+
+
+def test_against_live_endpoint(capsys):
+    registry = MetricsRegistry()
+    trace = _trace()
+    with MetricsServer(registry, trace=trace) as server:
+        assert main(["--url", server.url, "tail"]) == 0
+        assert "evict" in capsys.readouterr().out
+        assert main(["--url", server.url, "explain", "7"]) == 0
+        assert "currently OFF" in capsys.readouterr().out
+        assert main(["--url", server.url, "dump"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "repro.obs.snapshot"
+        assert "repro_fsm_transitions_total" not in doc["metrics"]  # no reg
+
+
+def test_file_without_trace_errors(tmp_path, capsys):
+    path = tmp_path / "not-obs.json"
+    path.write_text(json.dumps({"kind": "something.else"}))
+    assert main(["--file", str(path), "explain", "1"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_file_errors(capsys):
+    assert main(["--file", "/nonexistent/obs.json", "tail"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,76 @@
+"""Prometheus text exposition: rendering and the strict parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.expo import parse_exposition, render_json, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.counter("req_total", "requests seen").inc(3)
+    fam = r.gauge("depth_events", "queue depth", labelnames=("shard",))
+    fam.labels("0").set(10)
+    fam.labels("1").set(0)
+    h = r.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    return r
+
+
+def test_render_has_help_type_and_samples():
+    text = render_prometheus(_registry())
+    assert "# HELP req_total requests seen\n" in text
+    assert "# TYPE req_total counter\n" in text
+    assert "req_total 3\n" in text
+    assert 'depth_events{shard="0"} 10\n' in text
+    assert 'lat_seconds_bucket{le="0.1"} 1\n' in text
+    assert 'lat_seconds_bucket{le="1"} 2\n' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 2\n' in text
+    assert "lat_seconds_sum 0.55\n" in text
+    assert "lat_seconds_count 2\n" in text
+
+
+def test_roundtrip_through_parser():
+    families = parse_exposition(render_prometheus(_registry()))
+    assert families["req_total"] == [({}, 3.0)]
+    assert ({"shard": "0"}, 10.0) in families["depth_events"]
+    # Histogram series fold into one family keyed by the base name.
+    lat = families["lat_seconds"]
+    assert ({"le": "+Inf"}, 2.0) in lat
+    assert ({}, 0.55) in lat      # the _sum sample
+    assert "lat_seconds_bucket" not in families
+
+
+def test_label_escaping_roundtrips():
+    r = MetricsRegistry()
+    fam = r.counter("odd_total", "strange labels", labelnames=("name",))
+    fam.labels('with "quotes" and \\slashes\\').inc()
+    text = render_prometheus(r)
+    families = parse_exposition(text)
+    ((labels, value),) = families["odd_total"]
+    assert labels == {"name": r'with \"quotes\" and \\slashes\\'}
+    assert value == 1.0
+
+
+def test_parser_rejects_malformed_lines():
+    with pytest.raises(ValueError, match="not a valid sample"):
+        parse_exposition("this is { not exposition\n")
+    with pytest.raises(ValueError, match="malformed labels"):
+        parse_exposition('x{bad labels} 1\n')
+    with pytest.raises(ValueError):
+        parse_exposition("x notanumber\n")
+
+
+def test_parser_accepts_inf_and_blank_lines():
+    families = parse_exposition('x_bucket{le="+Inf"} 4\n\ny +Inf\n')
+    assert families["x_bucket"] == [({"le": "+Inf"}, 4.0)]
+    assert families["y"] == [({}, float("inf"))]
+
+
+def test_render_json_kind():
+    doc = render_json(_registry())
+    assert doc["kind"] == "repro.obs.metrics"
+    assert doc["metrics"]["req_total"]["values"][0]["value"] == 3

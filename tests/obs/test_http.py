@@ -1,0 +1,80 @@
+"""The stdlib exposition endpoint."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.expo import parse_exposition
+from repro.obs.http import MetricsServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TransitionTrace
+
+
+@pytest.fixture
+def served():
+    registry = MetricsRegistry()
+    registry.counter("hits_total", "hits").inc(5)
+    trace = TransitionTrace(capacity=16, registry=registry)
+    trace.record(7, "select", 10, 100)
+    trace.record(8, "evict", 20, 200)
+    with MetricsServer(registry, trace=trace) as server:
+        yield server
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.headers.get("Content-Type"), response.read()
+
+
+def test_metrics_text_endpoint(served):
+    ctype, body = _get(f"{served.url}/metrics")
+    assert ctype.startswith("text/plain")
+    assert "version=0.0.4" in ctype
+    families = parse_exposition(body.decode("utf-8"))
+    assert families["hits_total"] == [({}, 5.0)]
+    assert ({"arc": "select"}, 1.0) in families["repro_fsm_transitions_total"]
+
+
+def test_metrics_json_endpoint(served):
+    ctype, body = _get(f"{served.url}/metrics.json")
+    assert ctype == "application/json"
+    doc = json.loads(body)
+    assert doc["kind"] == "repro.obs.metrics"
+    assert doc["metrics"]["hits_total"]["values"][0]["value"] == 5
+
+
+def test_trace_endpoint_with_filters(served):
+    _, body = _get(f"{served.url}/trace.json")
+    doc = json.loads(body)
+    assert doc["kind"] == "repro.obs.trace"
+    assert [r["pc"] for r in doc["records"]] == [7, 8]
+    _, body = _get(f"{served.url}/trace.json?pc=7")
+    assert [r["pc"] for r in json.loads(body)["records"]] == [7]
+    _, body = _get(f"{served.url}/trace.json?n=1")
+    assert [r["pc"] for r in json.loads(body)["records"]] == [8]
+
+
+def test_bad_query_and_unknown_path(served):
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(f"{served.url}/trace.json?pc=seven")
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _get(f"{served.url}/nope")
+    assert err.value.code == 404
+
+
+def test_trace_404_when_tracing_disabled():
+    with MetricsServer(MetricsRegistry()) as server:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{server.url}/trace.json")
+        assert err.value.code == 404
+
+
+def test_close_is_idempotent():
+    server = MetricsServer(MetricsRegistry())
+    server.close()
+    server.close()

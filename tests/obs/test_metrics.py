@@ -1,0 +1,129 @@
+"""The metrics core: instruments, families, registry semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_monotonic():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError, match="increase"):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge()
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert g.value == 7
+
+
+def test_histogram_buckets_and_cumulation():
+    h = Histogram(buckets=(1.0, 2.0, 5.0))
+    for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+        h.observe(v)
+    # bisect_left puts a value equal to a bound into that bound's bucket.
+    assert h.cumulative_buckets() == [
+        (1.0, 2), (2.0, 3), (5.0, 4), (float("inf"), 5)]
+    assert h.count == 5
+    assert h.sum == pytest.approx(106.0)
+
+
+def test_labelless_family_proxies_single_child():
+    r = MetricsRegistry()
+    c = r.counter("x_total", "help")
+    c.inc(3)
+    assert c.value == 3
+    h = r.histogram("y_seconds", "help")
+    h.observe(0.01)
+    assert h._solo().count == 1
+
+
+def test_labels_get_or_create_children():
+    r = MetricsRegistry()
+    fam = r.counter("shard_events_total", "help", labelnames=("shard",))
+    fam.labels("0").inc(5)
+    fam.labels(shard="0").inc(5)       # same child, kwargs form
+    fam.labels(0).inc(5)               # values are stringified
+    assert fam.labels("0").value == 15
+    assert fam.labels("1").value == 0
+    with pytest.raises(ValueError, match="label"):
+        fam.labels("0", "1")
+    with pytest.raises(ValueError, match="labels"):
+        fam.inc()   # labeled family has no solo child
+
+
+def test_registry_get_or_create_and_conflicts():
+    r = MetricsRegistry()
+    a = r.counter("n_total", "help")
+    assert r.counter("n_total", "help") is a
+    with pytest.raises(ValueError, match="conflicting"):
+        r.gauge("n_total", "help")
+    with pytest.raises(ValueError, match="conflicting"):
+        r.counter("n_total", "help", labelnames=("x",))
+    r.histogram("h_seconds", "help", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError, match="conflicting"):
+        r.histogram("h_seconds", "help", buckets=(1.0, 3.0))
+
+
+def test_invalid_names_rejected():
+    r = MetricsRegistry()
+    with pytest.raises(ValueError, match="metric name"):
+        r.counter("9bad", "help")
+    with pytest.raises(ValueError, match="label name"):
+        r.counter("ok_total", "help", labelnames=("le-gal",))
+    with pytest.raises(ValueError, match="increasing"):
+        r.histogram("h2_seconds", "help", buckets=(2.0, 1.0))
+
+
+def test_snapshot_shape():
+    r = MetricsRegistry()
+    r.counter("c_total", "counts").inc(7)
+    fam = r.histogram("h_seconds", "times", buckets=(0.1, 1.0),
+                      labelnames=("shard",))
+    fam.labels("3").observe(0.5)
+    snap = r.snapshot()
+    assert snap["c_total"]["type"] == "counter"
+    assert snap["c_total"]["values"] == [{"labels": {}, "value": 7}]
+    (entry,) = snap["h_seconds"]["values"]
+    assert entry["labels"] == {"shard": "3"}
+    assert entry["count"] == 1
+    assert entry["buckets"] == {"0.1": 0, "1.0": 1, "+Inf": 1}
+
+
+def test_default_latency_buckets_are_increasing():
+    assert list(LATENCY_BUCKETS) == sorted(set(LATENCY_BUCKETS))
+
+
+def test_thread_safety_under_contention():
+    r = MetricsRegistry()
+    c = r.counter("contended_total", "help")
+    h = r.histogram("contended_seconds", "help", buckets=(0.5,))
+
+    def hammer():
+        for _ in range(10_000):
+            c.inc()
+            h.observe(0.25)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 40_000
+    assert h._solo().count == 40_000
+    assert h._solo().cumulative_buckets()[0] == (0.5, 40_000)

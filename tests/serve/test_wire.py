@@ -72,7 +72,25 @@ def test_apply_result_frame_roundtrip():
         changed_pcs=(5, 9, 1000), changed_deployed=(True, False, True))
     out = wire.decode_apply_result(frame)
     assert out == (7, 1000, 800, 3, 123456, (5, 9, 1000),
-                   (True, False, True))
+                   (True, False, True), (), 0.0)
+    with pytest.raises(wire.ProtocolError, match="length mismatch"):
+        wire.decode_apply_result(frame[:-1])
+
+
+def test_apply_result_frame_carries_transitions_and_latency():
+    transitions = ((5, 0, 100, 12345), (9, 2, 2048, 99999),
+                   (1000, 3, 7, -1))
+    frame = wire.encode_apply_result(
+        8, events=64, correct=50, incorrect=2, last_instr=777,
+        changed_pcs=(5,), changed_deployed=(True,),
+        transitions=transitions, apply_seconds=0.0125)
+    (ticket, events, correct, incorrect, last_instr, changed,
+     deployed, out_trans, apply_seconds) = wire.decode_apply_result(frame)
+    assert (ticket, events, correct, incorrect, last_instr) == (
+        8, 64, 50, 2, 777)
+    assert changed == (5,) and deployed == (True,)
+    assert out_trans == transitions
+    assert apply_seconds == pytest.approx(0.0125)
     with pytest.raises(wire.ProtocolError, match="length mismatch"):
         wire.decode_apply_result(frame[:-1])
 
