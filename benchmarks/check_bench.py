@@ -32,7 +32,16 @@ run's uninstrumented throughput (default 10% overhead, the committed
 claim in docs/observability.md), plus the tolerance band against the
 committed baseline.
 
-Exactness is non-negotiable for both kinds: if either JSON says
+``repro.colpath.bench`` (bench_colpath.py) — the columnar fast path's
+committed claim (docs/serving.md): at the widest distinct-PC sweep
+point the columnar engine must beat the per-PC chunk loop by at least
+``--min-colpath-speedup`` (default 2.5x), and at the 1-PC point it
+must not regress below ``--min-narrow-ratio`` (default 0.9x) of the
+loop — both ratios measured within the current run, so machine speed
+cancels out — plus the tolerance band on every per-width absolute
+figure against the committed baseline.
+
+Exactness is non-negotiable for every kind: if either JSON says
 ``exact: false`` the gate fails regardless of the numbers.
 
 Usage (what .github/workflows/ci.yml runs)::
@@ -49,6 +58,11 @@ Usage (what .github/workflows/ci.yml runs)::
     PYTHONPATH=src python benchmarks/bench_obs.py --quick \
         --out BENCH_obs.current.json
     python benchmarks/check_bench.py BENCH_obs.json BENCH_obs.current.json
+
+    PYTHONPATH=src python benchmarks/bench_colpath.py --quick \
+        --out BENCH_colpath.current.json
+    python benchmarks/check_bench.py BENCH_colpath.json \
+        BENCH_colpath.current.json
 """
 
 from __future__ import annotations
@@ -57,9 +71,10 @@ import argparse
 import json
 import sys
 
-__all__ = ["check", "check_wal", "check_obs", "main"]
+__all__ = ["check", "check_wal", "check_obs", "check_colpath", "main"]
 
-_KINDS = ("repro.serve.bench", "repro.wal.bench", "repro.obs.bench")
+_KINDS = ("repro.serve.bench", "repro.wal.bench", "repro.obs.bench",
+          "repro.colpath.bench")
 
 
 def _load(path: str) -> dict:
@@ -193,6 +208,69 @@ def check_obs(baseline: dict, current: dict, max_overhead: float,
     return failures
 
 
+def check_colpath(baseline: dict, current: dict, min_speedup: float,
+                  min_narrow_ratio: float, tolerance: float) -> list[str]:
+    """Gate a bench_colpath result (empty list = pass)."""
+    failures: list[str] = []
+    for name, doc in (("baseline", baseline), ("current", current)):
+        if not doc.get("exact", False):
+            failures.append(f"{name} run: the columnar engine diverged "
+                            "from the per-PC chunk loop (exact: false)")
+
+    # The committed claims, each a ratio of two figures from the same
+    # run so machine speed cancels out.
+    wide = current.get("wide_speedup", 0.0)
+    if wide < min_speedup:
+        failures.append(
+            f"columnar floor: wide-point speedup {wide:.2f}x < required "
+            f"{min_speedup:.2f}x (columnar vs per-PC loop, same run)")
+    narrow = current.get("narrow_speedup", 0.0)
+    if narrow < min_narrow_ratio:
+        failures.append(
+            f"narrow regression: 1-PC columnar/loop ratio {narrow:.2f}x "
+            f"< required {min_narrow_ratio:.2f}x")
+
+    cur_by_width = {p["distinct_pcs"]: p for p in current.get("sweep", [])}
+    for point in baseline.get("sweep", []):
+        width = point["distinct_pcs"]
+        cur = cur_by_width.get(width)
+        if cur is None:
+            failures.append(f"current run is missing the {width}-PC point")
+            continue
+        for field, label in (("loop_eps", "loop"),
+                             ("columnar_eps", "columnar")):
+            floor = tolerance * point[field]
+            if cur[field] < floor:
+                failures.append(
+                    f"throughput band: {width}-PC {label} "
+                    f"{cur[field]:,.0f} ev/s < {floor:,.0f} ev/s "
+                    f"({tolerance:.0%} of baseline {point[field]:,.0f})")
+    return failures
+
+
+def _table_colpath(baseline: dict, current: dict) -> None:
+    print(f"{'distinct PCs':<14} {'engine':<10} {'baseline ev/s':>15} "
+          f"{'current ev/s':>15} {'ratio':>7}")
+    cur_by_width = {p["distinct_pcs"]: p for p in current.get("sweep", [])}
+    for point in baseline.get("sweep", []):
+        cur = cur_by_width.get(point["distinct_pcs"])
+        for field, label in (("loop_eps", "loop"),
+                             ("columnar_eps", "columnar")):
+            head = f"{point['distinct_pcs']:<14,} {label:<10}"
+            if cur is None:
+                print(f"{head} {point[field]:>15,.0f} {'missing':>15}")
+            else:
+                print(f"{head} {point[field]:>15,.0f} "
+                      f"{cur[field]:>15,.0f} "
+                      f"{cur[field] / point[field]:>6.2f}x")
+    print(f"{'wide-point speedup':<34} "
+          f"{baseline.get('wide_speedup', 0):>7.2f}x (baseline) "
+          f"{current.get('wide_speedup', 0):>7.2f}x (current)")
+    print(f"{'narrow-point ratio':<34} "
+          f"{baseline.get('narrow_speedup', 0):>7.2f}x (baseline) "
+          f"{current.get('narrow_speedup', 0):>7.2f}x (current)")
+
+
 def _table_obs(baseline: dict, current: dict) -> None:
     print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
           f"{'ratio':>7}")
@@ -278,6 +356,14 @@ def main(argv=None) -> int:
                         help="obs gate: highest tolerated instrumented "
                              "throughput loss vs the same run with "
                              "observability off (default: 0.10)")
+    parser.add_argument("--min-colpath-speedup", type=float, default=2.5,
+                        help="colpath gate: required columnar-vs-loop "
+                             "speedup at the widest distinct-PC point, "
+                             "within the current run (default: 2.5)")
+    parser.add_argument("--min-narrow-ratio", type=float, default=0.9,
+                        help="colpath gate: lowest tolerated columnar/"
+                             "loop ratio at the 1-PC point "
+                             "(default: 0.9)")
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -293,6 +379,11 @@ def main(argv=None) -> int:
         _table_obs(baseline, current)
         failures = check_obs(baseline, current, args.max_obs_overhead,
                              args.tolerance)
+    elif baseline["kind"] == "repro.colpath.bench":
+        _table_colpath(baseline, current)
+        failures = check_colpath(baseline, current,
+                                 args.min_colpath_speedup,
+                                 args.min_narrow_ratio, args.tolerance)
     else:
         _table(baseline, current)
         failures = check(baseline, current, args.min_speedup,

@@ -90,6 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="write the final metrics + transition-trace "
                              "snapshot as JSON to FILE on clean shutdown "
                              "(readable by python -m repro.obs --file)")
+    parser.add_argument("--no-columnar", action="store_true",
+                        help="apply batches through the per-PC chunk "
+                             "loop instead of the columnar cross-branch "
+                             "fast path (both are bit-exact)")
     parser.add_argument("--no-obs", action="store_true",
                         help="disable observability capture (latency "
                              "histograms + transition tracing); counters "
@@ -142,14 +146,16 @@ async def _run(args) -> int:
         service, report = recover_service(
             args.wal_dir, snapshot=restore_path,
             n_shards=n_shards, workers=args.workers,
-            transport=args.transport, wal_fsync=args.wal_fsync)
+            transport=args.transport, wal_fsync=args.wal_fsync,
+            columnar=not args.no_columnar)
         print(report.summary())
         print(f"feed resumes at seq {service.last_seq + 1}")
     elif restoring:
         service = SpeculationService.restore(restore_path,
                                              n_shards=n_shards,
                                              workers=args.workers,
-                                             transport=args.transport)
+                                             transport=args.transport,
+                                             columnar=not args.no_columnar)
         print(f"restored {restore_path} "
               f"(events applied: {service.metrics().dynamic_branches:,}, "
               f"covered-seq watermark: {service.last_seq}; "
@@ -168,6 +174,7 @@ async def _run(args) -> int:
             obs=not args.no_obs,
             trace_ring=args.trace_ring,
             trace_sample=args.trace_sample,
+            columnar=not args.no_columnar,
         )
         service = SpeculationService(service_config=scfg)
 

@@ -1,0 +1,414 @@
+"""Columnar cross-branch fast path: advance many branches in one shot.
+
+The per-branch chunked engine (:mod:`repro.serve.fastpath`) made the
+*within-branch* work numpy-fast, but :meth:`BankShard.apply` still paid
+one Python ``apply_chunk`` call per distinct PC per micro-batch.  With
+thousands of interleaved static branches the shard loop is interpreter-
+bound: each branch contributes a few events and the per-call overhead
+dwarfs the vector math.  This module removes the Python-per-branch cost
+for the steady state.
+
+:class:`ColumnarBank` maintains a PC→row interned index plus
+struct-of-arrays mirrors of the hot controller fields — FSM state code,
+execution count, monitor counters, the eviction counter, the deployed
+flag/direction, the next FSM boundary's execution index and the next
+pending re-optimization landing stamp.  For each PC-sorted micro-batch
+it computes per-PC segment reductions with ``np.add.reduceat`` and
+classifies every row *vectorized*:
+
+* a segment is **fast-eligible** when it provably crosses no FSM
+  boundary — no monitor classify or revisit fires inside it (the
+  segment ends strictly before the row's next boundary execution
+  index), no pending re-optimization lands inside it (the row's next
+  landing stamp is beyond the segment's last instruction), and — for
+  an engaged biased episode — the eviction counter cannot reach its
+  ceiling even if every step were an increment;
+* fast-eligible rows advance entirely in the columnar arrays: one
+  gather/scatter updates execution counts, monitor tallies, outcome
+  accounting against the deployed direction, and the exact
+  floored-at-zero eviction-walk endpoint (segmented ``cumsum`` +
+  ``minimum.reduceat`` with the live counter as carry-in).  Zero Python
+  work per branch;
+* every other row falls back to the bit-exact per-branch
+  :func:`~repro.serve.fastpath.apply_chunk`, flushing the row to its
+  scalar controller first and re-importing afterwards.
+
+The contract stays **bit-exactness**: rows are mirrors, the scalar
+:class:`~repro.core.controller.ReactiveBranchController` objects remain
+the source of truth for snapshots and ``export_state()`` and are
+refreshed lazily (:meth:`flush`), so snapshots, WAL replay and obs
+tracing stay interchangeable with offline runs and with
+``--no-columnar`` service instances.  The floored-walk endpoint
+identity — ``end = (cum_end + c0) - min(0, cum_min + c0)`` over the
+segment's step prefix sums — is the same one ``apply_chunk`` applies
+per branch, evaluated here for all engaged rows at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ControllerConfig
+from repro.core.controller import ControllerBank, ReactiveBranchController
+from repro.core.states import BranchState
+from repro.obs.tracing import ARC_CODE
+from repro.serve.fastpath import apply_chunk
+
+__all__ = ["ColumnarBank"]
+
+#: Integer codes of :class:`~repro.core.states.BranchState` in the
+#: ``state`` column.
+_MONITOR, _BIASED, _UNBIASED, _DISABLED = range(4)
+_STATE_CODE = {
+    BranchState.MONITOR: _MONITOR,
+    BranchState.BIASED: _BIASED,
+    BranchState.UNBIASED: _UNBIASED,
+    BranchState.DISABLED: _DISABLED,
+}
+
+#: "No boundary scheduled" sentinel for the next-fire execution index
+#: and the next-landing instruction stamp: far beyond any real count,
+#: safely below int64 overflow under ``exec + batch_len`` arithmetic.
+_NEVER = 1 << 62
+
+#: int64 columns, in (attribute, default) order.
+_I64_COLS = ("pc", "exec", "next_fire", "land", "counter",
+             "mon_taken", "mon_samples", "correct", "incorrect")
+_BOOL_COLS = ("deployed", "dep_dir", "episode", "dirty")
+
+
+class ColumnarBank:
+    """Struct-of-arrays mirror of one shard's hot controller fields.
+
+    Owned by a :class:`~repro.serve.shard.BankShard`; shares the
+    shard's :class:`~repro.core.controller.ControllerBank` (``scalars``,
+    the authoritative per-branch objects) and its decision cache.
+    Scalar controller shells are created eagerly at intern time so bank
+    iteration, ``len()`` and membership behave identically with the
+    columnar path on or off; only the :data:`HOT_FIELDS
+    <repro.core.controller.ReactiveBranchController.HOT_FIELDS>` go
+    stale between :meth:`flush` calls (tracked per row by ``dirty``).
+    """
+
+    __slots__ = ("config", "_scalars", "_decisions", "n_rows", "_cap",
+                 "_keys", "_key_rows",
+                 "rows_fast", "rows_fallback",
+                 "events_fast", "events_fallback",
+                 "state", *_I64_COLS, *_BOOL_COLS)
+
+    def __init__(self, config: ControllerConfig, scalars: ControllerBank,
+                 decisions: dict[int, bool]) -> None:
+        self.config = config
+        self._scalars = scalars
+        self._decisions = decisions
+        self.n_rows = 0
+        self._cap = 0
+        self._grow(1024)
+        self._keys = np.empty(0, dtype=np.int64)
+        self._key_rows = np.empty(0, dtype=np.int64)
+        #: Fast-path engagement counters (see ``stats()``).
+        self.rows_fast = 0
+        self.rows_fallback = 0
+        self.events_fast = 0
+        self.events_fallback = 0
+
+    # -- storage --------------------------------------------------------
+    def _grow(self, capacity: int) -> None:
+        cap = max(self._cap, 16)
+        while cap < capacity:
+            cap *= 2
+        if cap == self._cap:
+            return
+        n = self.n_rows
+        for name in _I64_COLS:
+            new = np.zeros(cap, dtype=np.int64)
+            if n:
+                new[:n] = getattr(self, name)[:n]
+            setattr(self, name, new)
+        new_state = np.zeros(cap, dtype=np.int8)
+        if n:
+            new_state[:n] = self.state[:n]
+        self.state = new_state
+        for name in _BOOL_COLS:
+            new = np.zeros(cap, dtype=bool)
+            if n:
+                new[:n] = getattr(self, name)[:n]
+            setattr(self, name, new)
+        self._cap = cap
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def stats(self) -> dict[str, int]:
+        """Fast-path engagement counters since construction."""
+        return {
+            "rows": self.n_rows,
+            "rows_fast": self.rows_fast,
+            "rows_fallback": self.rows_fallback,
+            "events_fast": self.events_fast,
+            "events_fallback": self.events_fallback,
+        }
+
+    # -- interning ------------------------------------------------------
+    def _intern(self, upcs: np.ndarray) -> np.ndarray:
+        """Rows for sorted unique PCs, creating any that are missing."""
+        keys = self._keys
+        m = len(upcs)
+        if keys.size:
+            pos = np.searchsorted(keys, upcs)
+            clip = np.minimum(pos, keys.size - 1)
+            found = keys[clip] == upcs
+        else:
+            clip = None
+            found = np.zeros(m, dtype=bool)
+        rows = np.empty(m, dtype=np.int64)
+        if clip is not None:
+            rows[found] = self._key_rows[clip[found]]
+        miss = np.flatnonzero(~found)
+        if miss.size:
+            rows[miss] = self._add_rows(upcs[miss])
+            order = np.argsort(self.pc[:self.n_rows])
+            self._keys = self.pc[:self.n_rows][order]
+            self._key_rows = order
+        return rows
+
+    def _add_rows(self, new_pcs: np.ndarray) -> np.ndarray:
+        base = self.n_rows
+        m = len(new_pcs)
+        self._grow(base + m)
+        self.n_rows = base + m
+        rows = np.arange(base, base + m, dtype=np.int64)
+        self.pc[rows] = new_pcs
+        self.state[rows] = _MONITOR
+        self.next_fire[rows] = self.config.monitor_period
+        self.land[rows] = _NEVER
+        for name in ("exec", "counter", "mon_taken", "mon_samples",
+                     "correct", "incorrect"):
+            getattr(self, name)[rows] = 0
+        for name in _BOOL_COLS:
+            getattr(self, name)[rows] = False
+        controllers = self._scalars._controllers
+        decisions = self._decisions
+        config = self.config
+        for offset, pc in enumerate(new_pcs.tolist()):
+            ctrl = controllers.get(pc)
+            if ctrl is None:
+                # Eager shell: bank iteration/len/snapshot see the
+                # branch immediately; hot fields live in the columns.
+                controllers[pc] = ReactiveBranchController(config, pc)
+                decisions.setdefault(pc, False)
+            else:
+                # Pre-existing controller (restored snapshot, or made
+                # via the controller() accessor): the row starts from
+                # its live state, not from defaults.
+                self._refresh_row(base + offset, ctrl)
+                decisions.setdefault(pc, ctrl._deployed)
+        return rows
+
+    def _row_of(self, pc: int) -> int | None:
+        keys = self._keys
+        if not keys.size:
+            return None
+        pos = int(np.searchsorted(keys, pc))
+        if pos >= keys.size or int(keys[pos]) != pc:
+            return None
+        return int(self._key_rows[pos])
+
+    # -- row <-> controller transfer ------------------------------------
+    def _refresh_row(self, row: int, ctrl: ReactiveBranchController) -> None:
+        """Import a controller's full live state into its row."""
+        cfg = self.config
+        state = ctrl.state
+        self.state[row] = _STATE_CODE[state]
+        (self.exec[row], self.mon_taken[row], self.mon_samples[row],
+         self.counter[row], self.correct[row],
+         self.incorrect[row]) = ctrl.export_hot()
+        self.deployed[row] = ctrl._deployed
+        self.dep_dir[row] = ctrl._deployed_direction
+        self.episode[row] = ctrl._episode_active
+        self.land[row] = ctrl._pending[0][0] if ctrl._pending else _NEVER
+        if state is BranchState.MONITOR:
+            fire = ctrl._state_entry_exec + cfg.monitor_period
+        elif state is BranchState.UNBIASED and cfg.revisit_enabled:
+            fire = ctrl._state_entry_exec + cfg.revisit_period
+        else:
+            fire = _NEVER
+        self.next_fire[row] = fire
+        self.dirty[row] = False
+
+    def _flush_row(self, row: int, ctrl: ReactiveBranchController) -> None:
+        ctrl.import_hot(self.exec[row], self.mon_taken[row],
+                        self.mon_samples[row], self.counter[row],
+                        self.correct[row], self.incorrect[row])
+        self.dirty[row] = False
+
+    def flush(self) -> None:
+        """Write every dirty row's hot fields back to its controller.
+
+        After this the scalar bank is fully authoritative — safe to
+        export, snapshot, or iterate field-by-field.
+        """
+        n = self.n_rows
+        if not n:
+            return
+        controllers = self._scalars._controllers
+        pc = self.pc
+        for row in np.flatnonzero(self.dirty[:n]).tolist():
+            self._flush_row(row, controllers[int(pc[row])])
+
+    def controller(self, pc: int) -> ReactiveBranchController:
+        """The (flushed) scalar controller for ``pc``."""
+        ctrl = self._scalars.controller(pc)
+        row = self._row_of(pc)
+        if row is not None and self.dirty[row]:
+            self._flush_row(row, ctrl)
+        return ctrl
+
+    # -- the fast path --------------------------------------------------
+    def _fallback_segment(self, row: int, taken: np.ndarray,
+                          instrs: np.ndarray, capture: bool,
+                          changed: list[int],
+                          fired: list[tuple[int, int, int, int]],
+                          ) -> tuple[int, int]:
+        """One segment through the per-branch engine: flush the row,
+        :func:`apply_chunk` the scalar controller, re-import."""
+        pc = int(self.pc[row])
+        ctrl = self._scalars._controllers[pc]
+        if self.dirty[row]:
+            self._flush_row(row, ctrl)
+        before = ctrl._deployed
+        seen = len(ctrl.transitions) if capture else 0
+        c, x = apply_chunk(ctrl, taken, instrs)
+        if capture and len(ctrl.transitions) > seen:
+            fired.extend((pc, ARC_CODE[t.kind.value], t.exec_index, t.instr)
+                         for t in ctrl.transitions[seen:])
+        after = ctrl._deployed
+        if after != before:
+            self._decisions[pc] = after
+            changed.append(pc)
+        self._refresh_row(row, ctrl)
+        return c, x
+
+    def apply_sorted(self, pcs: np.ndarray, taken: np.ndarray,
+                     instrs: np.ndarray, starts: np.ndarray,
+                     ends: np.ndarray, capture: bool,
+                     ) -> tuple[int, int, list[int],
+                                list[tuple[int, int, int, int]]]:
+        """Apply a PC-sorted batch; returns (correct, incorrect,
+        changed_pcs, captured_transitions).
+
+        ``starts``/``ends`` bound the per-PC segments (program order
+        preserved within each).  Must not be called with an empty
+        batch.
+        """
+        if len(starts) == 1:
+            # Single-branch batch: there is nothing for the cross-
+            # branch machinery to amortize, and its small-array kernel
+            # launches cost more than the one apply_chunk call they
+            # would replace.
+            pc = int(pcs[0])
+            row = self._row_of(pc)
+            if row is None:
+                row = int(self._intern(pcs[:1].astype(np.int64))[0])
+            changed: list[int] = []
+            fired: list[tuple[int, int, int, int]] = []
+            c, x = self._fallback_segment(row, taken, instrs, capture,
+                                          changed, fired)
+            self.rows_fallback += 1
+            self.events_fallback += len(taken)
+            return c, x, changed, fired
+        cfg = self.config
+        rows = self._intern(pcs[starts].astype(np.int64))
+        seg_len = ends - starts
+        taken_i = taken.astype(np.int64)
+        seg_taken = np.add.reduceat(taken_i, starts)
+        seg_last = instrs[ends - 1]
+        st = self.state[rows]
+        dep = self.deployed[rows]
+        dirs = self.dep_dir[rows]
+        # Correct-vs-deployed-direction counts from the taken counts
+        # alone: matches = taken count when the locked direction is
+        # taken, else the complement.  (Only meaningful where dep.)
+        seg_match = np.where(dirs, seg_taken, seg_len - seg_taken)
+        exec0 = self.exec[rows]
+        # No classify/revisit fire inside, and no pending landing:
+        elig = ((exec0 + seg_len < self.next_fire[rows])
+                & (self.land[rows] > seg_last))
+        if cfg.monitor_sample_stride != 1:
+            # Strided monitor sampling is offset-dependent; keep those
+            # windows on the per-branch engine.
+            elig &= st != _MONITOR
+        engaged = None
+        if cfg.eviction_enabled:
+            engaged = (st == _BIASED) & self.episode[rows]
+            if cfg.evict_by_sampling:
+                # Window bookkeeping is stateful mid-window (scalar in
+                # fastpath too); never fast-advance an engaged episode.
+                elig &= ~engaged
+            else:
+                # Conservative no-eviction bound: even if every miss
+                # landed consecutively the walk stays under the ceiling.
+                seg_miss = seg_len - seg_match
+                could_evict = (self.counter[rows]
+                               + seg_miss * cfg.misspec_increment
+                               >= cfg.evict_counter_max)
+                elig &= ~(engaged & could_evict)
+
+        fast = np.flatnonzero(elig)
+        correct_delta = 0
+        incorrect_delta = 0
+        if fast.size:
+            frows = rows[fast]
+            flen = seg_len[fast]
+            self.exec[frows] = exec0[fast] + flen
+            fdep = dep[fast]
+            fc = np.where(fdep, seg_match[fast], 0)
+            fx = np.where(fdep, flen - seg_match[fast], 0)
+            self.correct[frows] += fc
+            self.incorrect[frows] += fx
+            correct_delta += int(fc.sum())
+            incorrect_delta += int(fx.sum())
+            mon = fast[st[fast] == _MONITOR]
+            if mon.size:
+                # stride == 1 here (strided monitors were excluded):
+                # every execution is a sample.
+                mrows = rows[mon]
+                self.mon_samples[mrows] += seg_len[mon]
+                self.mon_taken[mrows] += seg_taken[mon]
+            if engaged is not None and not cfg.evict_by_sampling:
+                ef = fast[engaged[fast]]
+                if ef.size:
+                    # Exact floored-at-zero walk endpoint, segmented:
+                    # with prefix sums G over the whole batch and
+                    # base = G just before the segment, the endpoint is
+                    # (G_end - base + c0) - min(0, G_min - base + c0).
+                    match_ev = taken == np.repeat(dirs, seg_len)
+                    steps = np.where(match_ev, -cfg.correct_decrement,
+                                     cfg.misspec_increment).astype(np.int64)
+                    cum = np.cumsum(steps)
+                    base = np.where(starts > 0, cum[starts - 1], 0)
+                    seg_min = np.minimum.reduceat(cum, starts)
+                    erows = rows[ef]
+                    c0 = self.counter[erows]
+                    total = cum[ends[ef] - 1] - base[ef] + c0
+                    low = seg_min[ef] - base[ef] + c0
+                    self.counter[erows] = total - np.minimum(low, 0)
+            self.dirty[frows] = True
+            self.rows_fast += int(fast.size)
+            self.events_fast += int(flen.sum())
+
+        changed: list[int] = []
+        fired: list[tuple[int, int, int, int]] = []
+        slow = np.flatnonzero(~elig)
+        if slow.size:
+            self.rows_fallback += int(slow.size)
+            self.events_fallback += int(seg_len[slow].sum())
+            for k in slow.tolist():
+                s = int(starts[k])
+                e = int(ends[k])
+                c, x = self._fallback_segment(int(rows[k]), taken[s:e],
+                                              instrs[s:e], capture,
+                                              changed, fired)
+                correct_delta += c
+                incorrect_delta += x
+        return correct_delta, incorrect_delta, changed, fired

@@ -24,6 +24,14 @@ match the outcomes those calls would report.  Configurations outside
 the vectorized cases (eviction by sampling) fall back to the scalar
 controller per segment, so the contract holds for every config.  This
 is what makes service snapshots interchangeable with offline runs.
+
+Layering: this module is the *within-branch* engine.  The serving hot
+path stacks the cross-branch columnar engine
+(:mod:`repro.serve.colpath`) on top: segments that provably cross no
+FSM boundary advance in struct-of-arrays form without entering Python
+at all, and only boundary-crossing segments reach :func:`apply_chunk`
+— which therefore remains the single place FSM arcs, landings and
+evictions are resolved.
 """
 
 from __future__ import annotations

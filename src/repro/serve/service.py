@@ -108,6 +108,11 @@ class ServiceConfig:
     #: Trace 1-in-N PCs by deterministic hash (1 = every PC).
     #: Arc counters always cover every transition.
     trace_sample: int = 1
+    #: Batch-application engine: True = the columnar cross-branch fast
+    #: path (:mod:`repro.serve.colpath`), False = the per-PC chunk
+    #: loop.  Both are bit-exact; ``--no-columnar`` is the escape
+    #: hatch.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
@@ -183,7 +188,9 @@ class SpeculationService:
                     f"says {self.service_config.n_shards}")
             self.bank = bank
         else:
-            self.bank = ShardedBank(config, self.service_config.n_shards)
+            self.bank = ShardedBank(config, self.service_config.n_shards,
+                                    columnar=self.service_config.columnar)
+        self.bank.set_columnar(self.service_config.columnar)
         self.config = self.bank.config
         n = self.bank.n_shards
         #: One registry for the whole service: telemetry, the WAL
@@ -252,7 +259,8 @@ class SpeculationService:
         if self.service_config.workers and self._pool is None:
             pool = WorkerPool(self.config, self.bank.n_shards,
                               transport=self.service_config.transport,
-                              capture=self.service_config.obs)
+                              capture=self.service_config.obs,
+                              columnar=self.service_config.columnar)
             try:
                 await pool.start([s.export_state()
                                   for s in self.bank.shards])
@@ -263,7 +271,7 @@ class SpeculationService:
             # Workers own the live controllers now; the parent keeps
             # only mirror counters and the decision cache per shard.
             for shard in self.bank.shards:
-                shard.bank._controllers.clear()
+                shard.release_controllers()
             self._pool = pool
         self._workers = [asyncio.create_task(self._worker(i),
                                              name=f"repro-serve-shard-{i}")
@@ -306,7 +314,10 @@ class SpeculationService:
                 # Re-absorb the authoritative shard state so the parent
                 # bank is complete again (snapshotable, restartable).
                 self.bank.shards = tuple(
-                    BankShard.from_state(self.config, s) for s in states)
+                    BankShard.from_state(
+                        self.config, s,
+                        columnar=self.service_config.columnar)
+                    for s in states)
                 self._bank_stale = False
             else:
                 self._bank_stale = True
@@ -606,7 +617,8 @@ class SpeculationService:
                 workers: int | None = None,
                 transport: str | None = None,
                 wal_dir: str | None = None,
-                wal_fsync: str | None = None) -> "SpeculationService":
+                wal_fsync: str | None = None,
+                columnar: bool | None = None) -> "SpeculationService":
         """Rebuild a service from a snapshot file.
 
         ``service_config`` overrides the snapshotted tuning knobs;
@@ -625,4 +637,4 @@ class SpeculationService:
         return load_snapshot(path, service_config=service_config,
                              n_shards=n_shards, workers=workers,
                              transport=transport, wal_dir=wal_dir,
-                             wal_fsync=wal_fsync)
+                             wal_fsync=wal_fsync, columnar=columnar)

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.config import ControllerConfig
 from repro.core.controller import ControllerBank, ReactiveBranchController
 from repro.obs.tracing import ARC_CODE
+from repro.serve.colpath import ColumnarBank
 from repro.serve.events import EventBatch
 from repro.serve.fastpath import apply_chunk
 from repro.sim.metrics import SpeculationMetrics
@@ -103,9 +104,11 @@ class BankShard:
     """
 
     __slots__ = ("index", "bank", "decisions", "events_applied",
-                 "last_instr", "correct", "incorrect", "capture")
+                 "last_instr", "correct", "incorrect", "capture",
+                 "columnar", "col")
 
-    def __init__(self, index: int, config: ControllerConfig) -> None:
+    def __init__(self, index: int, config: ControllerConfig,
+                 columnar: bool = True) -> None:
         self.index = index
         self.bank = ControllerBank(config)
         self.decisions: dict[int, bool] = {}
@@ -117,26 +120,72 @@ class BankShard:
         #: arc firings of the batch into the result (read-only
         #: observation — controller state is bit-identical either way).
         self.capture = False
+        #: When True, batches advance through the cross-branch columnar
+        #: engine (:mod:`repro.serve.colpath`); when False, through the
+        #: per-PC ``apply_chunk`` loop.  Both are bit-exact.
+        self.columnar = columnar
+        self.col: ColumnarBank | None = None
 
     def apply(self, pcs: np.ndarray, taken: np.ndarray,
               instrs: np.ndarray) -> ShardApplyResult:
         """Apply a program-order micro-batch of this shard's events.
 
         Events are grouped per branch (stable, preserving program
-        order) and each group advances its controller through the
-        chunked fast path.
+        order); groups advance through the columnar cross-branch fast
+        path (:mod:`repro.serve.colpath`) or, with ``columnar`` off,
+        one per-branch ``apply_chunk`` call each.
         """
         capture = self.capture
         t0 = perf_counter() if capture else 0.0
         n = len(pcs)
-        order = np.argsort(pcs, kind="stable")
-        sorted_pcs = pcs[order]
-        # Gather once; per-branch chunks below are contiguous views.
-        sorted_taken = taken[order]
-        sorted_instrs = instrs[order]
+        if n == 0:
+            return ShardApplyResult(
+                shard=self.index, events=0, correct=0, incorrect=0,
+                last_instr=self.last_instr,
+                apply_seconds=perf_counter() - t0 if capture else 0.0)
+        if n == 1 or bool((pcs[1:] >= pcs[:-1]).all()):
+            # Already PC-grouped (single hot branch, or a pre-grouped
+            # feeder): the stable sort would be the identity — skip it
+            # and the three gathers.
+            sorted_pcs, sorted_taken, sorted_instrs = pcs, taken, instrs
+        else:
+            order = np.argsort(pcs, kind="stable")
+            sorted_pcs = pcs[order]
+            # Gather once; per-branch chunks below are contiguous views.
+            sorted_taken = taken[order]
+            sorted_instrs = instrs[order]
         bounds = np.flatnonzero(sorted_pcs[1:] != sorted_pcs[:-1]) + 1
         starts = np.concatenate(([0], bounds))
         ends = np.concatenate((bounds, [n]))
+        if self.columnar:
+            col = self.col
+            if col is None:
+                col = self.col = ColumnarBank(self.bank.config, self.bank,
+                                              self.decisions)
+            correct, incorrect, changed, fired = col.apply_sorted(
+                sorted_pcs, sorted_taken, sorted_instrs,
+                starts, ends, capture)
+        else:
+            correct, incorrect, changed, fired = self._apply_loop(
+                sorted_pcs, sorted_taken, sorted_instrs,
+                starts, ends, capture)
+        self.events_applied += n
+        self.last_instr = max(self.last_instr, int(instrs[-1]))
+        self.correct += correct
+        self.incorrect += incorrect
+        return ShardApplyResult(
+            shard=self.index, events=n, correct=correct,
+            incorrect=incorrect, changed=tuple(changed),
+            changed_deployed=tuple(self.decisions[pc] for pc in changed),
+            last_instr=self.last_instr, transitions=tuple(fired),
+            apply_seconds=perf_counter() - t0 if capture else 0.0)
+
+    def _apply_loop(self, sorted_pcs: np.ndarray, sorted_taken: np.ndarray,
+                    sorted_instrs: np.ndarray, starts: np.ndarray,
+                    ends: np.ndarray, capture: bool,
+                    ) -> tuple[int, int, list[int],
+                               list[tuple[int, int, int, int]]]:
+        """The per-PC chunk loop: one ``apply_chunk`` per distinct PC."""
         controller = self.bank.controller
         correct = 0
         incorrect = 0
@@ -161,16 +210,7 @@ class BankShard:
                 self.decisions[pc] = after
                 if after != before:
                     changed.append(pc)
-        self.events_applied += n
-        self.last_instr = max(self.last_instr, int(instrs[-1]))
-        self.correct += correct
-        self.incorrect += incorrect
-        return ShardApplyResult(
-            shard=self.index, events=n, correct=correct,
-            incorrect=incorrect, changed=tuple(changed),
-            changed_deployed=tuple(self.decisions[pc] for pc in changed),
-            last_instr=self.last_instr, transitions=tuple(fired),
-            apply_seconds=perf_counter() - t0 if capture else 0.0)
+        return correct, incorrect, changed, fired
 
     def absorb(self, result: ShardApplyResult) -> None:
         """Mirror a result computed elsewhere (a worker process).
@@ -195,8 +235,28 @@ class BankShard:
         """
         return self.decisions.get(pc, False)
 
+    def controller(self, pc: int) -> ReactiveBranchController:
+        """The scalar controller for ``pc``, flushed and current.
+
+        With the columnar engine active, a branch's hot counters live
+        in the row arrays between flushes; this accessor writes them
+        back first so callers always read authoritative state.
+        """
+        if self.col is not None:
+            return self.col.controller(pc)
+        return self.bank.controller(pc)
+
+    def release_controllers(self) -> None:
+        """Drop live controller state (supervisor-mirror mode: a worker
+        process owns the real shard; this one keeps only counters and
+        the decision cache)."""
+        self.col = None
+        self.bank._controllers.clear()
+
     # -- snapshot hooks -------------------------------------------------
     def export_state(self) -> dict:
+        if self.col is not None:
+            self.col.flush()
         return {
             "index": self.index,
             "events_applied": int(self.events_applied),
@@ -207,8 +267,9 @@ class BankShard:
         }
 
     @classmethod
-    def from_state(cls, config: ControllerConfig, state: dict) -> "BankShard":
-        shard = cls(int(state["index"]), config)
+    def from_state(cls, config: ControllerConfig, state: dict,
+                   columnar: bool = True) -> "BankShard":
+        shard = cls(int(state["index"]), config, columnar=columnar)
         shard.events_applied = int(state["events_applied"])
         shard.last_instr = int(state["last_instr"])
         shard.correct = int(state["correct"])
@@ -243,7 +304,7 @@ class ShardedBank:
     """
 
     def __init__(self, config: ControllerConfig | None = None,
-                 n_shards: int = 4) -> None:
+                 n_shards: int = 4, columnar: bool = True) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
         if config is None:
@@ -251,11 +312,27 @@ class ShardedBank:
 
             config = scaled_config()
         self.config = config
-        self.shards = tuple(BankShard(i, config) for i in range(n_shards))
+        self.columnar = columnar
+        self.shards = tuple(BankShard(i, config, columnar=columnar)
+                            for i in range(n_shards))
 
     @property
     def n_shards(self) -> int:
         return len(self.shards)
+
+    def set_columnar(self, enabled: bool) -> None:
+        """Switch the batch-application engine on every shard.
+
+        Flushes (and drops) any live columnar state first, so the
+        switch is exact at any point between batches.
+        """
+        enabled = bool(enabled)
+        self.columnar = enabled
+        for shard in self.shards:
+            if shard.col is not None and not enabled:
+                shard.col.flush()
+                shard.col = None
+            shard.columnar = enabled
 
     def partition(self, batch: EventBatch) -> list[_Partition]:
         """Split a batch by destination shard (program order kept).
@@ -287,7 +364,7 @@ class ShardedBank:
         return self.shards[shard_of(pc, self.n_shards)].should_speculate(pc)
 
     def controller(self, pc: int) -> ReactiveBranchController:
-        return self.shards[shard_of(pc, self.n_shards)].bank.controller(pc)
+        return self.shards[shard_of(pc, self.n_shards)].controller(pc)
 
     @property
     def events_applied(self) -> int:
@@ -318,10 +395,11 @@ class ShardedBank:
 
     @classmethod
     def from_state(cls, config: ControllerConfig,
-                   state: dict) -> "ShardedBank":
-        bank = cls(config, int(state["n_shards"]))
+                   state: dict, columnar: bool = True) -> "ShardedBank":
+        bank = cls(config, int(state["n_shards"]), columnar=columnar)
         bank.shards = tuple(
-            BankShard.from_state(config, s) for s in state["shards"])
+            BankShard.from_state(config, s, columnar=columnar)
+            for s in state["shards"])
         if tuple(s.index for s in bank.shards) != tuple(range(bank.n_shards)):
             raise ValueError("snapshot shard indices are not 0..N-1")
         return bank

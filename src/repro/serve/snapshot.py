@@ -43,13 +43,14 @@ logger = logging.getLogger(__name__)
 
 #: Version 2 added the execution-mode knobs (``workers``/``transport``)
 #: to the embedded service config; version 3 added the WAL knobs
-#: (``wal_dir``/``wal_fsync``/``wal_segment_bytes``); version 4 adds
-#: the observability knobs (``obs``/``trace_ring``/``trace_sample``).
-#: The state schema is otherwise unchanged, so every older version
-#: loads fine (missing knobs take their defaults); see
+#: (``wal_dir``/``wal_fsync``/``wal_segment_bytes``); version 4 added
+#: the observability knobs (``obs``/``trace_ring``/``trace_sample``);
+#: version 5 adds the batch-engine knob (``columnar``).  The state
+#: schema is otherwise unchanged, so every older version loads fine
+#: (missing knobs take their defaults); see
 #: ``tests/serve/test_snapshot.py::test_version1_snapshot_still_loads``.
-FORMAT_VERSION = 4
-_COMPATIBLE_FORMATS = (1, 2, 3, 4)
+FORMAT_VERSION = 5
+_COMPATIBLE_FORMATS = (1, 2, 3, 4, 5)
 _KIND = "repro.serve.snapshot"
 
 
@@ -157,7 +158,8 @@ def load_snapshot(path: str | Path,
                   workers: int | None = None,
                   transport: str | None = None,
                   wal_dir: str | None = None,
-                  wal_fsync: str | None = None) -> "SpeculationService":
+                  wal_fsync: str | None = None,
+                  columnar: bool | None = None) -> "SpeculationService":
     """Rebuild a :class:`SpeculationService` from a snapshot file.
 
     ``service_config`` overrides the snapshotted tuning knobs (its
@@ -196,6 +198,8 @@ def load_snapshot(path: str | Path,
         scfg = replace(scfg, wal_dir=wal_dir)
     if wal_fsync is not None and wal_fsync != scfg.wal_fsync:
         scfg = replace(scfg, wal_fsync=wal_fsync)
+    if columnar is not None and columnar != scfg.columnar:
+        scfg = replace(scfg, columnar=columnar)
     bank = restore_bank(config, state["bank"], n_shards=scfg.n_shards)
     service = SpeculationService(service_config=scfg, bank=bank,
                                  last_seq=int(state["last_seq"]))

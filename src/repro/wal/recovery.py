@@ -102,6 +102,7 @@ def recover_service(wal_dir: str | Path,
                     transport: str | None = None,
                     attach_wal: bool = True,
                     wal_fsync: str | None = None,
+                    columnar: bool | None = None,
                     ) -> tuple["SpeculationService", RecoveryReport]:
     """Snapshot + WAL tail → a service identical to the crashed one.
 
@@ -125,7 +126,8 @@ def recover_service(wal_dir: str | Path,
     if snapshot is not None:
         service = load_snapshot(snapshot, service_config=service_config,
                                 n_shards=n_shards, workers=workers,
-                                transport=transport, **wal_kwargs)
+                                transport=transport, columnar=columnar,
+                                **wal_kwargs)
     else:
         from dataclasses import replace
 
@@ -141,6 +143,8 @@ def recover_service(wal_dir: str | Path,
                 overrides["n_shards"] = workers
         if transport is not None:
             overrides["transport"] = transport
+        if columnar is not None:
+            overrides["columnar"] = columnar
         if overrides:
             scfg = replace(scfg, **overrides)
         service = SpeculationService(config, scfg)
