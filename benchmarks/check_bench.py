@@ -41,6 +41,13 @@ loop — both ratios measured within the current run, so machine speed
 cancels out — plus the tolerance band on every per-width absolute
 figure against the committed baseline.
 
+``repro.repl.bench`` (bench_repl.py) — the replication tax bound:
+ingestion with a connected, acking follower must reach at least
+``1 - --max-repl-overhead`` of the same run's replication-off
+throughput (default 15% overhead, the committed claim in
+docs/durability.md), plus the tolerance band against the committed
+baseline.
+
 Exactness is non-negotiable for every kind: if either JSON says
 ``exact: false`` the gate fails regardless of the numbers.
 
@@ -63,6 +70,10 @@ Usage (what .github/workflows/ci.yml runs)::
         --out BENCH_colpath.current.json
     python benchmarks/check_bench.py BENCH_colpath.json \
         BENCH_colpath.current.json
+
+    PYTHONPATH=src python benchmarks/bench_repl.py --quick \
+        --out BENCH_repl.current.json
+    python benchmarks/check_bench.py BENCH_repl.json BENCH_repl.current.json
 """
 
 from __future__ import annotations
@@ -71,10 +82,11 @@ import argparse
 import json
 import sys
 
-__all__ = ["check", "check_wal", "check_obs", "check_colpath", "main"]
+__all__ = ["check", "check_wal", "check_obs", "check_colpath",
+           "check_repl", "main"]
 
 _KINDS = ("repro.serve.bench", "repro.wal.bench", "repro.obs.bench",
-          "repro.colpath.bench")
+          "repro.colpath.bench", "repro.repl.bench")
 
 
 def _load(path: str) -> dict:
@@ -167,6 +179,47 @@ def check_wal(baseline: dict, current: dict, max_overhead: float,
         band(f"fsync={mode}", base_eps,
              current.get("wal_eps", {}).get(mode))
     band("replay", baseline["replay_eps"], current.get("replay_eps"))
+    return failures
+
+
+def check_repl(baseline: dict, current: dict, max_overhead: float,
+               tolerance: float) -> list[str]:
+    """Gate a bench_repl result (empty list = pass)."""
+    failures: list[str] = []
+    for name, doc in (("baseline", baseline), ("current", current)):
+        if not doc.get("exact", False):
+            failures.append(f"{name} run's primary or replica diverged "
+                            "from the offline engine (exact: false)")
+
+    # The committed claim, measured within one run so machine speed
+    # cancels out: streaming to an acking follower costs the primary
+    # at most max_overhead.
+    floor = (1.0 - max_overhead) * current["baseline_eps"]
+    repl_eps = current.get("repl_eps")
+    if repl_eps is None:
+        failures.append("current run is missing the replication-on point")
+    elif repl_eps < floor:
+        failures.append(
+            f"replication overhead: with follower {repl_eps:,.0f} ev/s < "
+            f"{floor:,.0f} ev/s ({1 - max_overhead:.0%} of the same "
+            f"run's replication-off {current['baseline_eps']:,.0f})")
+
+    def band(label: str, base: float, cur: float | None) -> None:
+        if cur is None:
+            failures.append(f"current run is missing the {label} point")
+            return
+        floor = tolerance * base
+        if cur < floor:
+            failures.append(
+                f"throughput band: {label} {cur:,.0f} ev/s < "
+                f"{floor:,.0f} ev/s ({tolerance:.0%} of baseline "
+                f"{base:,.0f})")
+
+    band("replication-off", baseline["baseline_eps"],
+         current.get("baseline_eps"))
+    band("replication-on", baseline["repl_eps"], current.get("repl_eps"))
+    band("follower apply", baseline["follower_apply_eps"],
+         current.get("follower_apply_eps"))
     return failures
 
 
@@ -309,6 +362,26 @@ def _table_wal(baseline: dict, current: dict) -> None:
           f"{current.get('batch_overhead', 0):>7.1%} (current)")
 
 
+def _table_repl(baseline: dict, current: dict) -> None:
+    print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
+          f"{'ratio':>7}")
+    rows = [("replication off", baseline["baseline_eps"],
+             current.get("baseline_eps")),
+            ("replication on", baseline["repl_eps"],
+             current.get("repl_eps")),
+            ("follower apply", baseline["follower_apply_eps"],
+             current.get("follower_apply_eps"))]
+    for label, base, cur in rows:
+        if cur is None:
+            print(f"{label:<18} {base:>15,.0f} {'missing':>15}")
+        else:
+            print(f"{label:<18} {base:>15,.0f} {cur:>15,.0f} "
+                  f"{cur / base:>6.2f}x")
+    print(f"{'primary-side overhead':<34} "
+          f"{baseline.get('repl_overhead', 0):>7.1%} (baseline) "
+          f"{current.get('repl_overhead', 0):>7.1%} (current)")
+
+
 def _table(baseline: dict, current: dict) -> None:
     print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
           f"{'ratio':>7}")
@@ -364,6 +437,11 @@ def main(argv=None) -> int:
                         help="colpath gate: lowest tolerated columnar/"
                              "loop ratio at the 1-PC point "
                              "(default: 0.9)")
+    parser.add_argument("--max-repl-overhead", type=float, default=0.15,
+                        help="repl gate: highest tolerated primary-side "
+                             "throughput loss with a connected acking "
+                             "follower vs the same run without one "
+                             "(default: 0.15)")
     args = parser.parse_args(argv)
 
     baseline = _load(args.baseline)
@@ -379,6 +457,10 @@ def main(argv=None) -> int:
         _table_obs(baseline, current)
         failures = check_obs(baseline, current, args.max_obs_overhead,
                              args.tolerance)
+    elif baseline["kind"] == "repro.repl.bench":
+        _table_repl(baseline, current)
+        failures = check_repl(baseline, current, args.max_repl_overhead,
+                              args.tolerance)
     elif baseline["kind"] == "repro.colpath.bench":
         _table_colpath(baseline, current)
         failures = check_colpath(baseline, current,

@@ -1,0 +1,486 @@
+"""Follower side: replay the primary's stream into a local WAL + bank.
+
+:class:`ReplicationFollower` connects to a primary's replication
+listener, announces its local watermark (``R_HELLO``), and then
+applies whatever arrives:
+
+* ``R_BATCH`` — appended to the follower's **own** WAL first, then
+  applied to its bank (the same log-before-apply discipline as the
+  primary's ingest path), and acknowledged only after a group commit,
+  so an ``R_ACK`` promises follower-side durability;
+* ``R_SNAPSHOT`` — a re-anchor for a follower behind the primary's
+  compaction horizon: the file is written into the follower's
+  snapshot directory and the local service is rebuilt from it;
+* records at or below the local watermark are skipped (idempotent
+  seq-based replay), which is what makes reconnect-after-drop safe:
+  the follower resumes from its watermark and duplicates cannot
+  double-apply.
+
+The follower's service is deliberately **not started**: batches are
+applied synchronously to the bank exactly like WAL replay
+(:func:`~repro.wal.recovery.replay_into_service`), which keeps the
+standby shape-independent — it may run a different shard count than
+the primary, and promotion may pick yet another shape.
+
+While standing by, :class:`ReadOnlyServer` answers
+``should_speculate`` queries from the live replica state over the same
+length-prefixed framing (``RO_QUERY``/``RO_DECISION``), plus a status
+document (``RO_STATUS``) with both watermarks for lag monitoring.
+"""
+
+from __future__ import annotations
+
+import logging
+import select
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import ControllerConfig
+from repro.replicate import frames
+from repro.serve.events import EventBatch
+from repro.serve.service import ServiceConfig, SpeculationService
+from repro.serve.wire import ProtocolError, SocketTransport
+
+__all__ = ["FollowerConfig", "ReplicationFollower", "ReplicationError",
+           "ReadOnlyServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Commit + ack at the latest every N applied batches even while the
+#: socket still has frames pending (bounds ack latency under a firehose).
+_ACK_EVERY = 64
+
+
+class ReplicationError(Exception):
+    """The primary rejected or aborted the replication stream."""
+
+
+@dataclass(frozen=True)
+class FollowerConfig:
+    """Deployment shape and reconnect policy of a standby."""
+
+    upstream: str                 # primary's repl_listen address
+    wal_dir: str                  # the follower's OWN log
+    #: Where shipped snapshots land (and promotion looks first).
+    #: Defaults to ``<wal_dir>/snapshots``.
+    snapshot_dir: str | None = None
+    n_shards: int = 2
+    wal_fsync: str = "batch"
+    ro_listen: str | None = None  # read-only decision endpoint
+    connect_timeout: float = 5.0
+    reconnect_backoff: float = 0.2
+    max_backoff: float = 2.0
+    #: None = retry forever (until :meth:`ReplicationFollower.stop`);
+    #: N = give up after N consecutive failed connection attempts.
+    max_retries: int | None = None
+
+    def resolved_snapshot_dir(self) -> Path:
+        if self.snapshot_dir is not None:
+            return Path(self.snapshot_dir)
+        return Path(self.wal_dir) / "snapshots"
+
+
+@dataclass
+class FollowerStats:
+    batches_applied: int = 0
+    events_applied: int = 0
+    duplicates_skipped: int = 0
+    reconnects: int = 0
+    snapshots_installed: int = 0
+    connected: bool = False
+    primary_last_seq: int = -1
+    last_error: str | None = field(default=None)
+
+
+class ReplicationFollower:
+    """A warm standby: local WAL + bank continuously fed by a primary."""
+
+    def __init__(self, config: FollowerConfig) -> None:
+        self.config = config
+        self.service: SpeculationService | None = None
+        self.stats = FollowerStats()
+        self._stopped = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._transport: SocketTransport | None = None
+        self._ro_server: ReadOnlyServer | None = None
+        self._lock = threading.Lock()
+        self._sealed = False
+        self._sessions = 0  # handshakes completed (reconnects included)
+
+    # -- watermarks -----------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """The follower's watermark: newest locally durable batch."""
+        if self.service is not None:
+            return self.service.last_seq
+        return self._local_watermark()
+
+    def _local_watermark(self) -> int:
+        """Watermark recoverable from local disk alone (no service)."""
+        from repro.serve.snapshot import (find_latest_snapshot,
+                                          snapshot_covered_seq)
+        from repro.wal.reader import WalReader
+        from repro.wal.segment import list_segments
+
+        seq = -1
+        snap = find_latest_snapshot(self.config.resolved_snapshot_dir())
+        if snap is not None:
+            seq = snapshot_covered_seq(snap)
+        if list_segments(self.config.wal_dir):
+            seq = max(seq, WalReader(self.config.wal_dir).last_seq())
+        return seq
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Run :meth:`run` on a daemon thread (the CLI/test entry)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self.run,
+                                        name="repro-repl-follower",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop replicating; the local service/WAL stay intact."""
+        self._stopped.set()
+        self._disconnect()
+        if self._ro_server is not None:
+            self._ro_server.close()
+            self._ro_server = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def seal(self) -> SpeculationService | None:
+        """Stop and close the local writer: the log is final.
+
+        Promotion calls this first so its recovery pass reads a sealed
+        log; returns the (stopped) replica service, if one was built.
+        """
+        self.stop()
+        with self._lock:
+            self._sealed = True
+            service = self.service
+        if service is not None and service._wal is not None:
+            service._wal.close()
+        return service
+
+    def run(self) -> str:
+        """Replicate until stopped; returns why the loop ended.
+
+        ``"stopped"`` — :meth:`stop` was called; ``"gave-up"`` — the
+        retry budget ran out (the primary is gone; time to promote).
+        """
+        backoff = self.config.reconnect_backoff
+        failures = 0
+        while not self._stopped.is_set():
+            sessions_before = self._sessions
+            try:
+                self._connect_and_stream()
+            except (OSError, EOFError, ProtocolError,
+                    ReplicationError) as err:
+                self.stats.connected = False
+                self.stats.last_error = str(err)
+                if self._stopped.is_set():
+                    break
+                if self._sessions > sessions_before:
+                    # The link was up and then dropped: this is a fresh
+                    # outage, not another failure of the same attempt.
+                    failures = 0
+                    backoff = self.config.reconnect_backoff
+                failures += 1
+                if (self.config.max_retries is not None
+                        and failures > self.config.max_retries):
+                    logger.warning(
+                        "replication: giving up on %s after %d failed "
+                        "attempts (%s)", self.config.upstream,
+                        failures - 1, err)
+                    return "gave-up"
+                logger.info("replication: link to %s lost (%s); "
+                            "retrying in %.2fs", self.config.upstream,
+                            err, backoff)
+                self._stopped.wait(backoff)
+                backoff = min(backoff * 2, self.config.max_backoff)
+        return "stopped"
+
+    # -- the stream -----------------------------------------------------
+    def _connect_and_stream(self) -> None:
+        watermark = self.last_seq
+        sock = frames.connect_socket(self.config.upstream,
+                                     timeout=self.config.connect_timeout)
+        transport = SocketTransport(sock)
+        self._transport = transport
+        try:
+            transport.send(frames.encode_r_hello(watermark))
+            primary_seq, remote = frames.decode_r_welcome(transport.recv())
+            self.stats.primary_last_seq = primary_seq
+            self._sessions += 1
+            if self._sessions > 1:
+                self.stats.reconnects += 1
+            self.stats.connected = True
+            logger.info("replication: connected to %s (watermark %d, "
+                        "primary at %d)", self.config.upstream,
+                        watermark, primary_seq)
+            if self.service is None:
+                self._build_service(remote["controller_config"])
+            if self._ro_server is None and self.config.ro_listen:
+                self._ro_server = ReadOnlyServer(self,
+                                                 self.config.ro_listen)
+                self._ro_server.start()
+            self._apply_stream(sock, transport)
+        finally:
+            self.stats.connected = False
+            self._transport = None
+            try:
+                transport.close()
+            except OSError:
+                pass
+
+    def _build_service(self, controller_config: dict) -> None:
+        """First contact: recover from local disk if this standby has
+        history, else start an empty replica with the primary's
+        controller parameters."""
+        from repro.serve.snapshot import find_latest_snapshot
+        from repro.wal.recovery import recover_service
+        from repro.wal.segment import list_segments
+
+        config = ControllerConfig(**controller_config)
+        scfg = ServiceConfig(n_shards=self.config.n_shards,
+                             wal_dir=self.config.wal_dir,
+                             wal_fsync=self.config.wal_fsync)
+        snap = find_latest_snapshot(self.config.resolved_snapshot_dir())
+        if snap is not None or list_segments(self.config.wal_dir):
+            service, report = recover_service(
+                self.config.wal_dir, snapshot=snap, config=config,
+                service_config=scfg)
+            logger.info("replication: local state recovered — %s",
+                        report.summary())
+        else:
+            service = SpeculationService(config, scfg)
+        with self._lock:
+            if self._sealed:
+                raise ReplicationError("follower already sealed")
+            self.service = service
+
+    def _install_snapshot(self, covered_seq: int, blob: bytes) -> None:
+        """Re-anchor: persist the shipped snapshot and rebuild the
+        replica from it (the local log cannot bridge the gap)."""
+        from repro.wal.recovery import recover_service
+
+        snap_dir = self.config.resolved_snapshot_dir()
+        snap_dir.mkdir(parents=True, exist_ok=True)
+        path = snap_dir / f"snapshot-{covered_seq:016d}.json.gz"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(blob)
+        tmp.replace(path)
+        old = self.service
+        if old is not None and old._wal is not None:
+            old._wal.close()     # one writer per directory
+        scfg = ServiceConfig(n_shards=self.config.n_shards,
+                             wal_dir=self.config.wal_dir,
+                             wal_fsync=self.config.wal_fsync)
+        service, report = recover_service(self.config.wal_dir,
+                                          snapshot=path,
+                                          service_config=scfg)
+        with self._lock:
+            if self._sealed:
+                raise ReplicationError("follower already sealed")
+            self.service = service
+        self.stats.snapshots_installed += 1
+        logger.info("replication: re-anchored on shipped snapshot "
+                    "(covers seq %d) — %s", covered_seq,
+                    report.summary())
+
+    def _apply_stream(self, sock: socket.socket,
+                      transport: SocketTransport) -> None:
+        """recv → (wal append → apply) → commit → ack, batched by
+        what is already pending on the socket."""
+        uncommitted = 0
+        while not self._stopped.is_set():
+            payload = transport.recv()
+            ftype = frames.frame_type(payload)
+            if ftype == frames.R_BATCH:
+                batch = EventBatch.from_bytes(
+                    frames.decode_r_batch(payload))
+                if batch.seq > self.stats.primary_last_seq:
+                    self.stats.primary_last_seq = batch.seq
+                if self._apply_one(batch):
+                    uncommitted += 1
+                else:
+                    self.stats.duplicates_skipped += 1
+                if uncommitted >= _ACK_EVERY or not _readable(sock):
+                    if uncommitted:
+                        self.service._wal.commit()
+                        uncommitted = 0
+                    transport.send(frames.encode_r_ack(
+                        self.service.last_seq))
+            elif ftype == frames.R_SNAPSHOT:
+                covered, blob = frames.decode_r_snapshot(payload)
+                self._install_snapshot(covered, blob)
+                uncommitted = 0
+                transport.send(frames.encode_r_ack(
+                    self.service.last_seq))
+            elif ftype == frames.R_ERROR:
+                raise ReplicationError(frames.decode_r_error(payload))
+            else:
+                raise ProtocolError(
+                    f"unexpected replication frame type {ftype:#x}")
+
+    def _apply_one(self, batch: EventBatch) -> bool:
+        """Log-then-apply one batch; False = duplicate (skipped)."""
+        service = self.service
+        if batch.seq <= service.last_seq:
+            return False
+        service._wal.append(batch)
+        service.bank.apply_batch(batch)
+        service._last_seq = batch.seq
+        service._events_submitted += batch.n_events
+        self.stats.batches_applied += 1
+        self.stats.events_applied += batch.n_events
+        return True
+
+    # -- read-only view -------------------------------------------------
+    def should_speculate(self, pc: int) -> bool:
+        """Deployed-code answer from the replica (read-only)."""
+        service = self.service
+        if service is None:
+            raise ReplicationError("follower has no state yet")
+        return service.bank.should_speculate(pc)
+
+    def status(self) -> dict:
+        service = self.service
+        return {
+            "role": "follower",
+            "upstream": self.config.upstream,
+            "connected": self.stats.connected,
+            "last_seq": service.last_seq if service is not None else -1,
+            "events_applied": (service.events_submitted
+                               if service is not None else 0),
+            "primary_last_seq": self.stats.primary_last_seq,
+            "batches_applied": self.stats.batches_applied,
+            "duplicates_skipped": self.stats.duplicates_skipped,
+            "reconnects": self.stats.reconnects,
+            "snapshots_installed": self.stats.snapshots_installed,
+        }
+
+    # -- test/CLI helpers -----------------------------------------------
+    def wait_connected(self, timeout: float = 10.0) -> bool:
+        return _wait(lambda: self.stats.connected, timeout)
+
+    def wait_caught_up(self, seq: int, timeout: float = 30.0) -> bool:
+        """Block until the local watermark reaches ``seq``."""
+        return _wait(lambda: (self.service is not None
+                              and self.service.last_seq >= seq), timeout)
+
+    def _disconnect(self) -> None:
+        transport = self._transport
+        if transport is not None:
+            try:
+                transport.close()
+            except OSError:
+                pass
+
+
+class ReadOnlyServer:
+    """Serves ``should_speculate`` from a standby over the wire.
+
+    One thread per connection; queries read the replica's live
+    decision caches (dict reads are atomic under the GIL, and a
+    decision mid-batch is exactly as fresh as the replication stream).
+    """
+
+    def __init__(self, follower: ReplicationFollower,
+                 listen_addr: str) -> None:
+        self.follower = follower
+        self.listen_addr = listen_addr
+        self._sock: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._stopped = threading.Event()
+
+    def start(self) -> None:
+        self._sock = frames.listen_socket(self.listen_addr)
+        thread = threading.Thread(target=self._accept_loop,
+                                  name="repro-repl-ro", daemon=True)
+        self._threads.append(thread)
+        thread.start()
+        logger.info("replication: read-only endpoint on %s",
+                    self.listen_addr)
+
+    def close(self) -> None:
+        self._stopped.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        family, sockaddr = frames.parse_addr(self.listen_addr)
+        if family == socket.AF_UNIX:
+            import os
+
+            try:
+                os.unlink(sockaddr)
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                sock, _peer = self._sock.accept()
+            except OSError:
+                return
+            thread = threading.Thread(target=self._serve,
+                                      args=(sock,), daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve(self, sock: socket.socket) -> None:
+        transport = SocketTransport(sock)
+        try:
+            while not self._stopped.is_set():
+                payload = transport.recv()
+                ftype = frames.frame_type(payload)
+                if ftype == frames.RO_QUERY:
+                    pcs = frames.decode_ro_query(payload)
+                    service = self.follower.service
+                    if service is None:
+                        transport.send(frames.encode_r_error(
+                            "follower has no state yet"))
+                        continue
+                    decisions = [service.bank.should_speculate(int(pc))
+                                 for pc in pcs]
+                    transport.send(frames.encode_ro_decision(decisions))
+                elif ftype == frames.RO_STATUS_REQ:
+                    transport.send(frames.encode_ro_status(
+                        self.follower.status()))
+                else:
+                    transport.send(frames.encode_r_error(
+                        f"unexpected frame type {ftype:#x} on the "
+                        "read-only endpoint"))
+        except (EOFError, OSError, ProtocolError):
+            pass
+        finally:
+            try:
+                transport.close()
+            except OSError:
+                pass
+
+
+def _readable(sock: socket.socket) -> bool:
+    """More frames already pending? (drives the group-commit cadence)"""
+    try:
+        ready, _w, _x = select.select([sock], [], [], 0)
+    except (OSError, ValueError):
+        return False
+    return bool(ready)
+
+
+def _wait(predicate, timeout: float) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()

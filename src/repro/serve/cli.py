@@ -14,6 +14,10 @@ Usage::
         --benchmark gzip
     python -m repro.serve --benchmark gcc --metrics-port 9100 \\
         --metrics-json run-obs.json
+    python -m repro.serve --benchmark gzip --wal-dir /tmp/wal \\
+        --replicate-to 127.0.0.1:7420
+    python -m repro.serve --follow 127.0.0.1:7420 --wal-dir /tmp/wal2 \\
+        --ro-port 7421 --on-disconnect promote
 
 Feeds the chosen trace through a :class:`SpeculationService` at a
 configurable event rate, printing a live telemetry line as it goes and
@@ -103,6 +107,29 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-sample", type=int, default=1,
                         help="trace 1-in-N PCs by hash (default: 1 = "
                              "every PC; arc counters always cover all)")
+    repl = parser.add_argument_group(
+        "replication (see docs/durability.md)")
+    repl.add_argument("--replicate-to", default=None, metavar="ADDR",
+                      help="primary role: stream the WAL to followers "
+                           "connecting on ADDR (host:port or an AF_UNIX "
+                           "path); requires --wal-dir")
+    repl.add_argument("--follow", default=None, metavar="ADDR",
+                      help="standby role: replicate the primary at ADDR "
+                           "into --wal-dir and stand by (no trace is "
+                           "fed); promotes or retries per "
+                           "--on-disconnect")
+    repl.add_argument("--ro-port", type=int, default=None, metavar="PORT",
+                      help="standby: serve read-only should_speculate "
+                           "queries on 127.0.0.1:PORT")
+    repl.add_argument("--on-disconnect", choices=("retry", "promote"),
+                      default="retry",
+                      help="standby: when the primary stays unreachable, "
+                           "keep retrying forever or promote to a "
+                           "read-write primary (default: retry)")
+    repl.add_argument("--promote-retries", type=int, default=10,
+                      metavar="N",
+                      help="standby: failed connection attempts before "
+                           "--on-disconnect promote fires (default: 10)")
     parser.add_argument("--verify", action="store_true",
                         help="also run the offline engine and compare "
                              "metrics (exits 1 on mismatch)")
@@ -150,6 +177,8 @@ async def _run(args) -> int:
             columnar=not args.no_columnar)
         print(report.summary())
         print(f"feed resumes at seq {service.last_seq + 1}")
+        if args.replicate_to:
+            service.enable_replication(args.replicate_to)
     elif restoring:
         service = SpeculationService.restore(restore_path,
                                              n_shards=n_shards,
@@ -171,6 +200,7 @@ async def _run(args) -> int:
             wal_dir=args.wal_dir,
             wal_fsync=args.wal_fsync,
             wal_segment_bytes=args.wal_segment_bytes,
+            repl_listen=args.replicate_to,
             obs=not args.no_obs,
             trace_ring=args.trace_ring,
             trace_sample=args.trace_sample,
@@ -206,6 +236,7 @@ async def _run(args) -> int:
             reading = service.reading()
             metrics = service.metrics()
             worker_pids = service.worker_pids
+            replicated_seq = service.last_replicated_seq
     finally:
         if metrics_server is not None:
             metrics_server.close()
@@ -243,6 +274,12 @@ async def _run(args) -> int:
     if service.snapshots_written:
         print(f"snapshots  {len(service.snapshots_written)} written, "
               f"last: {service.snapshots_written[-1]}")
+    if args.replicate_to:
+        lag = service.last_seq - replicated_seq
+        print(f"replica    acked through seq {replicated_seq} "
+              f"of {service.last_seq} "
+              f"({'in sync' if lag == 0 else f'{lag} batches behind'}) "
+              f"on {args.replicate_to}")
 
     if args.dump_telemetry:
         import json
@@ -297,6 +334,55 @@ async def _run(args) -> int:
     return 0
 
 
+def _run_follower(args) -> int:
+    """Standby role: replicate the primary into the local WAL, serve
+    read-only queries, and (optionally) promote when it dies."""
+    import logging
+
+    from repro.replicate import (FollowerConfig, ReplicationFollower,
+                                 promote_follower)
+
+    # Satellite visibility: the follower's bootstrap/recovery path logs
+    # every snapshot it rejects and every anchor it picks — surface it.
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s")
+    cfg = FollowerConfig(
+        upstream=args.follow,
+        wal_dir=args.wal_dir,
+        snapshot_dir=args.snapshot_dir,
+        n_shards=args.shards if args.shards is not None else 2,
+        wal_fsync=args.wal_fsync,
+        ro_listen=(f"127.0.0.1:{args.ro_port}"
+                   if args.ro_port is not None else None),
+        max_retries=(args.promote_retries
+                     if args.on_disconnect == "promote" else None))
+    follower = ReplicationFollower(cfg)
+    print(f"standby    following {cfg.upstream} into {cfg.wal_dir}"
+          + (f", read-only on {cfg.ro_listen}" if cfg.ro_listen else ""))
+    try:
+        reason = follower.run()
+    except KeyboardInterrupt:
+        follower.stop()
+        reason = "stopped"
+    status = follower.status()
+    print(f"standby    {reason}: watermark seq {status['last_seq']}, "
+          f"{status['batches_applied']:,} batches applied, "
+          f"{status['reconnects']} reconnects, "
+          f"{status['snapshots_installed']} snapshot re-anchors")
+    if reason == "gave-up" and args.on_disconnect == "promote":
+        service, report = promote_follower(
+            follower, workers=args.workers or None,
+            transport=args.transport)
+        print(report.summary())
+        print(f"metrics    {service.metrics().summary()}")
+        print(f"state is read-write in {cfg.wal_dir}; resume serving "
+              f"with: python -m repro.serve --wal-dir {cfg.wal_dir} "
+              f"--restore-latest {cfg.resolved_snapshot_dir()} ...")
+        return 0
+    return 0 if reason == "stopped" else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.snapshot_every is not None and args.snapshot_dir is None:
@@ -306,7 +392,24 @@ def main(argv: list[str] | None = None) -> int:
         print("error: --restore and --restore-latest are mutually "
               "exclusive")
         return 2
+    if args.follow is not None and args.replicate_to is not None:
+        print("error: --follow (standby) and --replicate-to (primary) "
+              "are mutually exclusive")
+        return 2
+    if args.follow is not None and args.wal_dir is None:
+        print("error: --follow requires --wal-dir (the standby's own "
+              "log)")
+        return 2
+    if args.replicate_to is not None and args.wal_dir is None:
+        print("error: --replicate-to requires --wal-dir (replication "
+              "streams the write-ahead log)")
+        return 2
+    if args.ro_port is not None and args.follow is None:
+        print("error: --ro-port only applies to a --follow standby")
+        return 2
     try:
+        if args.follow is not None:
+            return _run_follower(args)
         return asyncio.run(_run(args))
     except (FileNotFoundError, KeyError, ValueError) as err:
         # Usage errors (unknown benchmark, bad snapshot path/file,

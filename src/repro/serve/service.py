@@ -96,6 +96,11 @@ class ServiceConfig:
     wal_fsync: str = "batch"
     #: WAL segment rotation threshold, in bytes.
     wal_segment_bytes: int = 4 * 1024 * 1024
+    #: Replication listen address (``host:port`` or AF_UNIX path).
+    #: When set, a :class:`~repro.replicate.sender.ReplicationSender`
+    #: streams this service's WAL to connecting followers; requires
+    #: ``wal_dir``.  None = replication off.
+    repl_listen: str | None = None
     #: Observability capture: apply-latency/batch-size histograms, WAL
     #: latency histograms, and FSM transition tracing.  Counters and
     #: gauges stay on either way (they replace the old plain-int
@@ -144,6 +149,9 @@ class ServiceConfig:
                              "(expected 'always', 'batch' or 'off')")
         if self.wal_segment_bytes <= 0:
             raise ValueError("wal_segment_bytes must be positive")
+        if self.repl_listen is not None and self.wal_dir is None:
+            raise ValueError("repl_listen requires wal_dir: replication "
+                             "streams the write-ahead log")
         if self.trace_ring <= 0:
             raise ValueError("trace_ring must be positive")
         if self.trace_sample <= 0:
@@ -240,6 +248,9 @@ class SpeculationService:
                 fsync=self.service_config.wal_fsync,
                 registry=(self.registry if self.service_config.obs
                           else None))
+        self._repl = None
+        if self.service_config.repl_listen is not None:
+            self.enable_replication(self.service_config.repl_listen)
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -282,6 +293,8 @@ class SpeculationService:
         if self._wal is not None and self.service_config.wal_fsync == "batch":
             self._wal_task = asyncio.create_task(
                 self._wal_committer(), name="repro-serve-wal-commit")
+        if self._repl is not None:
+            self._repl.start()
 
     async def stop(self, drain: bool = True) -> None:
         """Stop workers; by default drain queued events first."""
@@ -307,6 +320,9 @@ class SpeculationService:
             # watermark at the accepted watermark.
             await asyncio.get_running_loop().run_in_executor(
                 None, self._wal.commit)
+        if self._repl is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._repl.close)
         if self._pool is not None:
             pool, self._pool = self._pool, None
             states = await pool.shutdown(gather=drain)
@@ -370,6 +386,8 @@ class SpeculationService:
             self._wal.append(batch)
             if self.service_config.wal_fsync == "batch":
                 self._wal_dirty.set()
+            if self._repl is not None:
+                self._repl.offer(batch.seq)
         for p in parts:
             self._queues[p.shard].put_nowait(p)
             depth = self._queued_events[p.shard] + p.n_events
@@ -604,6 +622,58 @@ class SpeculationService:
         if self._wal is not None:
             return max(self._snapshot_seq, self._wal.last_durable_seq)
         return self._snapshot_seq
+
+    @property
+    def last_replicated_seq(self) -> int:
+        """Newest batch seq a follower confirmed durable in *its* WAL
+        (-1: no follower has acked, or replication is off).
+
+        The replication twin of :attr:`last_durable_seq`: that one
+        survives losing the network, this one survives losing this
+        machine's disk.
+        """
+        return (self._repl.last_replicated_seq
+                if self._repl is not None else -1)
+
+    def enable_replication(self, listen_addr: str) -> None:
+        """Attach a replication sender listening on ``listen_addr``.
+
+        Implied by the ``repl_listen`` config knob; callable directly
+        on a restored/recovered service (whose snapshot deliberately
+        reset the knob) before :meth:`start`.  Requires a WAL.
+        """
+        from dataclasses import replace
+
+        from repro.replicate.sender import ReplicationSender
+
+        if self._running:
+            raise RuntimeError("enable replication before start()")
+        if self._repl is not None:
+            return
+        if self.service_config.repl_listen != listen_addr:
+            self.service_config = replace(self.service_config,
+                                          repl_listen=listen_addr)
+        self._repl = ReplicationSender(
+            self, listen_addr,
+            registry=self.registry if self.service_config.obs else None)
+
+    def newest_snapshot(self) -> Path | None:
+        """Newest snapshot covering this service's history, if any.
+
+        Preference order: a snapshot this process wrote, then the
+        newest loadable one in ``snapshot_dir``, then the file this
+        service was restored from.  Replication uses this to re-anchor
+        followers that fell behind the compaction horizon.
+        """
+        if self.snapshots_written:
+            return self.snapshots_written[-1]
+        if self.service_config.snapshot_dir is not None:
+            from repro.serve.snapshot import find_latest_snapshot
+
+            found = find_latest_snapshot(self.service_config.snapshot_dir)
+            if found is not None:
+                return found
+        return self._restored_from
 
     @property
     def worker_pids(self) -> list[int | None]:

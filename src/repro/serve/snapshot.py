@@ -37,7 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serve.service import SpeculationService
 
 __all__ = ["FORMAT_VERSION", "save_snapshot", "load_snapshot",
-           "restore_bank", "find_latest_snapshot"]
+           "restore_bank", "find_latest_snapshot",
+           "snapshot_covered_seq"]
 
 logger = logging.getLogger(__name__)
 
@@ -45,12 +46,13 @@ logger = logging.getLogger(__name__)
 #: to the embedded service config; version 3 added the WAL knobs
 #: (``wal_dir``/``wal_fsync``/``wal_segment_bytes``); version 4 added
 #: the observability knobs (``obs``/``trace_ring``/``trace_sample``);
-#: version 5 adds the batch-engine knob (``columnar``).  The state
-#: schema is otherwise unchanged, so every older version loads fine
-#: (missing knobs take their defaults); see
+#: version 5 added the batch-engine knob (``columnar``); version 6
+#: adds the replication knob (``repl_listen``).  The state schema is
+#: otherwise unchanged, so every older version loads fine (missing
+#: knobs take their defaults); see
 #: ``tests/serve/test_snapshot.py::test_version1_snapshot_still_loads``.
-FORMAT_VERSION = 5
-_COMPATIBLE_FORMATS = (1, 2, 3, 4, 5)
+FORMAT_VERSION = 6
+_COMPATIBLE_FORMATS = (1, 2, 3, 4, 5, 6)
 _KIND = "repro.serve.snapshot"
 
 
@@ -184,7 +186,7 @@ def load_snapshot(path: str | Path,
     else:
         scfg = ServiceConfig(**{**state["service_config"],
                                 "workers": 0, "transport": "pipe",
-                                "wal_dir": None})
+                                "wal_dir": None, "repl_listen": None})
     if n_shards is not None and n_shards != scfg.n_shards:
         scfg = replace(scfg, n_shards=n_shards)
     if workers is not None and workers != scfg.workers:
@@ -206,6 +208,16 @@ def load_snapshot(path: str | Path,
     service._events_submitted = int(state["events_submitted"])
     service._restored_from = Path(path)
     return service
+
+
+def snapshot_covered_seq(path: str | Path) -> int:
+    """The newest batch seq a snapshot file covers (its watermark).
+
+    Cheap header read — no bank restore — used by replication to
+    decide where tailing resumes after shipping a snapshot, and by a
+    follower to compute its handshake watermark from disk alone.
+    """
+    return int(_read(path)["last_seq"])
 
 
 def find_latest_snapshot(directory: str | Path) -> Path | None:

@@ -91,10 +91,26 @@ def frame_type(payload: bytes) -> int:
     return payload[0]
 
 
-def _expect(payload: bytes, ftype: int, name: str) -> None:
+def _expect(payload: bytes, ftype: int, name: str,
+            min_len: int = 1, exact_len: int | None = None) -> None:
+    """Validate frame type and length before any ``struct`` unpack.
+
+    Every decoder funnels through here so a truncated or oversized
+    frame surfaces as :class:`ProtocolError` naming the frame type —
+    never as a bare ``struct.error`` leaking from the codec.
+    """
     if not payload or payload[0] != ftype:
         got = payload[0] if payload else None
         raise ProtocolError(f"expected {name} frame, got type {got!r}")
+    if exact_len is not None:
+        if len(payload) != exact_len:
+            raise ProtocolError(
+                f"{name} frame is {len(payload)} bytes, expected "
+                f"{exact_len}")
+    elif len(payload) < min_len:
+        raise ProtocolError(
+            f"{name} frame truncated: {len(payload)} bytes, need at "
+            f"least {min_len}")
 
 
 # -- shard state (zlib JSON) ------------------------------------------------
@@ -108,13 +124,18 @@ def encode_load(state: dict | None) -> bytes:
 
 
 def decode_load(payload: bytes) -> dict | None:
-    _expect(payload, LOAD, "LOAD")
+    _expect(payload, LOAD, "LOAD", min_len=_LOAD.size)
     _, zlen = _LOAD.unpack_from(payload)
     if len(payload) != _LOAD.size + zlen:
         raise ProtocolError("LOAD frame length mismatch")
     if zlen == 0:
         return None
-    return json.loads(zlib.decompress(payload[_LOAD.size:]).decode("utf-8"))
+    try:
+        return json.loads(zlib.decompress(payload[_LOAD.size:])
+                          .decode("utf-8"))
+    except (zlib.error, ValueError) as err:
+        raise ProtocolError(f"LOAD frame body is not zlib JSON: {err}") \
+            from err
 
 
 def encode_hello(shard: int, pid: int) -> bytes:
@@ -122,7 +143,7 @@ def encode_hello(shard: int, pid: int) -> bytes:
 
 
 def decode_hello(payload: bytes) -> tuple[int, int]:
-    _expect(payload, HELLO, "HELLO")
+    _expect(payload, HELLO, "HELLO", exact_len=_HELLO.size)
     _, shard, pid = _HELLO.unpack(payload)
     return shard, pid
 
@@ -138,9 +159,12 @@ def decode_apply(payload: bytes,
                  ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
     """Returns ``(ticket, pcs, taken, instrs)`` — arrays are zero-copy
     read-only views into ``payload``."""
-    _expect(payload, APPLY, "APPLY")
+    _expect(payload, APPLY, "APPLY", min_len=_APPLY.size)
     _, ticket, n = _APPLY.unpack_from(payload)
-    pcs, taken, instrs = unpack_events(payload, _APPLY.size, n)
+    try:
+        pcs, taken, instrs = unpack_events(payload, _APPLY.size, n)
+    except ValueError as err:
+        raise ProtocolError(f"APPLY frame truncated: {err}") from err
     return ticket, pcs, taken, instrs
 
 
@@ -176,7 +200,7 @@ def encode_apply_result(ticket: int, events: int, correct: int,
 def decode_apply_result(payload: bytes) -> tuple:
     """Returns ``(ticket, events, correct, incorrect, last_instr,
     changed_pcs, changed_deployed, transitions, apply_seconds)``."""
-    _expect(payload, APPLY_RESULT, "APPLY_RESULT")
+    _expect(payload, APPLY_RESULT, "APPLY_RESULT", min_len=_RESULT.size)
     (_, ticket, events, correct, incorrect, last_instr, n_changed,
      n_trans, apply_seconds) = _RESULT.unpack_from(payload)
     off = _RESULT.size
@@ -213,6 +237,10 @@ def encode_barrier(ticket: int, ack: bool = False) -> bytes:
 def decode_barrier(payload: bytes) -> int:
     if not payload or payload[0] not in (BARRIER, BARRIER_ACK):
         raise ProtocolError("expected BARRIER/BARRIER_ACK frame")
+    if len(payload) != _BARRIER.size:
+        raise ProtocolError(
+            f"BARRIER frame is {len(payload)} bytes, expected "
+            f"{_BARRIER.size}")
     return _BARRIER.unpack(payload)[1]
 
 
@@ -227,8 +255,12 @@ def encode_state(state: dict) -> bytes:
 
 
 def decode_state(payload: bytes) -> dict:
-    _expect(payload, STATE, "STATE")
-    return json.loads(zlib.decompress(payload[1:]).decode("utf-8"))
+    _expect(payload, STATE, "STATE", min_len=2)
+    try:
+        return json.loads(zlib.decompress(payload[1:]).decode("utf-8"))
+    except (zlib.error, ValueError) as err:
+        raise ProtocolError(f"STATE frame body is not zlib JSON: {err}") \
+            from err
 
 
 def encode_shutdown() -> bytes:

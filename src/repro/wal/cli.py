@@ -33,6 +33,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "inspect", help="scan segments and print the log's shape")
     inspect.add_argument("--wal-dir", required=True, metavar="DIR",
                          help="WAL directory to scan")
+    inspect.add_argument("--records", action="store_true",
+                         help="also dump every record (seq, event count, "
+                              "payload bytes) under its segment row")
 
     replay = sub.add_parser(
         "replay", help="recover service state from snapshot + WAL tail")
@@ -61,13 +64,21 @@ def _inspect(args) -> int:
         return 0
     total_records = total_bytes = 0
     print(f"{'segment':<24} {'base':>10} {'first..last':>23} "
-          f"{'records':>8} {'bytes':>12}")
+          f"{'records':>8} {'bytes':>12} {'status':>10}")
     for info in infos:
         seqs = (f"{info.first_seq}..{info.last_seq}"
                 if info.records else "(empty)")
-        note = f"  TORN TAIL ({info.torn_bytes} bytes)" if info.torn else ""
+        status = (f"TORN({info.torn_bytes}B)" if info.torn
+                  else "CRC-clean")
         print(f"{info.path.name:<24} {info.base_seq:>10} {seqs:>23} "
-              f"{info.records:>8} {info.size_bytes:>12,}{note}")
+              f"{info.records:>8} {info.size_bytes:>12,} {status:>10}")
+        if args.records and info.records:
+            from repro.wal.segment import iter_segment_records
+
+            for batch in iter_segment_records(info.path,
+                                              tolerate_torn_tail=True):
+                print(f"    seq {batch.seq:>10}  {batch.n_events:>7} "
+                      f"events  {len(batch.to_bytes()):>9,} bytes")
         total_records += info.records
         total_bytes += info.size_bytes
     print(f"{len(infos)} segments, {total_records:,} records, "

@@ -60,20 +60,27 @@ class RecoveryReport:
 
 
 def replay_into_service(service: "SpeculationService",
-                        wal_dir: str | Path) -> RecoveryReport:
+                        wal_dir: str | Path,
+                        up_to_seq: int | None = None) -> RecoveryReport:
     """Apply the WAL tail beyond ``service.last_seq`` to ``service``.
 
     The service must not be started: replay drives the bank
     synchronously (shard workers would race it), which also makes
     recovery independent of the worker count the crashed process ran
-    with — or the one the restored service will use.
+    with — or the one the restored service will use.  ``up_to_seq``
+    bounds the replay inclusively, reconstructing the state as of
+    that watermark (point-in-time recovery).
     """
     if service._running:
         raise RuntimeError("replay requires a stopped service")
     snapshot_seq = service.last_seq
+    logger.info("replaying WAL %s from seq %d%s", wal_dir,
+                snapshot_seq + 1,
+                "" if up_to_seq is None else f" up to seq {up_to_seq}")
     reader = WalReader(wal_dir)
     batches = events = 0
-    for batch in reader.batches(after_seq=snapshot_seq):
+    for batch in reader.batches(after_seq=snapshot_seq,
+                                up_to_seq=up_to_seq):
         service.bank.apply_batch(batch)
         service._last_seq = batch.seq
         service._events_submitted += batch.n_events
@@ -103,6 +110,7 @@ def recover_service(wal_dir: str | Path,
                     attach_wal: bool = True,
                     wal_fsync: str | None = None,
                     columnar: bool | None = None,
+                    up_to_seq: int | None = None,
                     ) -> tuple["SpeculationService", RecoveryReport]:
     """Snapshot + WAL tail → a service identical to the crashed one.
 
@@ -115,11 +123,17 @@ def recover_service(wal_dir: str | Path,
     composes.  ``n_shards``/``workers``/``transport`` choose the
     recovered service's execution shape exactly as
     :meth:`SpeculationService.restore` does; replay itself is
-    shape-independent.
+    shape-independent.  ``up_to_seq`` gives point-in-time recovery
+    (replay stops at that watermark, inclusive); it requires
+    ``attach_wal=False`` — a re-attached writer would sit at the
+    log's physical tip while the service's watermark is behind it.
     """
     from repro.serve.service import SpeculationService
     from repro.serve.snapshot import load_snapshot
 
+    if up_to_seq is not None and attach_wal:
+        raise ValueError("up_to_seq (point-in-time recovery) requires "
+                         "attach_wal=False")
     wal_kwargs = {"wal_dir": str(wal_dir)} if attach_wal else {}
     if attach_wal and wal_fsync is not None:
         wal_kwargs["wal_fsync"] = wal_fsync
@@ -149,12 +163,18 @@ def recover_service(wal_dir: str | Path,
             scfg = replace(scfg, **overrides)
         service = SpeculationService(config, scfg)
     snapshot_seq = service.last_seq
+    if snapshot is not None:
+        logger.info("recovery anchored on snapshot %s (covers seq %d)",
+                    snapshot, snapshot_seq)
+    else:
+        logger.info("recovery without a snapshot anchor: replaying %s "
+                    "from the log's start", wal_dir)
     # With attach_wal the service's writer already opened the log and
     # truncated any torn tail before our reader gets to scan it, so the
     # reader alone would under-report; the writer counts what it cut.
     repaired = (service._wal.stats.repaired_bytes
                 if service._wal is not None else 0)
-    report = replay_into_service(service, wal_dir)
+    report = replay_into_service(service, wal_dir, up_to_seq=up_to_seq)
     report = RecoveryReport(
         snapshot=Path(snapshot) if snapshot is not None else None,
         snapshot_seq=snapshot_seq,

@@ -1,0 +1,1 @@
+"""Replication subsystem tests (repro.replicate)."""

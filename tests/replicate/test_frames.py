@@ -1,0 +1,163 @@
+"""Replication wire codecs: roundtrips and malformed-frame rejection.
+
+Every decoder must raise :class:`ProtocolError` — never a bare
+``struct.error`` or ``IndexError`` — on truncated, mistyped, or
+corrupt frames, because a follower feeds them bytes straight off a
+socket shared with arbitrary peers.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.replicate import frames
+from repro.serve.wire import ProtocolError
+
+
+def test_r_hello_roundtrip_and_validation():
+    frame = frames.encode_r_hello(41)
+    assert frames.frame_type(frame) == frames.R_HELLO
+    assert frames.decode_r_hello(frame) == 41
+    assert frames.decode_r_hello(frames.encode_r_hello(-1)) == -1
+
+    with pytest.raises(ProtocolError, match="expected R_HELLO"):
+        frames.decode_r_hello(frames.encode_r_ack(41))
+    with pytest.raises(ProtocolError, match="bytes, expected"):
+        frames.decode_r_hello(frame[:-1])
+    bad_magic = bytes([frames.R_HELLO]) + b"NOTREPRO" + frame[9:]
+    with pytest.raises(ProtocolError, match="bad magic"):
+        frames.decode_r_hello(bad_magic)
+    bad_version = bytearray(frame)
+    bad_version[9] = 99
+    with pytest.raises(ProtocolError, match="unsupported replication"):
+        frames.decode_r_hello(bytes(bad_version))
+
+
+def test_r_welcome_roundtrip_and_validation():
+    config = {"controller_config": {"deploy_threshold": 3, "window": 64}}
+    frame = frames.encode_r_welcome(1234, config)
+    last_seq, out = frames.decode_r_welcome(frame)
+    assert last_seq == 1234
+    assert out == config
+
+    with pytest.raises(ProtocolError, match="expected R_WELCOME"):
+        frames.decode_r_welcome(frames.encode_r_hello(0))
+    with pytest.raises(ProtocolError, match="length mismatch"):
+        frames.decode_r_welcome(frame[:-1])
+    with pytest.raises(ProtocolError, match="truncated"):
+        frames.decode_r_welcome(frame[:4])
+    bad_version = bytearray(frame)
+    bad_version[1] = 99
+    with pytest.raises(ProtocolError, match="unsupported replication"):
+        frames.decode_r_welcome(bytes(bad_version))
+    garbage = frame[:15] + b"\xff" * (len(frame) - 15)
+    with pytest.raises(ProtocolError, match="not zlib JSON"):
+        frames.decode_r_welcome(garbage)
+
+
+def test_r_snapshot_roundtrip_and_validation():
+    blob = b"\x1f\x8b" + bytes(range(64))
+    frame = frames.encode_r_snapshot(99, blob)
+    covered, out = frames.decode_r_snapshot(frame)
+    assert covered == 99
+    assert out == blob
+
+    with pytest.raises(ProtocolError, match="expected R_SNAPSHOT"):
+        frames.decode_r_snapshot(frames.encode_r_ack(99))
+    # Header-only (no file bytes) is truncated, not an empty snapshot.
+    with pytest.raises(ProtocolError, match="truncated"):
+        frames.decode_r_snapshot(frame[:9])
+
+
+def test_r_batch_roundtrip_and_validation():
+    body = bytes(range(32))  # stands in for EventBatch.to_bytes()
+    frame = frames.encode_r_batch(body)
+    assert frames.decode_r_batch(frame) == body
+
+    with pytest.raises(ProtocolError, match="expected R_BATCH"):
+        frames.decode_r_batch(frames.encode_r_ack(0))
+    # Shorter than the 12-byte batch header cannot be a real batch.
+    with pytest.raises(ProtocolError, match="truncated"):
+        frames.decode_r_batch(bytes([frames.R_BATCH]) + b"\x00" * 11)
+
+
+def test_r_ack_roundtrip_and_validation():
+    assert frames.decode_r_ack(frames.encode_r_ack(7)) == 7
+    assert frames.decode_r_ack(frames.encode_r_ack(-1)) == -1
+    with pytest.raises(ProtocolError, match="expected R_ACK"):
+        frames.decode_r_ack(frames.encode_r_hello(7))
+    with pytest.raises(ProtocolError, match="bytes, expected"):
+        frames.decode_r_ack(frames.encode_r_ack(7)[:-1])
+
+
+def test_r_error_roundtrip():
+    assert frames.decode_r_error(frames.encode_r_error("boom")) == "boom"
+    with pytest.raises(ProtocolError, match="expected R_ERROR"):
+        frames.decode_r_error(frames.encode_r_ack(0))
+
+
+def test_ro_query_and_decision_roundtrip():
+    pcs = np.array([5, 9, 1000, -3], dtype=np.int32)
+    out = frames.decode_ro_query(frames.encode_ro_query(pcs))
+    np.testing.assert_array_equal(out, pcs)
+    assert out.dtype == np.int32
+
+    decisions = [True, False, True, True]
+    out = frames.decode_ro_decision(frames.encode_ro_decision(decisions))
+    np.testing.assert_array_equal(out, np.array(decisions, np.uint8))
+
+    with pytest.raises(ProtocolError, match="length mismatch"):
+        frames.decode_ro_query(frames.encode_ro_query(pcs)[:-1])
+    with pytest.raises(ProtocolError, match="length mismatch"):
+        frames.decode_ro_decision(
+            frames.encode_ro_decision(decisions)[:-1])
+    with pytest.raises(ProtocolError, match="expected RO_QUERY"):
+        frames.decode_ro_query(frames.encode_ro_decision(decisions))
+
+
+def test_ro_status_roundtrip_and_validation():
+    status = {"role": "follower", "last_seq": 12, "connected": True}
+    assert frames.decode_ro_status(frames.encode_ro_status(status)) \
+        == status
+    with pytest.raises(ProtocolError, match="not zlib JSON"):
+        frames.decode_ro_status(bytes([frames.RO_STATUS]) + b"\xff\xff")
+    with pytest.raises(ProtocolError, match="expected RO_STATUS"):
+        frames.decode_ro_status(frames.encode_ro_status_req())
+
+
+def test_frame_types_disjoint_from_worker_protocol():
+    """A replication frame can never be mistaken for a worker frame."""
+    from repro.serve import wire
+
+    worker_types = {wire.LOAD, wire.HELLO, wire.APPLY,
+                    wire.APPLY_RESULT, wire.BARRIER, wire.BARRIER_ACK,
+                    wire.STATE_REQ, wire.STATE, wire.SHUTDOWN,
+                    wire.ERROR}
+    repl_types = {frames.R_HELLO, frames.R_WELCOME, frames.R_SNAPSHOT,
+                  frames.R_BATCH, frames.R_ACK, frames.R_ERROR,
+                  frames.RO_QUERY, frames.RO_DECISION,
+                  frames.RO_STATUS_REQ, frames.RO_STATUS}
+    assert len(repl_types) == 10
+    assert not worker_types & repl_types
+
+
+def test_parse_addr():
+    assert frames.parse_addr("10.0.0.1:7401") \
+        == (socket.AF_INET, ("10.0.0.1", 7401))
+    assert frames.parse_addr(":7401") \
+        == (socket.AF_INET, ("127.0.0.1", 7401))
+    assert frames.parse_addr("localhost:80") \
+        == (socket.AF_INET, ("localhost", 80))
+    # Anything un-port-like is an AF_UNIX path, colons included.
+    assert frames.parse_addr("/tmp/repl.sock") \
+        == (socket.AF_UNIX, "/tmp/repl.sock")
+    assert frames.parse_addr("/tmp/odd:name/repl.sock") \
+        == (socket.AF_UNIX, "/tmp/odd:name/repl.sock")
+    assert frames.parse_addr("relative.sock") \
+        == (socket.AF_UNIX, "relative.sock")
+
+    assert frames.format_addr(("10.0.0.1", 7401)) == "10.0.0.1:7401"
+    assert frames.format_addr("/tmp/repl.sock") == "/tmp/repl.sock"

@@ -144,3 +144,128 @@ def test_socket_transport_length_prefixed_frames():
     with pytest.raises((EOFError, OSError)):
         right.recv()
     right.close()
+
+
+def test_every_decoder_rejects_malformed_frames():
+    """Socket bytes are attacker-adjacent: every decoder must fail
+    with ProtocolError — never a bare struct.error or IndexError —
+    on empty, truncated, oversized, or mistyped payloads."""
+    pcs, taken, instrs = _arrays(16)
+    state = {"index": 1, "bank": []}
+    # (decoder, valid frame, name, every-truncation-fails,
+    #  trailing-bytes-fail) — ERROR carries a free-form message, so a
+    # bare type byte or extra bytes are legitimate for it; APPLY's body
+    # length is derived from its count field, so only shortfalls fail.
+    cases = [
+        (wire.decode_load, wire.encode_load(state), "LOAD", True, True),
+        (wire.decode_hello, wire.encode_hello(1, 99), "HELLO",
+         True, True),
+        (wire.decode_apply, wire.encode_apply(3, pcs, taken, instrs),
+         "APPLY", True, False),
+        (wire.decode_apply_result,
+         wire.encode_apply_result(1, events=16, correct=9, incorrect=1,
+                                  last_instr=64, changed_pcs=(5,),
+                                  changed_deployed=(True,)),
+         "APPLY_RESULT", True, True),
+        (wire.decode_barrier, wire.encode_barrier(4), "BARRIER",
+         True, True),
+        (wire.decode_state, wire.encode_state(state), "STATE",
+         True, False),
+        (wire.decode_error, wire.encode_error("x"), "ERROR",
+         False, False),
+    ]
+    for decode, frame, name, cuts_fail, trailing_fails in cases:
+        with pytest.raises(wire.ProtocolError):
+            decode(b"")
+        with pytest.raises(wire.ProtocolError):
+            decode(bytes([0x7F]) + frame[1:])  # foreign type byte
+        if cuts_fail:
+            for cut in range(1, len(frame)):
+                with pytest.raises(wire.ProtocolError, match=name):
+                    decode(frame[:cut])
+        if trailing_fails:
+            with pytest.raises(wire.ProtocolError, match=name):
+                decode(frame + b"\x00")
+
+
+def test_zlib_body_decoders_reject_garbage():
+    blob = bytes([wire.STATE]) + b"\xde\xad\xbe\xef"
+    with pytest.raises(wire.ProtocolError, match="not zlib JSON"):
+        wire.decode_state(blob)
+    bad_load = wire.encode_load({"k": 1})
+    bad_load = bad_load[:6] + b"\xff" * (len(bad_load) - 6)
+    with pytest.raises(wire.ProtocolError, match="not zlib JSON"):
+        wire.decode_load(bad_load)
+
+
+def test_decode_load_none_roundtrip():
+    assert wire.decode_load(wire.encode_load(None)) is None
+
+
+class _ScriptedSocket:
+    """A socket stand-in that returns recv() chunks from a script.
+
+    Lets the transport tests pin down exact short-read and mid-frame
+    EOF behaviour without racing a real peer.
+    """
+
+    def __init__(self, chunks):
+        self._chunks = list(chunks)
+
+    def recv(self, n, flags=0):
+        if not self._chunks:
+            return b""
+        if flags & socket.MSG_WAITALL:
+            # Kernel semantics: block until n bytes or EOF, whichever
+            # comes first.
+            out = b""
+            while len(out) < n and self._chunks:
+                out += self._chunks.pop(0)
+            if len(out) > n:
+                self._chunks.insert(0, out[n:])
+            return out[:n]
+        chunk = self._chunks.pop(0)
+        if len(chunk) > n:
+            self._chunks.insert(0, chunk[n:])
+        return chunk[:n]
+
+    def settimeout(self, value):
+        pass
+
+
+def _framed(payload: bytes) -> bytes:
+    import struct
+
+    return struct.pack("<I", len(payload)) + payload
+
+
+def test_recv_exact_reassembles_short_reads():
+    """recv() returning one byte at a time must still yield the whole
+    frame — TCP guarantees nothing about read boundaries."""
+    frame = wire.encode_hello(7, 4242)
+    stream = _framed(frame)
+    transport = wire.SocketTransport(
+        _ScriptedSocket([stream[i:i + 1] for i in range(len(stream))]))
+    assert transport.recv() == frame
+
+
+def test_recv_eof_before_any_frame():
+    transport = wire.SocketTransport(_ScriptedSocket([]))
+    with pytest.raises(EOFError, match="socket closed"):
+        transport.recv()
+
+
+def test_recv_eof_mid_header():
+    # Two of the four length-prefix bytes arrive, then the peer dies.
+    transport = wire.SocketTransport(_ScriptedSocket([b"\x10\x00"]))
+    with pytest.raises(EOFError, match="socket closed"):
+        transport.recv()
+
+
+def test_recv_eof_mid_payload():
+    frame = wire.encode_hello(7, 4242)
+    stream = _framed(frame)[:-3]  # header + partial payload, then EOF
+    transport = wire.SocketTransport(
+        _ScriptedSocket([stream[:4], stream[4:]]))
+    with pytest.raises(EOFError, match="mid-frame"):
+        transport.recv()

@@ -34,7 +34,7 @@ def test_inspect_reports_torn_tail(small_log, capsys):
     with open(newest, "ab") as fh:
         fh.write(b"\x07" * 19)
     assert wal_cli.main(["inspect", "--wal-dir", str(small_log)]) == 0
-    assert "TORN TAIL (19 bytes)" in capsys.readouterr().out
+    assert "TORN(19B)" in capsys.readouterr().out
 
 
 def test_inspect_empty_dir(tmp_path, capsys):
@@ -124,3 +124,27 @@ def test_restore_latest_without_candidates_or_wal_errors(tmp_path, capsys):
                          "--restore-latest", str(tmp_path)])
     assert rc == 2
     assert "no loadable snapshot" in capsys.readouterr().out
+
+
+def test_inspect_status_column(small_log, capsys):
+    assert wal_cli.main(["inspect", "--wal-dir", str(small_log)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("CRC-clean") == len(list_segments(small_log))
+    assert "TORN" not in out
+
+    newest = list_segments(small_log)[-1]
+    with open(newest, "ab") as fh:
+        fh.write(b"\x5a" * 17)
+    assert wal_cli.main(["inspect", "--wal-dir", str(small_log)]) == 0
+    out = capsys.readouterr().out
+    assert "TORN(17B)" in out
+    assert out.count("CRC-clean") == len(list_segments(small_log)) - 1
+
+
+def test_inspect_records_dumps_every_record(small_log, capsys):
+    assert wal_cli.main(["inspect", "--wal-dir", str(small_log),
+                         "--records"]) == 0
+    out = capsys.readouterr().out
+    for seq in range(8):
+        assert f"seq {seq:>10}" in out
+    assert out.count("events") >= 8

@@ -77,3 +77,16 @@ def test_overlapping_segments_are_corruption(tmp_path):
     clone.write_bytes(paths[0].read_bytes())
     with pytest.raises(WalCorruptionError, match="does not"):
         WalReader(tmp_path).scan()
+
+
+def test_up_to_seq_bounds_replay(tmp_path):
+    """Point-in-time reads: the bound is inclusive, later records and
+    whole later segments are never touched."""
+    write_log(tmp_path, 9)
+    reader = WalReader(tmp_path)
+    assert [b.seq for b in reader.batches(up_to_seq=5)] == [0, 1, 2, 3,
+                                                            4, 5]
+    assert [b.seq for b in reader.batches(up_to_seq=0)] == [0]
+    assert [b.seq for b in reader.batches(up_to_seq=99)] == list(range(9))
+    assert [b.seq for b in reader.batches(after_seq=2, up_to_seq=6)] \
+        == [3, 4, 5, 6]

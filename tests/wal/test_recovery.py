@@ -185,3 +185,27 @@ def test_service_refuses_stale_wal_directory(tmp_path, bench_config):
                 service.submit_nowait(make_batches(1, events=64)[0])
 
     asyncio.run(reuse())
+
+
+def test_point_in_time_recovery(tmp_path, bench_trace, bench_config):
+    """``up_to_seq`` recovers the exact state at an older watermark —
+    the primitive failover uses to audit a promoted standby against
+    the dead primary's own log."""
+    wal_dir = tmp_path / "wal"
+    last_seq = _crash_after(bench_trace, bench_config, wal_dir,
+                            snap_path=None)
+    target = last_seq // 2
+    service, report = recover_service(wal_dir, config=bench_config,
+                                      attach_wal=False,
+                                      up_to_seq=target)
+    assert service.last_seq == target
+    assert report.last_seq == target
+    prefix = service.events_submitted
+    assert prefix == (target + 1) * BATCH_EVENTS
+    assert (service.metrics()
+            == _offline(bench_trace, bench_config, prefix))
+
+
+def test_point_in_time_requires_detached_wal(tmp_path, bench_config):
+    with pytest.raises(ValueError, match="attach_wal=False"):
+        recover_service(tmp_path, config=bench_config, up_to_seq=3)
