@@ -1,25 +1,8 @@
 """Columnar fast-path benchmark: shard throughput vs distinct-PC count.
 
-Not a paper artifact — this gates the claim behind repro.serve.colpath:
-the per-PC chunk loop is interpreter-bound when a micro-batch spans
-many static branches, and the columnar cross-branch engine removes
-that cost.  The sweep applies the same synthetic workload to one
-:class:`~repro.serve.shard.BankShard` with ``columnar=True`` and
-``columnar=False`` at 1, 64 and 4096 distinct PCs; the committed claim
-is a >= 2.5x single-shard speedup on the wide (4096-PC) point and no
-regression on the narrow (1-PC) point.  Both figures of each ratio
-come from one run of this script, so machine speed cancels out.
-
-Exactness is asserted per width: both engines must finish with
-bit-identical ``export_state()`` (the columnar path's contract; the
-chunk loop itself is property-tested against scalar ``observe``).
-
-The controller config is serving-scale (short monitor window, long
-revisit) so the wide point reaches the deployed steady state the fast
-path targets within the benchmark's horizon; exactness makes the
-config choice safe.
-
-Standalone usage (what the CI bench-gate runs)::
+The measurement core lives in :mod:`repro.bench.targets.colpath`; the
+preferred entry point is the unified runner (``python -m repro.bench
+run --suite ci-gates``).  This script remains as a standalone shim::
 
     PYTHONPATH=src python benchmarks/bench_colpath.py --quick \\
         --out BENCH_colpath.current.json
@@ -31,128 +14,16 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
-import time
 
-import numpy as np
-
-from repro.core.config import ControllerConfig
-from repro.serve.shard import BankShard
-
-#: Serving-scale controller parameters: branches classify after 64
-#: executions and revisit after 2048, so even the 4096-PC sweep point
-#: (~100 executions per branch) spends most of its events in the
-#: deployed steady state the columnar engine targets.
-BENCH_CONFIG = ControllerConfig(
-    monitor_period=64,
-    selection_threshold=0.95,
-    evict_counter_max=500,
-    misspec_increment=50,
-    correct_decrement=1,
-    revisit_period=2_048,
-    oscillation_limit=5,
-    optimization_latency=2_000,
-)
-
-SWEEP_WIDTHS = (1, 64, 4096)
-
-
-def _workload(n_events: int, width: int, seed: int):
-    """A heavily biased interleaved workload over ``width`` branches."""
-    rng = np.random.default_rng(seed)
-    if width == 1:
-        pcs = np.zeros(n_events, dtype=np.int32)
-    else:
-        pcs = rng.integers(0, width, n_events).astype(np.int32)
-    # 99.9% taken: branches SELECT quickly and stay deployed, with
-    # just enough misses to keep the eviction walk honest.
-    taken = rng.uniform(size=n_events) < 0.999
-    instrs = np.cumsum(rng.integers(1, 4, n_events)).astype(np.int64)
-    return pcs, taken, instrs
-
-
-def _drive(columnar: bool, pcs, taken, instrs,
-           batch_events: int) -> tuple[float, BankShard]:
-    shard = BankShard(0, BENCH_CONFIG, columnar=columnar)
-    n = len(pcs)
-    started = time.perf_counter()
-    for lo in range(0, n, batch_events):
-        hi = min(n, lo + batch_events)
-        shard.apply(pcs[lo:hi], taken[lo:hi], instrs[lo:hi])
-    elapsed = time.perf_counter() - started
-    return n / elapsed, shard
-
-
-def run_colpath_bench(events: int = 400_000, batch_events: int = 8_192,
-                      repeats: int = 3, verbose: bool = True) -> dict:
-    """Sweep distinct-PC counts; returns the CI gate's result document.
-
-    Every events/sec figure is the best of ``repeats`` runs: the gate
-    compares *ratios* of two figures from the same sweep point, and
-    best-of-N makes each ratio about the code, not the scheduler.
-    """
-    exact = True
-    sweep = []
-    _drive(True, *_workload(50_000, 64, 0), batch_events)  # warmup
-    for width in SWEEP_WIDTHS:
-        pcs, taken, instrs = _workload(events, width, seed=width)
-        loop_eps = col_eps = 0.0
-        stats = {}
-        for _ in range(repeats):
-            eps, loop_shard = _drive(False, pcs, taken, instrs,
-                                     batch_events)
-            loop_eps = max(loop_eps, eps)
-            eps, col_shard = _drive(True, pcs, taken, instrs,
-                                    batch_events)
-            col_eps = max(col_eps, eps)
-            stats = col_shard.col.stats()
-            if col_shard.export_state() != loop_shard.export_state():
-                exact = False
-        sweep.append({
-            "distinct_pcs": width,
-            "events": events,
-            "loop_eps": loop_eps,
-            "columnar_eps": col_eps,
-            "speedup": col_eps / loop_eps,
-            "events_fast": stats.get("events_fast", 0),
-            "events_fallback": stats.get("events_fallback", 0),
-        })
-    by_width = {p["distinct_pcs"]: p for p in sweep}
-    result = {
-        "kind": "repro.colpath.bench",
-        "schema": 1,
-        "machine": {"cpus": os.cpu_count()},
-        "config": {"monitor_period": BENCH_CONFIG.monitor_period,
-                   "revisit_period": BENCH_CONFIG.revisit_period,
-                   "optimization_latency":
-                       BENCH_CONFIG.optimization_latency},
-        "batch_events": batch_events,
-        "sweep": sweep,
-        "wide_speedup": by_width[max(SWEEP_WIDTHS)]["speedup"],
-        "narrow_speedup": by_width[min(SWEEP_WIDTHS)]["speedup"],
-        "exact": exact,
-    }
-    if verbose:
-        print(f"columnar fast path, {events:,} events/point, "
-              f"batch {batch_events:,}, {os.cpu_count()} cpu(s)")
-        print(f"  {'distinct PCs':>12} {'loop ev/s':>13} "
-              f"{'columnar ev/s':>14} {'speedup':>8} {'fast-path':>10}")
-        for p in sweep:
-            share = (p["events_fast"]
-                     / max(1, p["events_fast"] + p["events_fallback"]))
-            print(f"  {p['distinct_pcs']:>12,} {p['loop_eps']:>13,.0f} "
-                  f"{p['columnar_eps']:>14,.0f} {p['speedup']:>7.2f}x "
-                  f"{share:>9.1%}")
-        print(f"  exact across engines (all widths): {exact}")
-    return result
+from repro.bench.targets.colpath import run_colpath_bench
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure columnar vs per-PC-loop shard throughput "
                     "over a distinct-PC sweep and write a JSON result "
-                    "for the CI bench-gate.")
+                    "for the CI bench-gate (shim over repro.bench).")
     parser.add_argument("--quick", action="store_true",
                         help="quick mode: 400k events per sweep point "
                              "(the CI gate's configuration)")

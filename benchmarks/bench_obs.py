@@ -1,20 +1,8 @@
 """Observability overhead benchmark: full instrumentation vs none.
 
-Not a paper artifact — this gates the cost of repro.obs.  The claim:
-with every layer instrumented (per-shard apply-latency and batch-size
-histograms, the FSM transition trace ring, WAL histograms when a WAL
-is attached), ingestion throughput stays within 10% of the same
-process running with ``ServiceConfig(obs=False)``.  Both figures come
-from one run of this script, so machine speed cancels out and the
-ratio is about the instrumentation, not the host.
-
-Exactness is asserted for both modes: instrumented and uninstrumented
-runs must produce metrics equal to the offline engine's — the
-non-perturbation property the capture design guarantees structurally
-(capture only *reads* transition deltas the controllers append
-anyway).
-
-Standalone usage (what the CI bench-gate runs)::
+The measurement core lives in :mod:`repro.bench.targets.obs`; the
+preferred entry point is the unified runner (``python -m repro.bench
+run --suite ci-gates``).  This script remains as a standalone shim::
 
     PYTHONPATH=src python benchmarks/bench_obs.py --quick \\
         --out BENCH_obs.current.json
@@ -24,91 +12,17 @@ Standalone usage (what the CI bench-gate runs)::
 from __future__ import annotations
 
 import argparse
-import asyncio
 import json
-import os
 import sys
-import time
 
-from repro.core.config import scaled_config
-from repro.serve.client import feed_trace
-from repro.serve.service import ServiceConfig, SpeculationService
-from repro.sim.runner import run_reactive
-from repro.trace.spec2000 import load_trace
-
-
-def _ingest(trace, obs: bool):
-    async def run():
-        scfg = ServiceConfig(n_shards=4, obs=obs)
-        async with SpeculationService(scaled_config(), scfg) as service:
-            started = time.perf_counter()
-            await feed_trace(service, trace, batch_events=8192)
-            await service.drain()
-            elapsed = time.perf_counter() - started
-            trace_len = len(service.trace)
-            return service.metrics(), elapsed, trace_len
-
-    return asyncio.run(run())
-
-
-def run_obs_bench(events: int = 400_000, trace_name: str = "gcc",
-                  repeats: int = 3, verbose: bool = True) -> dict:
-    """Measure ingestion eps with observability off vs fully on;
-    returns the result document the bench-gate checks.
-
-    Every figure is the best of ``repeats`` runs: single-run ingestion
-    timings at this scale are noisy (GC, page cache, CI neighbors) in
-    both directions, and the gate compares a *ratio* of two of them —
-    best-of-N makes that ratio about the code, not the scheduler.
-    """
-    trace = load_trace(trace_name, length=events)
-    offline = run_reactive(trace, scaled_config()).metrics
-    exact = True
-    ring_records = 0
-
-    def best_eps(obs: bool) -> float:
-        nonlocal exact, ring_records
-        best = 0.0
-        for _ in range(repeats):
-            metrics, elapsed, trace_len = _ingest(trace, obs)
-            if metrics != offline:
-                exact = False
-            if obs:
-                ring_records = max(ring_records, trace_len)
-            best = max(best, len(trace) / elapsed)
-        return best
-
-    _ingest(trace, False)  # warmup: page in the trace + JIT numpy
-    baseline_eps = best_eps(False)
-    obs_eps = best_eps(True)
-
-    result = {
-        "kind": "repro.obs.bench",
-        "schema": 1,
-        "trace": {"name": trace_name, "events": len(trace)},
-        "machine": {"cpus": os.cpu_count()},
-        "baseline_eps": baseline_eps,
-        "obs_eps": obs_eps,
-        "overhead": 1.0 - obs_eps / baseline_eps,
-        "trace_ring_records": ring_records,
-        "exact": exact,
-    }
-    if verbose:
-        print(f"obs overhead, {trace_name} {len(trace):,} events, "
-              f"{os.cpu_count()} cpu(s)")
-        print(f"  obs off (baseline)     {baseline_eps:>12,.0f} ev/s")
-        print(f"  obs on  (instrumented) {obs_eps:>12,.0f} ev/s "
-              f"{obs_eps / baseline_eps:>6.2f}x")
-        print(f"  instrumentation overhead: {result['overhead']:.1%}")
-        print(f"  transition-ring records (last run): {ring_records:,}")
-        print(f"  exact vs offline engine (both modes): {exact}")
-    return result
+from repro.bench.targets.obs import run_obs_bench
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure repro.obs full-instrumentation overhead and "
-                    "write a JSON result for the CI bench-gate.")
+                    "write a JSON result for the CI bench-gate "
+                    "(shim over repro.bench).")
     parser.add_argument("--quick", action="store_true",
                         help="quick mode: 400k events (the CI gate's "
                              "configuration)")

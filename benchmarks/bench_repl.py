@@ -1,24 +1,9 @@
 """Replication benchmarks: primary-side streaming overhead, follower
 apply rate, and end-to-end exactness.
 
-Not a paper artifact — this characterizes the replication layer under
-the serving stack.  The claim being gated: with a connected,
-continuously acking follower, streaming the WAL costs the primary at
-most a modest slice of ingestion throughput — the committed bound is
-15% against a replication-off run *measured in the same process* (so
-machine speed cancels out).  That is what makes a warm standby a
-defensible default for a durable deployment: the copy is nearly free.
-
-The timed follower is a *drain-and-ack* peer in a separate process:
-it speaks the real protocol and acks real sequence numbers but skips
-the apply, so the measured cost is the primary's own framing and
-socket work, not the standby's CPU bill showing up through a shared
-machine (CI runners are small).  A full :class:`ReplicationFollower`
-pass then checks the semantics: the replica's state must be
-bit-identical to the offline engine over the same trace, and its
-apply rate is reported for the table.
-
-Standalone usage (what the CI bench-gate runs)::
+The measurement core lives in :mod:`repro.bench.targets.repl`; the
+preferred entry point is the unified runner (``python -m repro.bench
+run --suite ci-gates``).  This script remains as a standalone shim::
 
     PYTHONPATH=src python benchmarks/bench_repl.py --quick \\
         --out BENCH_repl.current.json
@@ -28,205 +13,17 @@ Standalone usage (what the CI bench-gate runs)::
 from __future__ import annotations
 
 import argparse
-import asyncio
 import json
-import os
-import subprocess
 import sys
-import tempfile
-import time
-from pathlib import Path
 
-import repro
-from repro.core.config import scaled_config
-from repro.replicate.follower import FollowerConfig, ReplicationFollower
-from repro.serve.client import feed_trace
-from repro.serve.service import ServiceConfig, SpeculationService
-from repro.sim.runner import run_reactive
-from repro.trace.spec2000 import load_trace
-
-SRC = Path(repro.__file__).resolve().parents[1]
-
-#: A protocol-complete follower that drains and acks without applying:
-#: connect, handshake at watermark -1, ack the newest seq whenever the
-#: socket idles (or every 64 batches under a firehose), exit on EOF.
-DRAIN_FOLLOWER = """
-import select, struct, sys, time
-from repro.replicate import frames
-from repro.serve.wire import SocketTransport
-
-addr = sys.argv[1]
-deadline = time.monotonic() + 30.0
-while True:
-    try:
-        sock = frames.connect_socket(addr, timeout=1.0)
-        break
-    except OSError:
-        if time.monotonic() > deadline:
-            raise
-        time.sleep(0.02)
-transport = SocketTransport(sock)
-transport.send(frames.encode_r_hello(-1))
-frames.decode_r_welcome(transport.recv())
-last, unacked = -1, 0
-while True:
-    try:
-        payload = transport.recv()
-    except (EOFError, OSError):
-        break
-    if payload and payload[0] == frames.R_BATCH:
-        last = struct.unpack_from("<Q", payload, 1)[0]
-        unacked += 1
-        ready, _w, _x = select.select([sock], [], [], 0)
-        if unacked >= 64 or not ready:
-            transport.send(frames.encode_r_ack(last))
-            unacked = 0
-"""
-
-
-def _ingest(trace, wal_dir: str, repl_listen: str | None = None,
-            wait_follower: bool = False):
-    """Feed the trace through a WAL-enabled service; returns
-    ``(metrics, elapsed_seconds, last_replicated_seq)``."""
-
-    async def run():
-        scfg = ServiceConfig(n_shards=4, wal_dir=wal_dir,
-                             wal_fsync="batch", repl_listen=repl_listen)
-        async with SpeculationService(scaled_config(), scfg) as service:
-            if wait_follower:
-                deadline = time.monotonic() + 30.0
-                while service._repl.connections < 1:
-                    if time.monotonic() > deadline:
-                        raise RuntimeError("no follower connected")
-                    await asyncio.sleep(0.01)
-            started = time.perf_counter()
-            await feed_trace(service, trace, batch_events=8192)
-            await service.drain()
-            elapsed = time.perf_counter() - started
-            return service.metrics(), elapsed, service.last_replicated_seq
-
-    return asyncio.run(run())
-
-
-def run_repl_bench(events: int = 400_000, trace_name: str = "gcc",
-                   repeats: int = 4, verbose: bool = True) -> dict:
-    """Measure replication-off vs replication-on ingestion in the same
-    process, plus a full follower's apply rate and exactness; returns
-    the result document the bench-gate checks.
-
-    The gated figures come from the best of ``repeats`` *paired*
-    off/on runs: the gate compares a ratio of two timings, and pairing
-    makes that ratio about the code, not the scheduler.
-    """
-    trace = load_trace(trace_name, length=events)
-    config = scaled_config()
-    offline = run_reactive(trace, config).metrics
-    exact = True
-
-    def one_eps(repl: bool) -> float:
-        nonlocal exact
-        with tempfile.TemporaryDirectory(prefix="bench-repl-") as d:
-            wal_dir = str(Path(d) / "wal")
-            proc = None
-            listen = None
-            if repl:
-                listen = str(Path(d) / "repl.sock")
-                proc = subprocess.Popen(
-                    [sys.executable, "-c", DRAIN_FOLLOWER, listen],
-                    env={**os.environ, "PYTHONPATH": str(SRC)})
-            try:
-                metrics, elapsed, acked = _ingest(
-                    trace, wal_dir, repl_listen=listen,
-                    wait_follower=repl)
-            finally:
-                if proc is not None:
-                    try:
-                        proc.wait(timeout=10)
-                    except subprocess.TimeoutExpired:
-                        proc.kill()
-                        proc.wait()
-            if metrics != offline:
-                exact = False
-            if repl and acked < 0:
-                raise RuntimeError("follower never acked a batch")
-            return len(trace) / elapsed
-
-    _ingest(trace, tempfile.mkdtemp(prefix="bench-repl-warm-"))  # warmup
-    # The runs are short, so machine speed drifts between them (fsync
-    # latency, scheduler).  Measure off/on back to back and keep the
-    # pair with the least overhead: the gated ratio then compares two
-    # timings taken moments apart, not a lucky maximum from one pass
-    # against an unlucky maximum from another.
-    baseline_eps = repl_eps = 0.0
-    for _ in range(repeats):
-        off = one_eps(repl=False)
-        on = one_eps(repl=True)
-        if baseline_eps == 0.0 or on * baseline_eps > repl_eps * off:
-            baseline_eps, repl_eps = off, on
-
-    # Semantics pass: a real follower applies everything; its replica
-    # must match the offline engine bit-for-bit.  Its apply rate is
-    # wall-clock from first feed to caught-up (informational).
-    follower_apply_eps = 0.0
-    with tempfile.TemporaryDirectory(prefix="bench-repl-full-") as d:
-        listen = str(Path(d) / "repl.sock")
-        follower = ReplicationFollower(FollowerConfig(
-            upstream=listen, wal_dir=str(Path(d) / "fwal"),
-            n_shards=4, wal_fsync="off", reconnect_backoff=0.05))
-        follower.start()
-        tip = (len(trace) + 8192 - 1) // 8192 - 1
-
-        async def run_full():
-            scfg = ServiceConfig(n_shards=4,
-                                 wal_dir=str(Path(d) / "wal"),
-                                 wal_fsync="batch", repl_listen=listen)
-            async with SpeculationService(scaled_config(),
-                                          scfg) as service:
-                while service._repl.connections < 1:
-                    await asyncio.sleep(0.01)
-                started = time.perf_counter()
-                await feed_trace(service, trace, batch_events=8192)
-                await service.drain()
-                # The stream outlives the drain: wait for the replica
-                # to reach the tip before the primary goes away.
-                ok = await asyncio.get_running_loop().run_in_executor(
-                    None, follower.wait_caught_up, tip, 120.0)
-                return ok, time.perf_counter() - started
-
-        caught_up, elapsed = asyncio.run(run_full())
-        follower.stop()
-        if not caught_up or follower.service.metrics() != offline:
-            exact = False
-        follower_apply_eps = len(trace) / elapsed
-
-    result = {
-        "kind": "repro.repl.bench",
-        "schema": 1,
-        "trace": {"name": trace_name, "events": len(trace)},
-        "machine": {"cpus": os.cpu_count()},
-        "baseline_eps": baseline_eps,
-        "repl_eps": repl_eps,
-        "repl_overhead": 1.0 - repl_eps / baseline_eps,
-        "follower_apply_eps": follower_apply_eps,
-        "exact": exact,
-    }
-    if verbose:
-        print(f"replication overhead, {trace_name} {len(trace):,} "
-              f"events, {os.cpu_count()} cpu(s)")
-        print(f"  replication off        {baseline_eps:>12,.0f} ev/s")
-        print(f"  replication on         {repl_eps:>12,.0f} ev/s "
-              f"{repl_eps / baseline_eps:>6.2f}x")
-        print(f"  follower apply (e2e)   {follower_apply_eps:>12,.0f} "
-              f"ev/s")
-        print(f"  primary-side overhead: {result['repl_overhead']:.1%}")
-        print(f"  exact vs offline engine (primary + replica): {exact}")
-    return result
+from repro.bench.targets.repl import run_repl_bench
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure repro.replicate primary-side overhead and "
-                    "write a JSON result for the CI bench-gate.")
+                    "write a JSON result for the CI bench-gate "
+                    "(shim over repro.bench).")
     parser.add_argument("--quick", action="store_true",
                         help="quick mode: 400k events (the CI gate's "
                              "configuration)")

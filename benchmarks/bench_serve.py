@@ -9,8 +9,10 @@ top of the controller model:
   density (larger per-branch runs through the vectorized fast path),
   not parallelism — see docs/serving.md for how to read the numbers.
 * single-process vs per-shard **worker processes**: the multi-core
-  scaling curve.  Run standalone for the JSON the CI bench-gate
-  compares against the committed baseline::
+  scaling curve.  The measurement core lives in
+  :mod:`repro.bench.targets.serve`; the preferred entry point is the
+  unified runner (``python -m repro.bench run --suite ci-gates``), and
+  this script remains as a standalone shim::
 
       PYTHONPATH=src python benchmarks/bench_serve.py --quick \\
           --out BENCH_serve.current.json
@@ -31,6 +33,8 @@ import time
 
 import pytest
 
+from repro.bench.targets.serve import ingest as _ingest
+from repro.bench.targets.serve import run_scaling
 from repro.core.config import scaled_config
 from repro.serve.client import feed_trace
 from repro.serve.service import ServiceConfig, SpeculationService
@@ -38,7 +42,6 @@ from repro.sim.runner import run_reactive
 from repro.trace.spec2000 import load_trace
 
 SHARD_COUNTS = (1, 2, 4, 8)
-WORKER_COUNTS = (1, 2, 4)
 
 
 @pytest.fixture(scope="module")
@@ -50,22 +53,6 @@ def trace(request):
 @pytest.fixture(scope="module")
 def offline_metrics(trace):
     return run_reactive(trace, scaled_config()).metrics
-
-
-def _ingest(trace, n_shards: int, queue_events: int = 65_536,
-            workers: int = 0, transport: str = "pipe"):
-    """One full replay; timing excludes worker-process startup."""
-    async def run():
-        scfg = ServiceConfig(n_shards=n_shards, queue_events=queue_events,
-                             workers=workers, transport=transport)
-        async with SpeculationService(scaled_config(), scfg) as service:
-            started = time.perf_counter()
-            await feed_trace(service, trace, batch_events=8192)
-            await service.drain()
-            elapsed = time.perf_counter() - started
-            return service.metrics(), service.reading(), elapsed
-
-    return asyncio.run(run())
 
 
 def test_ingestion_scaling_across_shards(benchmark, trace, offline_metrics):
@@ -182,65 +169,12 @@ def test_snapshot_cost(benchmark, trace, tmp_path):
           f"{len(list(service.bank.shards))} shards")
 
 
-# -- standalone scaling harness (the CI bench-gate entry point) -------------
-def run_scaling(events: int = 400_000, trace_name: str = "gcc",
-                worker_counts=WORKER_COUNTS, transport: str = "pipe",
-                verbose: bool = True) -> dict:
-    """Measure single-process vs worker-process ingestion throughput.
-
-    Returns the result document the bench-gate compares: absolute
-    events/sec per mode, the 4-worker speedup, and an exactness flag
-    (every mode's metrics must equal the offline engine's).  Timings
-    exclude worker-process startup; each mode runs once after a shared
-    warmup replay (the trace generator is deterministic, so exactness
-    holds machine-independently).
-    """
-    trace = load_trace(trace_name, length=events)
-    offline = run_reactive(trace, scaled_config()).metrics
-    exact = True
-
-    def measure(workers: int) -> float:
-        nonlocal exact
-        shards = workers if workers else 4
-        metrics, _reading, elapsed = _ingest(
-            trace, n_shards=shards, workers=workers, transport=transport)
-        if metrics != offline:
-            exact = False
-        return len(trace) / elapsed
-
-    _ingest(trace, n_shards=4)  # warmup: page in the trace + JIT numpy
-    single_eps = measure(0)
-    multi = {str(w): measure(w) for w in worker_counts}
-    top = str(max(worker_counts))
-    result = {
-        "kind": "repro.serve.bench",
-        "schema": 1,
-        "trace": {"name": trace_name, "events": len(trace)},
-        "machine": {"cpus": os.cpu_count()},
-        "transport": transport,
-        "single_process_eps": single_eps,
-        "multi_process_eps": multi,
-        "speedup_at_max_workers": multi[top] / single_eps,
-        "max_workers": int(top),
-        "exact": exact,
-    }
-    if verbose:
-        print(f"serve scaling, {trace_name} {len(trace):,} events, "
-              f"{os.cpu_count()} cpu(s), transport={transport}")
-        print(f"  single-process (4 shards) {single_eps:>12,.0f} ev/s")
-        for w in worker_counts:
-            eps = multi[str(w)]
-            print(f"  {w} worker process(es)     {eps:>12,.0f} ev/s "
-                  f"{eps / single_eps:>6.2f}x")
-        print(f"  exact vs offline engine: {exact}")
-    return result
-
-
+# -- standalone CLI shim over the registered target -------------------------
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure repro.serve single- vs multi-process "
                     "ingestion scaling and write a JSON result for the "
-                    "CI bench-gate.")
+                    "CI bench-gate (shim over repro.bench).")
     parser.add_argument("--quick", action="store_true",
                         help="quick mode: 400k events (the CI gate's "
                              "configuration)")

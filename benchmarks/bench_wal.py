@@ -1,20 +1,8 @@
 """WAL benchmarks: append overhead per fsync policy, and replay speed.
 
-Not a paper artifact — this characterizes the durability layer under
-the serving stack.  The claim being gated: with group commit
-(``wal_fsync="batch"``), write-ahead logging costs at most a modest
-slice of ingestion throughput — the committed bound is 15% against a
-WAL-less run *measured in the same process* (so machine speed cancels
-out), which is what makes "always log" a defensible default for an
-online deployment.  ``always`` is measured for the table but not
-gated: one fsync per batch is a latency choice, not a tax surprise.
-
-Replay throughput is measured too (recovery from the log alone must
-re-apply events far faster than they arrived), and exactness is
-asserted everywhere: every mode's metrics — and every mode's
-*recovered* metrics — must equal the offline engine's.
-
-Standalone usage (what the CI bench-gate runs)::
+The measurement core lives in :mod:`repro.bench.targets.wal`; the
+preferred entry point is the unified runner (``python -m repro.bench
+run --suite ci-gates``).  This script remains as a standalone shim::
 
     PYTHONPATH=src python benchmarks/bench_wal.py --quick \\
         --out BENCH_wal.current.json
@@ -24,120 +12,17 @@ Standalone usage (what the CI bench-gate runs)::
 from __future__ import annotations
 
 import argparse
-import asyncio
 import json
-import os
 import sys
-import tempfile
-import time
-from pathlib import Path
 
-from repro.core.config import scaled_config
-from repro.serve.client import feed_trace
-from repro.serve.service import ServiceConfig, SpeculationService
-from repro.sim.runner import run_reactive
-from repro.trace.spec2000 import load_trace
-from repro.wal.recovery import recover_service
-
-FSYNC_MODES = ("off", "batch", "always")
-
-
-def _ingest(trace, wal_dir: str | None, wal_fsync: str = "batch"):
-    async def run():
-        scfg = ServiceConfig(n_shards=4, wal_dir=wal_dir,
-                             wal_fsync=wal_fsync)
-        async with SpeculationService(scaled_config(), scfg) as service:
-            started = time.perf_counter()
-            await feed_trace(service, trace, batch_events=8192)
-            await service.drain()
-            elapsed = time.perf_counter() - started
-            return service.metrics(), elapsed
-
-    return asyncio.run(run())
-
-
-def run_wal_bench(events: int = 400_000, trace_name: str = "gcc",
-                  repeats: int = 3, verbose: bool = True) -> dict:
-    """Measure ingestion eps without a WAL vs per fsync policy, plus
-    log-replay eps; returns the result document the bench-gate checks.
-
-    Every figure is the best of ``repeats`` runs: single-run ingestion
-    timings at this scale are noisy (GC, page cache, CI neighbors) in
-    both directions, and the gate compares a *ratio* of two of them —
-    best-of-N makes that ratio about the code, not the scheduler.
-    """
-    trace = load_trace(trace_name, length=events)
-    config = scaled_config()
-    offline = run_reactive(trace, config).metrics
-    exact = True
-
-    def best_eps(wal_fsync: str | None) -> float:
-        """Best-of-``repeats`` ingestion rate; None = WAL disabled.
-        Each repeat logs into a fresh directory (sequence numbers
-        restart per run, and a WAL refuses stale appends)."""
-        nonlocal exact
-        best = 0.0
-        for _ in range(repeats):
-            with tempfile.TemporaryDirectory(prefix="bench-wal-") as d:
-                wal_dir = (str(Path(d) / "wal")
-                           if wal_fsync is not None else None)
-                metrics, elapsed = _ingest(trace, wal_dir,
-                                           wal_fsync=wal_fsync or "batch")
-                if metrics != offline:
-                    exact = False
-                best = max(best, len(trace) / elapsed)
-        return best
-
-    _ingest(trace, None)  # warmup: page in the trace + JIT numpy
-    baseline_eps = best_eps(None)
-    wal_eps = {mode: best_eps(mode) for mode in FSYNC_MODES}
-
-    # Recovery exactness + replay speed on one batch-mode log (replay
-    # does not depend on the fsync policy the log was written under).
-    replay_eps = 0.0
-    with tempfile.TemporaryDirectory(prefix="bench-wal-replay-") as d:
-        wal_dir = str(Path(d) / "wal")
-        metrics, _elapsed = _ingest(trace, wal_dir, wal_fsync="batch")
-        if metrics != offline:
-            exact = False
-        for _ in range(repeats):
-            started = time.perf_counter()
-            service, _report = recover_service(wal_dir, config=config,
-                                               attach_wal=False)
-            replay_elapsed = time.perf_counter() - started
-            if service.metrics() != offline:
-                exact = False
-            replay_eps = max(replay_eps, len(trace) / replay_elapsed)
-
-    result = {
-        "kind": "repro.wal.bench",
-        "schema": 1,
-        "trace": {"name": trace_name, "events": len(trace)},
-        "machine": {"cpus": os.cpu_count()},
-        "baseline_eps": baseline_eps,
-        "wal_eps": wal_eps,
-        "batch_overhead": 1.0 - wal_eps["batch"] / baseline_eps,
-        "replay_eps": replay_eps,
-        "exact": exact,
-    }
-    if verbose:
-        print(f"wal overhead, {trace_name} {len(trace):,} events, "
-              f"{os.cpu_count()} cpu(s)")
-        print(f"  no WAL                 {baseline_eps:>12,.0f} ev/s")
-        for mode in FSYNC_MODES:
-            eps = wal_eps[mode]
-            print(f"  wal fsync={mode:<6}       {eps:>12,.0f} ev/s "
-                  f"{eps / baseline_eps:>6.2f}x")
-        print(f"  replay (recovery)      {replay_eps:>12,.0f} ev/s")
-        print(f"  batch-commit overhead: {result['batch_overhead']:.1%}")
-        print(f"  exact vs offline engine (ingest + recovery): {exact}")
-    return result
+from repro.bench.targets.wal import run_wal_bench
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure repro.wal append overhead per fsync policy "
-                    "and write a JSON result for the CI bench-gate.")
+                    "and write a JSON result for the CI bench-gate "
+                    "(shim over repro.bench).")
     parser.add_argument("--quick", action="store_true",
                         help="quick mode: 400k events (the CI gate's "
                              "configuration)")

@@ -1,482 +1,60 @@
-"""CI bench-gate: compare a fresh bench run against its baseline.
+"""CI bench-gate shim: compare a fresh bench run against its baseline.
 
-The gate dispatches on the result document's ``kind``:
+This used to hold five near-duplicate per-kind gate arms; it is now a
+thin compatibility wrapper over the declarative gate engine in
+:mod:`repro.bench` (same CLI flags, same exit codes), so existing docs
+and runbooks keep working.  Both arguments may be old-format per-kind
+documents (``repro.serve.bench`` & co) or unified
+``repro.bench.results`` documents — the schema loader accepts either.
 
-``repro.serve.bench`` (bench_serve.py) — two independent checks, both
-computed from the *current* run:
+The gates themselves are declared next to each benchmark in
+``src/repro/bench/targets/``:
 
-1. **Scaling floor** — throughput at the max worker count must be at
-   least ``--min-speedup`` times single-process throughput *measured in
-   the same run* (so machine speed cancels out).  This is the real
-   gate: it proves the worker processes buy parallelism.  It is only
-   meaningful on a multi-core host, so when the current run reports
-   fewer than ``--min-cpus`` CPUs the check is skipped with a notice
-   (pass ``--strict`` to fail instead, e.g. if the CI runner shrank).
+* ``serve``   — >= 1.8x worker scaling within the current run
+  (skipped, or failed with ``--strict``, below ``--min-cpus``),
+* ``wal``     — <= 15% fsync=batch overhead within the current run,
+* ``obs``     — <= 10% instrumentation overhead within the current run,
+* ``colpath`` — >= 2.5x wide-point and >= 0.9x narrow-point
+  columnar/loop ratios within the current run,
+* ``repl``    — <= 15% primary-side overhead within the current run,
 
-2. **Throughput band** — every absolute events/sec figure must stay
-   within ``--tolerance`` of the committed baseline (current >=
-   tolerance * baseline).  This catches large regressions in either
-   mode without being flaky about runner-to-runner variance; the
-   committed baseline is deliberately conservative.
+plus, for every benchmark: exactness (``exact: false`` in either file
+fails the gate regardless of the numbers) and a per-metric tolerance
+band against the committed baseline.
 
-``repro.wal.bench`` (bench_wal.py) — the durability tax bound:
-ingestion with ``wal_fsync=batch`` must reach at least
-``1 - --max-wal-overhead`` of the same run's WAL-less throughput
-(default 15% overhead, the committed claim in docs/durability.md),
-plus the same tolerance band against the committed baseline.
-
-``repro.obs.bench`` (bench_obs.py) — the instrumentation tax bound:
-ingestion with full observability (histograms + transition-trace
-ring) must reach at least ``1 - --max-obs-overhead`` of the same
-run's uninstrumented throughput (default 10% overhead, the committed
-claim in docs/observability.md), plus the tolerance band against the
-committed baseline.
-
-``repro.colpath.bench`` (bench_colpath.py) — the columnar fast path's
-committed claim (docs/serving.md): at the widest distinct-PC sweep
-point the columnar engine must beat the per-PC chunk loop by at least
-``--min-colpath-speedup`` (default 2.5x), and at the 1-PC point it
-must not regress below ``--min-narrow-ratio`` (default 0.9x) of the
-loop — both ratios measured within the current run, so machine speed
-cancels out — plus the tolerance band on every per-width absolute
-figure against the committed baseline.
-
-``repro.repl.bench`` (bench_repl.py) — the replication tax bound:
-ingestion with a connected, acking follower must reach at least
-``1 - --max-repl-overhead`` of the same run's replication-off
-throughput (default 15% overhead, the committed claim in
-docs/durability.md), plus the tolerance band against the committed
-baseline.
-
-Exactness is non-negotiable for every kind: if either JSON says
-``exact: false`` the gate fails regardless of the numbers.
-
-Usage (what .github/workflows/ci.yml runs)::
+Usage (unchanged)::
 
     PYTHONPATH=src python benchmarks/bench_serve.py --quick \
         --out BENCH_serve.current.json
     python benchmarks/check_bench.py BENCH_serve.json \
         BENCH_serve.current.json --min-speedup 1.8
 
-    PYTHONPATH=src python benchmarks/bench_wal.py --quick \
-        --out BENCH_wal.current.json
-    python benchmarks/check_bench.py BENCH_wal.json BENCH_wal.current.json
+Preferred new entry point (one command for all five gates)::
 
-    PYTHONPATH=src python benchmarks/bench_obs.py --quick \
-        --out BENCH_obs.current.json
-    python benchmarks/check_bench.py BENCH_obs.json BENCH_obs.current.json
-
-    PYTHONPATH=src python benchmarks/bench_colpath.py --quick \
-        --out BENCH_colpath.current.json
-    python benchmarks/check_bench.py BENCH_colpath.json \
-        BENCH_colpath.current.json
-
-    PYTHONPATH=src python benchmarks/bench_repl.py --quick \
-        --out BENCH_repl.current.json
-    python benchmarks/check_bench.py BENCH_repl.json BENCH_repl.current.json
+    PYTHONPATH=src python -m repro.bench run --suite ci-gates \
+        --out BENCH.current.json
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
+from pathlib import Path
 
-__all__ = ["check", "check_wal", "check_obs", "check_colpath",
-           "check_repl", "main"]
+# The historical invocation is `python benchmarks/check_bench.py ...`
+# with no PYTHONPATH; keep that working.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-_KINDS = ("repro.serve.bench", "repro.wal.bench", "repro.obs.bench",
-          "repro.colpath.bench", "repro.repl.bench")
+from repro.bench.cli import build_parser  # noqa: E402
 
-
-def _load(path: str) -> dict:
-    with open(path) as fh:
-        doc = json.load(fh)
-    if doc.get("kind") not in _KINDS:
-        raise SystemExit(f"{path}: not a known bench result document "
-                         f"(kind={doc.get('kind')!r})")
-    return doc
-
-
-def check(baseline: dict, current: dict, min_speedup: float,
-          tolerance: float, min_cpus: int, strict: bool) -> list[str]:
-    """Return a list of failure messages (empty = gate passes)."""
-    failures: list[str] = []
-    for name, doc in (("baseline", baseline), ("current", current)):
-        if not doc.get("exact", False):
-            failures.append(f"{name} run diverged from the offline engine "
-                            "(exact: false)")
-
-    cpus = current.get("machine", {}).get("cpus") or 0
-    speedup = current.get("speedup_at_max_workers", 0.0)
-    workers = current.get("max_workers")
-    if cpus >= min_cpus:
-        if speedup < min_speedup:
-            failures.append(
-                f"scaling floor: {workers}-worker speedup {speedup:.2f}x "
-                f"< required {min_speedup:.2f}x on a {cpus}-cpu host")
-    elif strict:
-        failures.append(f"host has {cpus} cpu(s) < required {min_cpus} "
-                        "(--strict)")
-    else:
-        print(f"NOTE: skipping the {min_speedup:.2f}x scaling floor — "
-              f"host has {cpus} cpu(s), need >= {min_cpus} for the check "
-              "to be meaningful")
-
-    def band(label: str, base: float, cur: float) -> None:
-        floor = tolerance * base
-        if cur < floor:
-            failures.append(
-                f"throughput band: {label} {cur:,.0f} ev/s < "
-                f"{floor:,.0f} ev/s ({tolerance:.0%} of baseline "
-                f"{base:,.0f})")
-
-    band("single-process", baseline["single_process_eps"],
-         current["single_process_eps"])
-    for w, base_eps in baseline.get("multi_process_eps", {}).items():
-        cur_eps = current.get("multi_process_eps", {}).get(w)
-        if cur_eps is None:
-            failures.append(f"current run is missing the {w}-worker point")
-        else:
-            band(f"{w}-worker", base_eps, cur_eps)
-    return failures
-
-
-def check_wal(baseline: dict, current: dict, max_overhead: float,
-              tolerance: float) -> list[str]:
-    """Gate a bench_wal result (empty list = pass)."""
-    failures: list[str] = []
-    for name, doc in (("baseline", baseline), ("current", current)):
-        if not doc.get("exact", False):
-            failures.append(f"{name} run (or its recovery) diverged from "
-                            "the offline engine (exact: false)")
-
-    # The committed claim, measured within one run so machine speed
-    # cancels out: group-commit logging costs at most max_overhead.
-    floor = (1.0 - max_overhead) * current["baseline_eps"]
-    batch_eps = current.get("wal_eps", {}).get("batch")
-    if batch_eps is None:
-        failures.append("current run is missing the fsync=batch point")
-    elif batch_eps < floor:
-        failures.append(
-            f"wal overhead: fsync=batch {batch_eps:,.0f} ev/s < "
-            f"{floor:,.0f} ev/s ({1 - max_overhead:.0%} of the same "
-            f"run's WAL-less {current['baseline_eps']:,.0f})")
-
-    def band(label: str, base: float, cur: float | None) -> None:
-        if cur is None:
-            failures.append(f"current run is missing the {label} point")
-            return
-        floor = tolerance * base
-        if cur < floor:
-            failures.append(
-                f"throughput band: {label} {cur:,.0f} ev/s < "
-                f"{floor:,.0f} ev/s ({tolerance:.0%} of baseline "
-                f"{base:,.0f})")
-
-    band("WAL-less", baseline["baseline_eps"], current.get("baseline_eps"))
-    for mode, base_eps in baseline.get("wal_eps", {}).items():
-        band(f"fsync={mode}", base_eps,
-             current.get("wal_eps", {}).get(mode))
-    band("replay", baseline["replay_eps"], current.get("replay_eps"))
-    return failures
-
-
-def check_repl(baseline: dict, current: dict, max_overhead: float,
-               tolerance: float) -> list[str]:
-    """Gate a bench_repl result (empty list = pass)."""
-    failures: list[str] = []
-    for name, doc in (("baseline", baseline), ("current", current)):
-        if not doc.get("exact", False):
-            failures.append(f"{name} run's primary or replica diverged "
-                            "from the offline engine (exact: false)")
-
-    # The committed claim, measured within one run so machine speed
-    # cancels out: streaming to an acking follower costs the primary
-    # at most max_overhead.
-    floor = (1.0 - max_overhead) * current["baseline_eps"]
-    repl_eps = current.get("repl_eps")
-    if repl_eps is None:
-        failures.append("current run is missing the replication-on point")
-    elif repl_eps < floor:
-        failures.append(
-            f"replication overhead: with follower {repl_eps:,.0f} ev/s < "
-            f"{floor:,.0f} ev/s ({1 - max_overhead:.0%} of the same "
-            f"run's replication-off {current['baseline_eps']:,.0f})")
-
-    def band(label: str, base: float, cur: float | None) -> None:
-        if cur is None:
-            failures.append(f"current run is missing the {label} point")
-            return
-        floor = tolerance * base
-        if cur < floor:
-            failures.append(
-                f"throughput band: {label} {cur:,.0f} ev/s < "
-                f"{floor:,.0f} ev/s ({tolerance:.0%} of baseline "
-                f"{base:,.0f})")
-
-    band("replication-off", baseline["baseline_eps"],
-         current.get("baseline_eps"))
-    band("replication-on", baseline["repl_eps"], current.get("repl_eps"))
-    band("follower apply", baseline["follower_apply_eps"],
-         current.get("follower_apply_eps"))
-    return failures
-
-
-def check_obs(baseline: dict, current: dict, max_overhead: float,
-              tolerance: float) -> list[str]:
-    """Gate a bench_obs result (empty list = pass)."""
-    failures: list[str] = []
-    for name, doc in (("baseline", baseline), ("current", current)):
-        if not doc.get("exact", False):
-            failures.append(f"{name} run diverged from the offline engine "
-                            "(exact: false)")
-
-    # The committed claim, measured within one run so machine speed
-    # cancels out: full instrumentation costs at most max_overhead.
-    floor = (1.0 - max_overhead) * current["baseline_eps"]
-    obs_eps = current.get("obs_eps")
-    if obs_eps is None:
-        failures.append("current run is missing the instrumented point")
-    elif obs_eps < floor:
-        failures.append(
-            f"obs overhead: instrumented {obs_eps:,.0f} ev/s < "
-            f"{floor:,.0f} ev/s ({1 - max_overhead:.0%} of the same "
-            f"run's uninstrumented {current['baseline_eps']:,.0f})")
-
-    def band(label: str, base: float, cur: float | None) -> None:
-        if cur is None:
-            failures.append(f"current run is missing the {label} point")
-            return
-        floor = tolerance * base
-        if cur < floor:
-            failures.append(
-                f"throughput band: {label} {cur:,.0f} ev/s < "
-                f"{floor:,.0f} ev/s ({tolerance:.0%} of baseline "
-                f"{base:,.0f})")
-
-    band("uninstrumented", baseline["baseline_eps"],
-         current.get("baseline_eps"))
-    band("instrumented", baseline["obs_eps"], current.get("obs_eps"))
-    return failures
-
-
-def check_colpath(baseline: dict, current: dict, min_speedup: float,
-                  min_narrow_ratio: float, tolerance: float) -> list[str]:
-    """Gate a bench_colpath result (empty list = pass)."""
-    failures: list[str] = []
-    for name, doc in (("baseline", baseline), ("current", current)):
-        if not doc.get("exact", False):
-            failures.append(f"{name} run: the columnar engine diverged "
-                            "from the per-PC chunk loop (exact: false)")
-
-    # The committed claims, each a ratio of two figures from the same
-    # run so machine speed cancels out.
-    wide = current.get("wide_speedup", 0.0)
-    if wide < min_speedup:
-        failures.append(
-            f"columnar floor: wide-point speedup {wide:.2f}x < required "
-            f"{min_speedup:.2f}x (columnar vs per-PC loop, same run)")
-    narrow = current.get("narrow_speedup", 0.0)
-    if narrow < min_narrow_ratio:
-        failures.append(
-            f"narrow regression: 1-PC columnar/loop ratio {narrow:.2f}x "
-            f"< required {min_narrow_ratio:.2f}x")
-
-    cur_by_width = {p["distinct_pcs"]: p for p in current.get("sweep", [])}
-    for point in baseline.get("sweep", []):
-        width = point["distinct_pcs"]
-        cur = cur_by_width.get(width)
-        if cur is None:
-            failures.append(f"current run is missing the {width}-PC point")
-            continue
-        for field, label in (("loop_eps", "loop"),
-                             ("columnar_eps", "columnar")):
-            floor = tolerance * point[field]
-            if cur[field] < floor:
-                failures.append(
-                    f"throughput band: {width}-PC {label} "
-                    f"{cur[field]:,.0f} ev/s < {floor:,.0f} ev/s "
-                    f"({tolerance:.0%} of baseline {point[field]:,.0f})")
-    return failures
-
-
-def _table_colpath(baseline: dict, current: dict) -> None:
-    print(f"{'distinct PCs':<14} {'engine':<10} {'baseline ev/s':>15} "
-          f"{'current ev/s':>15} {'ratio':>7}")
-    cur_by_width = {p["distinct_pcs"]: p for p in current.get("sweep", [])}
-    for point in baseline.get("sweep", []):
-        cur = cur_by_width.get(point["distinct_pcs"])
-        for field, label in (("loop_eps", "loop"),
-                             ("columnar_eps", "columnar")):
-            head = f"{point['distinct_pcs']:<14,} {label:<10}"
-            if cur is None:
-                print(f"{head} {point[field]:>15,.0f} {'missing':>15}")
-            else:
-                print(f"{head} {point[field]:>15,.0f} "
-                      f"{cur[field]:>15,.0f} "
-                      f"{cur[field] / point[field]:>6.2f}x")
-    print(f"{'wide-point speedup':<34} "
-          f"{baseline.get('wide_speedup', 0):>7.2f}x (baseline) "
-          f"{current.get('wide_speedup', 0):>7.2f}x (current)")
-    print(f"{'narrow-point ratio':<34} "
-          f"{baseline.get('narrow_speedup', 0):>7.2f}x (baseline) "
-          f"{current.get('narrow_speedup', 0):>7.2f}x (current)")
-
-
-def _table_obs(baseline: dict, current: dict) -> None:
-    print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
-          f"{'ratio':>7}")
-    rows = [("obs off", baseline["baseline_eps"],
-             current.get("baseline_eps")),
-            ("obs on", baseline["obs_eps"], current.get("obs_eps"))]
-    for label, base, cur in rows:
-        if cur is None:
-            print(f"{label:<18} {base:>15,.0f} {'missing':>15}")
-        else:
-            print(f"{label:<18} {base:>15,.0f} {cur:>15,.0f} "
-                  f"{cur / base:>6.2f}x")
-    print(f"{'instrumentation overhead':<34} "
-          f"{baseline.get('overhead', 0):>7.1%} (baseline) "
-          f"{current.get('overhead', 0):>7.1%} (current)")
-
-
-def _table_wal(baseline: dict, current: dict) -> None:
-    print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
-          f"{'ratio':>7}")
-    rows = [("no WAL", baseline["baseline_eps"],
-             current.get("baseline_eps"))]
-    for mode in baseline.get("wal_eps", {}):
-        rows.append((f"fsync={mode}", baseline["wal_eps"][mode],
-                     current.get("wal_eps", {}).get(mode)))
-    rows.append(("replay", baseline["replay_eps"],
-                 current.get("replay_eps")))
-    for label, base, cur in rows:
-        if cur is None:
-            print(f"{label:<18} {base:>15,.0f} {'missing':>15}")
-        else:
-            print(f"{label:<18} {base:>15,.0f} {cur:>15,.0f} "
-                  f"{cur / base:>6.2f}x")
-    print(f"{'batch-commit overhead':<34} "
-          f"{baseline.get('batch_overhead', 0):>7.1%} (baseline) "
-          f"{current.get('batch_overhead', 0):>7.1%} (current)")
-
-
-def _table_repl(baseline: dict, current: dict) -> None:
-    print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
-          f"{'ratio':>7}")
-    rows = [("replication off", baseline["baseline_eps"],
-             current.get("baseline_eps")),
-            ("replication on", baseline["repl_eps"],
-             current.get("repl_eps")),
-            ("follower apply", baseline["follower_apply_eps"],
-             current.get("follower_apply_eps"))]
-    for label, base, cur in rows:
-        if cur is None:
-            print(f"{label:<18} {base:>15,.0f} {'missing':>15}")
-        else:
-            print(f"{label:<18} {base:>15,.0f} {cur:>15,.0f} "
-                  f"{cur / base:>6.2f}x")
-    print(f"{'primary-side overhead':<34} "
-          f"{baseline.get('repl_overhead', 0):>7.1%} (baseline) "
-          f"{current.get('repl_overhead', 0):>7.1%} (current)")
-
-
-def _table(baseline: dict, current: dict) -> None:
-    print(f"{'mode':<18} {'baseline ev/s':>15} {'current ev/s':>15} "
-          f"{'ratio':>7}")
-    rows = [("single-process", baseline["single_process_eps"],
-             current["single_process_eps"])]
-    for w in sorted(baseline.get("multi_process_eps", {}), key=int):
-        rows.append((f"{w} workers", baseline["multi_process_eps"][w],
-                     current.get("multi_process_eps", {}).get(w)))
-    for label, base, cur in rows:
-        if cur is None:
-            print(f"{label:<18} {base:>15,.0f} {'missing':>15}")
-        else:
-            print(f"{label:<18} {base:>15,.0f} {cur:>15,.0f} "
-                  f"{cur / base:>6.2f}x")
-    print(f"{'speedup @ max workers':<34} "
-          f"{baseline.get('speedup_at_max_workers', 0):>7.2f}x (baseline) "
-          f"{current.get('speedup_at_max_workers', 0):>7.2f}x (current, "
-          f"{current.get('machine', {}).get('cpus', '?')} cpus)")
+__all__ = ["main"]
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Gate a bench_serve result against the committed "
-                    "baseline.")
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly measured JSON")
-    parser.add_argument("--min-speedup", type=float, default=1.8,
-                        help="required max-workers/single speedup in the "
-                             "current run (default: 1.8)")
-    parser.add_argument("--tolerance", type=float, default=0.5,
-                        help="lower band: current throughput must be at "
-                             "least this fraction of baseline "
-                             "(default: 0.5)")
-    parser.add_argument("--min-cpus", type=int, default=4,
-                        help="CPUs needed for the speedup check to apply "
-                             "(default: 4)")
-    parser.add_argument("--strict", action="store_true",
-                        help="fail, rather than skip, the speedup check "
-                             "on an under-provisioned host")
-    parser.add_argument("--max-wal-overhead", type=float, default=0.15,
-                        help="wal gate: highest tolerated fsync=batch "
-                             "throughput loss vs the same run without a "
-                             "WAL (default: 0.15)")
-    parser.add_argument("--max-obs-overhead", type=float, default=0.10,
-                        help="obs gate: highest tolerated instrumented "
-                             "throughput loss vs the same run with "
-                             "observability off (default: 0.10)")
-    parser.add_argument("--min-colpath-speedup", type=float, default=2.5,
-                        help="colpath gate: required columnar-vs-loop "
-                             "speedup at the widest distinct-PC point, "
-                             "within the current run (default: 2.5)")
-    parser.add_argument("--min-narrow-ratio", type=float, default=0.9,
-                        help="colpath gate: lowest tolerated columnar/"
-                             "loop ratio at the 1-PC point "
-                             "(default: 0.9)")
-    parser.add_argument("--max-repl-overhead", type=float, default=0.15,
-                        help="repl gate: highest tolerated primary-side "
-                             "throughput loss with a connected acking "
-                             "follower vs the same run without one "
-                             "(default: 0.15)")
-    args = parser.parse_args(argv)
-
-    baseline = _load(args.baseline)
-    current = _load(args.current)
-    if baseline["kind"] != current["kind"]:
-        raise SystemExit(f"kind mismatch: baseline is {baseline['kind']}, "
-                         f"current is {current['kind']}")
-    if baseline["kind"] == "repro.wal.bench":
-        _table_wal(baseline, current)
-        failures = check_wal(baseline, current, args.max_wal_overhead,
-                             args.tolerance)
-    elif baseline["kind"] == "repro.obs.bench":
-        _table_obs(baseline, current)
-        failures = check_obs(baseline, current, args.max_obs_overhead,
-                             args.tolerance)
-    elif baseline["kind"] == "repro.repl.bench":
-        _table_repl(baseline, current)
-        failures = check_repl(baseline, current, args.max_repl_overhead,
-                              args.tolerance)
-    elif baseline["kind"] == "repro.colpath.bench":
-        _table_colpath(baseline, current)
-        failures = check_colpath(baseline, current,
-                                 args.min_colpath_speedup,
-                                 args.min_narrow_ratio, args.tolerance)
-    else:
-        _table(baseline, current)
-        failures = check(baseline, current, args.min_speedup,
-                         args.tolerance, args.min_cpus, args.strict)
-    if failures:
-        print()
-        for f in failures:
-            print(f"FAIL: {f}", file=sys.stderr)
-        return 1
-    print("\nbench gate: OK")
-    return 0
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(["gate", *argv])
+    return args.func(args)
 
 
 if __name__ == "__main__":

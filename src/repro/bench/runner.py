@@ -1,0 +1,97 @@
+"""Parallel job runner with per-job timeouts.
+
+Each benchmark executes in its own interpreter (``python -m repro.bench
+exec <name>``): a hung sweep cannot stall the suite past its declared
+timeout, a crashed one cannot take the aggregator down, and perf
+targets keep the fresh-process conditions the old standalone scripts
+measured under.  Jobs are generic ``argv + timeout`` pairs, so tests
+can drive the runner with plain ``python -c`` commands.
+
+Results always come back in input order regardless of completion
+order — the aggregated document (and therefore the gate output and the
+report) is deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+__all__ = ["Job", "JobResult", "run_jobs"]
+
+_TAIL_CHARS = 4000
+
+
+@dataclass(frozen=True)
+class Job:
+    name: str
+    argv: tuple[str, ...]
+    timeout: float = 900.0
+    env: dict | None = None
+
+
+@dataclass
+class JobResult:
+    name: str
+    status: str          # "ok" | "failed" | "timeout"
+    returncode: int | None
+    elapsed_s: float
+    output: str = ""     # merged stdout+stderr (tail)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _run_one(job: Job) -> JobResult:
+    env = dict(os.environ)
+    if job.env:
+        env.update(job.env)
+    started = time.perf_counter()
+    # A new session puts the job and everything it spawns (worker
+    # processes, drain followers) in one process group we can kill as a
+    # unit on timeout.
+    proc = subprocess.Popen(job.argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True,
+                            env=env, start_new_session=True)
+    try:
+        output, _ = proc.communicate(timeout=job.timeout)
+        status = "ok" if proc.returncode == 0 else "failed"
+        returncode = proc.returncode
+    except subprocess.TimeoutExpired:
+        try:
+            os.killpg(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            proc.kill()
+        output, _ = proc.communicate()
+        status, returncode = "timeout", None
+    elapsed = time.perf_counter() - started
+    return JobResult(job.name, status, returncode, elapsed,
+                     (output or "")[-_TAIL_CHARS:])
+
+
+def run_jobs(jobs: list[Job], max_workers: int = 1,
+             progress=None) -> list[JobResult]:
+    """Run jobs with at most ``max_workers`` in flight; results are
+    returned in input order.  ``progress`` (if given) is called with
+    each :class:`JobResult` as it completes."""
+    if not jobs:
+        return []
+    results: list[JobResult | None] = [None] * len(jobs)
+    max_workers = max(1, min(max_workers, len(jobs)))
+
+    def run_at(index: int) -> None:
+        result = _run_one(jobs[index])
+        results[index] = result
+        if progress is not None:
+            progress(result)
+
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(run_at, i) for i in range(len(jobs))]
+        for future in futures:
+            future.result()
+    return [r for r in results if r is not None]

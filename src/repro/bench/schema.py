@@ -1,0 +1,186 @@
+"""Schema-versioned results documents + compat loader for old files.
+
+Current layout (``schema_version`` 2)::
+
+    {
+      "kind": "repro.bench.results",
+      "schema_version": 2,
+      "created_unix": 1754650000.0,
+      "suite": "ci-gates",
+      "smoke": false,
+      "host": {"cpus": 4, "platform": "...", "python": "3.12.3",
+               "machine": "x86_64", "numpy": "1.26.4"},
+      "results": {
+        "<benchmark>": {
+          "status": "ok" | "failed" | "timeout",
+          "elapsed_s": 12.3,
+          "kind": "repro.serve.bench",       # the raw document's kind
+          "metrics": {"<name>": {"value": ..., "unit": ...,
+                                 "better": ..., "banded": ...}, ...},
+          "raw": { ... the target's full raw result document ... }
+        }, ...
+      }
+    }
+
+Version history:
+
+* v1 named the host fingerprint ``machine`` and stored metrics as bare
+  ``{"value": ...}`` entries; :func:`migrate` upgrades in place.
+* Before the unified schema, each standalone bench script wrote its own
+  per-kind document (``repro.serve.bench`` & co, the committed
+  ``BENCH_*.json`` shape for PRs 2-6).  :func:`load_document` wraps
+  those transparently via :func:`wrap_legacy`, so old baselines and
+  old result files keep working everywhere a unified document is
+  accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro.bench.registry import Metric
+
+__all__ = ["RESULTS_KIND", "FRAGMENT_KIND", "SCHEMA_VERSION",
+           "LEGACY_KINDS", "host_fingerprint", "new_document",
+           "add_result", "wrap_legacy", "migrate", "load_document",
+           "dump_document", "metrics_from_json"]
+
+RESULTS_KIND = "repro.bench.results"
+FRAGMENT_KIND = "repro.bench.fragment"
+SCHEMA_VERSION = 2
+
+#: Pre-unification per-script document kinds -> registered target name.
+LEGACY_KINDS = {
+    "repro.serve.bench": "serve",
+    "repro.wal.bench": "wal",
+    "repro.obs.bench": "obs",
+    "repro.colpath.bench": "colpath",
+    "repro.repl.bench": "repl",
+}
+
+
+def host_fingerprint() -> dict:
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy": numpy_version,
+    }
+
+
+def new_document(suite: str = "adhoc", smoke: bool = False,
+                 host: dict | None = None) -> dict:
+    return {
+        "kind": RESULTS_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "suite": suite,
+        "smoke": smoke,
+        "host": host if host is not None else host_fingerprint(),
+        "results": {},
+    }
+
+
+def add_result(doc: dict, name: str, *, status: str, elapsed_s: float,
+               kind: str, metrics: dict[str, Metric],
+               raw: dict | None) -> None:
+    doc["results"][name] = {
+        "status": status,
+        "elapsed_s": elapsed_s,
+        "kind": kind,
+        "metrics": {k: m.to_json() for k, m in metrics.items()},
+        "raw": raw,
+    }
+
+
+def metrics_from_json(entry: dict) -> dict[str, Metric]:
+    return {name: Metric.from_json(m)
+            for name, m in entry.get("metrics", {}).items()}
+
+
+def wrap_legacy(raw: dict, path: str = "<doc>") -> dict:
+    """Lift a pre-unification per-kind document into the v2 schema."""
+    kind = raw.get("kind")
+    name = LEGACY_KINDS.get(kind)
+    if name is None:
+        raise SystemExit(f"{path}: not a known bench result document "
+                         f"(kind={kind!r})")
+    from repro.bench.registry import get_benchmark
+    spec = get_benchmark(name)
+    machine = raw.get("machine", {})
+    doc = new_document(suite="legacy", host={
+        "cpus": machine.get("cpus") or 0,
+        "platform": None, "python": None, "machine": None, "numpy": None,
+    })
+    add_result(doc, name, status="ok", elapsed_s=0.0, kind=kind,
+               metrics=spec.extract(raw), raw=raw)
+    return doc
+
+
+def migrate(doc: dict) -> dict:
+    """Upgrade an older unified document to SCHEMA_VERSION, in place."""
+    version = doc.get("schema_version", 1)
+    if version > SCHEMA_VERSION:
+        raise SystemExit(
+            f"results document has schema_version {version}, newer than "
+            f"this tree understands ({SCHEMA_VERSION})")
+    if version < 2:
+        # v1: host fingerprint was called "machine"; metric entries were
+        # bare {"value": ...} without unit/better/banded.
+        doc.setdefault("host", doc.pop("machine", {"cpus": 0}))
+        for entry in doc.get("results", {}).values():
+            for metric in entry.get("metrics", {}).values():
+                metric.setdefault("unit", "events/s")
+                metric.setdefault("better", "higher")
+                metric.setdefault("banded", True)
+        doc["schema_version"] = 2
+    return doc
+
+
+def load_document(path: str) -> dict:
+    """Load any results file — unified (any version) or legacy."""
+    with open(path) as fh:
+        raw = json.load(fh)
+    if raw.get("kind") == RESULTS_KIND:
+        return migrate(raw)
+    return wrap_legacy(raw, path)
+
+
+def dump_document(doc: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def write_fragment(path: str, name: str, *, kind: str, elapsed_s: float,
+                   metrics: dict[str, Metric], raw: dict) -> None:
+    """One benchmark's result, written by ``python -m repro.bench exec``
+    and aggregated into a unified document by the suite runner."""
+    with open(path, "w") as fh:
+        json.dump({
+            "kind": FRAGMENT_KIND,
+            "schema_version": SCHEMA_VERSION,
+            "name": name,
+            "result_kind": kind,
+            "elapsed_s": elapsed_s,
+            "metrics": {k: m.to_json() for k, m in metrics.items()},
+            "raw": raw,
+        }, fh, indent=2)
+        fh.write("\n")
+
+
+def read_fragment(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("kind") != FRAGMENT_KIND:
+        raise ValueError(f"{path}: not a bench fragment")
+    return doc

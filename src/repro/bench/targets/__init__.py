@@ -1,0 +1,16 @@
+"""Benchmark target registrations.
+
+Importing this package populates the registry: the five gated perf
+targets (serve scaling, WAL tax, obs tax, columnar fast path,
+replication tax) plus every paper figure/table sweep and extension
+experiment as smoke-able targets.
+"""
+
+from repro.bench.targets import (  # noqa: F401
+    colpath,
+    obs,
+    paper,
+    repl,
+    serve,
+    wal,
+)

@@ -1,0 +1,173 @@
+"""Columnar fast-path target: shard throughput vs distinct-PC count.
+
+The measurement core moved here from ``benchmarks/bench_colpath.py``.
+The committed claims (docs/serving.md): >= 2.5x single-shard speedup at
+the wide (4096-PC) sweep point, no regression below 0.9x at the narrow
+(1-PC) point — both ratios measured within one run — and bit-identical
+``export_state()`` across engines at every width.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bench.gates import exact, floor
+from repro.bench.registry import (
+    Metric,
+    eps,
+    flag,
+    ratio,
+    register_benchmark,
+)
+from repro.core.config import ControllerConfig
+
+#: Serving-scale controller parameters: branches classify after 64
+#: executions and revisit after 2048, so even the 4096-PC sweep point
+#: (~100 executions per branch) spends most of its events in the
+#: deployed steady state the columnar engine targets.
+BENCH_CONFIG = ControllerConfig(
+    monitor_period=64,
+    selection_threshold=0.95,
+    evict_counter_max=500,
+    misspec_increment=50,
+    correct_decrement=1,
+    revisit_period=2_048,
+    oscillation_limit=5,
+    optimization_latency=2_000,
+)
+
+SWEEP_WIDTHS = (1, 64, 4096)
+
+
+def _workload(n_events: int, width: int, seed: int):
+    """A heavily biased interleaved workload over ``width`` branches."""
+    rng = np.random.default_rng(seed)
+    if width == 1:
+        pcs = np.zeros(n_events, dtype=np.int32)
+    else:
+        pcs = rng.integers(0, width, n_events).astype(np.int32)
+    # 99.9% taken: branches SELECT quickly and stay deployed, with
+    # just enough misses to keep the eviction walk honest.
+    taken = rng.uniform(size=n_events) < 0.999
+    instrs = np.cumsum(rng.integers(1, 4, n_events)).astype(np.int64)
+    return pcs, taken, instrs
+
+
+def _drive(columnar: bool, pcs, taken, instrs, batch_events: int):
+    from repro.serve.shard import BankShard
+
+    shard = BankShard(0, BENCH_CONFIG, columnar=columnar)
+    n = len(pcs)
+    started = time.perf_counter()
+    for lo in range(0, n, batch_events):
+        hi = min(n, lo + batch_events)
+        shard.apply(pcs[lo:hi], taken[lo:hi], instrs[lo:hi])
+    elapsed = time.perf_counter() - started
+    return n / elapsed, shard
+
+
+def extract(doc: dict) -> dict[str, Metric]:
+    metrics: dict[str, Metric] = {}
+    widths = []
+    for point in doc.get("sweep", []):
+        width = point["distinct_pcs"]
+        widths.append(width)
+        metrics[f"loop_eps_{width}_pcs"] = eps(point["loop_eps"])
+        metrics[f"columnar_eps_{width}_pcs"] = eps(point["columnar_eps"])
+    # Recompute the gated ratios from the sweep's own figures.
+    by_width = {p["distinct_pcs"]: p for p in doc.get("sweep", [])}
+    if widths:
+        wide, narrow = by_width[max(widths)], by_width[min(widths)]
+        if wide["loop_eps"]:
+            metrics["wide_speedup"] = ratio(
+                wide["columnar_eps"] / wide["loop_eps"])
+        if narrow["loop_eps"]:
+            metrics["narrow_speedup"] = ratio(
+                narrow["columnar_eps"] / narrow["loop_eps"])
+    metrics["exact"] = flag(doc.get("exact", False))
+    return metrics
+
+
+@register_benchmark(
+    "colpath",
+    title="Columnar cross-branch fast path",
+    kind="repro.colpath.bench",
+    suites=("ci-gates", "perf", "all"),
+    extract=extract,
+    gates=(
+        exact(),
+        floor("wide_speedup", 2.5, label="columnar floor",
+              param="min_colpath_speedup"),
+        floor("narrow_speedup", 0.9, label="narrow regression",
+              param="min_narrow_ratio"),
+    ),
+    baseline="BENCH_colpath.json",
+    params={"events": 400_000},
+    smoke_params={"events": 24_000, "repeats": 1},
+    timeout=900.0,
+)
+def run_colpath_bench(events: int = 400_000, batch_events: int = 8_192,
+                      repeats: int = 3, verbose: bool = True) -> dict:
+    """Sweep distinct-PC counts; returns the CI gate's result document.
+
+    Every events/sec figure is the best of ``repeats`` runs: the gate
+    compares *ratios* of two figures from the same sweep point, and
+    best-of-N makes each ratio about the code, not the scheduler.
+    """
+    exact_flag = True
+    sweep = []
+    _drive(True, *_workload(50_000, 64, 0), batch_events)  # warmup
+    for width in SWEEP_WIDTHS:
+        pcs, taken, instrs = _workload(events, width, seed=width)
+        loop_eps = col_eps = 0.0
+        stats = {}
+        for _ in range(repeats):
+            rate, loop_shard = _drive(False, pcs, taken, instrs,
+                                      batch_events)
+            loop_eps = max(loop_eps, rate)
+            rate, col_shard = _drive(True, pcs, taken, instrs,
+                                     batch_events)
+            col_eps = max(col_eps, rate)
+            stats = col_shard.col.stats()
+            if col_shard.export_state() != loop_shard.export_state():
+                exact_flag = False
+        sweep.append({
+            "distinct_pcs": width,
+            "events": events,
+            "loop_eps": loop_eps,
+            "columnar_eps": col_eps,
+            "speedup": col_eps / loop_eps,
+            "events_fast": stats.get("events_fast", 0),
+            "events_fallback": stats.get("events_fallback", 0),
+        })
+    by_width = {p["distinct_pcs"]: p for p in sweep}
+    result = {
+        "kind": "repro.colpath.bench",
+        "schema": 1,
+        "machine": {"cpus": os.cpu_count()},
+        "config": {"monitor_period": BENCH_CONFIG.monitor_period,
+                   "revisit_period": BENCH_CONFIG.revisit_period,
+                   "optimization_latency":
+                       BENCH_CONFIG.optimization_latency},
+        "batch_events": batch_events,
+        "sweep": sweep,
+        "wide_speedup": by_width[max(SWEEP_WIDTHS)]["speedup"],
+        "narrow_speedup": by_width[min(SWEEP_WIDTHS)]["speedup"],
+        "exact": exact_flag,
+    }
+    if verbose:
+        print(f"columnar fast path, {events:,} events/point, "
+              f"batch {batch_events:,}, {os.cpu_count()} cpu(s)")
+        print(f"  {'distinct PCs':>12} {'loop ev/s':>13} "
+              f"{'columnar ev/s':>14} {'speedup':>8} {'fast-path':>10}")
+        for p in sweep:
+            share = (p["events_fast"]
+                     / max(1, p["events_fast"] + p["events_fallback"]))
+            print(f"  {p['distinct_pcs']:>12,} {p['loop_eps']:>13,.0f} "
+                  f"{p['columnar_eps']:>14,.0f} {p['speedup']:>7.2f}x "
+                  f"{share:>9.1%}")
+        print(f"  exact across engines (all widths): {exact_flag}")
+    return result

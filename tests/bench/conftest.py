@@ -1,0 +1,17 @@
+"""Fixtures for the repro.bench test suite."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+
+@pytest.fixture
+def write_doc(tmp_path):
+    """Write a dict as JSON under tmp_path; returns the path string."""
+    def write(doc: dict, name: str = "doc.json") -> str:
+        path = tmp_path / name
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        return str(path)
+    return write

@@ -1,0 +1,93 @@
+"""The `python -m repro.bench` CLI surface: list, migrate, exec."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from bench.legacy_docs import obs_doc
+from repro.bench import cli, schema
+from repro.bench.registry import all_suites, get_benchmark, \
+    iter_benchmarks
+
+
+def test_list_enumerates_every_registered_target(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("serve", "wal", "obs", "colpath", "repl",
+                 "fig2", "tab4", "ext-uarch"):
+        assert name in out
+    assert "ci-gates" in out
+
+
+def test_list_filters_by_suite(capsys):
+    assert cli.main(["list", "--suite", "ci-gates"]) == 0
+    out = capsys.readouterr().out
+    assert "5 benchmark(s)" in out
+    assert "fig1" not in out
+
+
+def test_list_unknown_suite_fails(capsys):
+    assert cli.main(["list", "--suite", "nope"]) == 1
+    assert "suites:" in capsys.readouterr().out
+
+
+def test_registry_suites_and_ordering():
+    suites = all_suites()
+    for expected in ("all", "ci-gates", "paper", "perf"):
+        assert expected in suites
+    # registration order (the import order in bench.targets) is what
+    # makes suite runs and aggregated documents deterministic
+    ci = [spec.name for spec in iter_benchmarks("ci-gates")]
+    assert ci == ["colpath", "obs", "repl", "serve", "wal"]
+    assert len(iter_benchmarks("paper")) >= 20
+    # every registered benchmark resolves by name
+    for spec in iter_benchmarks():
+        assert get_benchmark(spec.name) is spec
+
+
+def test_unknown_benchmark_name():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        get_benchmark("definitely-not-registered")
+
+
+def test_smoke_config_overrides_params():
+    spec = get_benchmark("wal")
+    assert spec.config()["events"] == 400_000
+    smoke = spec.config(smoke=True)
+    assert smoke["events"] == 24_000
+    assert spec.config(smoke=True,
+                       overrides={"events": 7, "repeats": None}) \
+        ["events"] == 7
+
+
+def test_migrate_rewrites_legacy_file(tmp_path, capsys):
+    src = tmp_path / "BENCH_obs.json"
+    src.write_text(json.dumps(obs_doc()))
+    out = tmp_path / "unified.json"
+    assert cli.main(["migrate", str(src), "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["kind"] == schema.RESULTS_KIND
+    assert doc["schema_version"] == schema.SCHEMA_VERSION
+    assert list(doc["results"]) == ["obs"]
+    assert "targets: obs" in capsys.readouterr().out
+
+
+def test_run_unknown_suite_exits_2(capsys):
+    assert cli.main(["run", "--suite", "nope"]) == 2
+    assert "no benchmarks in suite" in capsys.readouterr().err
+
+
+def test_exec_smoke_writes_fragment(tmp_path, capsys):
+    """End-to-end: one real (tiny) benchmark through the exec entry
+    the suite runner's child processes use."""
+    frag_path = tmp_path / "tab2.json"
+    assert cli.main(["exec", "tab2", "--smoke",
+                     "--out", str(frag_path)]) == 0
+    frag = schema.read_fragment(str(frag_path))
+    assert frag["name"] == "tab2"
+    assert frag["result_kind"] == "repro.paper.bench"
+    metrics = schema.metrics_from_json(frag)
+    assert metrics["marker_found"].value == 1.0
+    assert metrics["output_chars"].value > 0

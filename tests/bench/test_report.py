@@ -1,0 +1,128 @@
+"""Trend report: baseline diffing, history trajectory, Markdown/JSON
+rendering."""
+
+from __future__ import annotations
+
+import json
+
+from bench.legacy_docs import wal_doc
+from repro.bench import cli, report, schema
+from repro.bench.gates import GateReport
+from repro.bench.registry import eps
+
+
+def _unified(name_doc, created: float) -> dict:
+    doc = schema.wrap_legacy(name_doc)
+    doc["created_unix"] = created
+    doc["suite"] = "ci-gates"
+    return doc
+
+
+def test_render_comparison_table():
+    baseline = {"ingest_eps": eps(2_000_000.0)}
+    current = {"ingest_eps": eps(3_000_000.0)}
+    table = report.render_comparison("wal", baseline, current)
+    assert "ingest_eps" in table
+    assert "2,000,000" in table and "3,000,000" in table
+    assert "1.50x" in table
+
+
+def test_comparison_flags_missing_points():
+    table = report.render_comparison(
+        "wal", {"ingest_eps": eps(2.0e6)}, {})
+    assert "missing" in table
+
+
+def test_history_append_load_and_prune(tmp_path):
+    hist = tmp_path / "hist"
+    stamps = [1_700_000_000.0, 1_700_000_100.0, 1_700_000_200.0]
+    for stamp in stamps:
+        saved = report.append_history(
+            str(hist), _unified(wal_doc(), stamp), keep=2)
+        assert saved.endswith(".json")
+    docs = report.load_history(str(hist))
+    assert len(docs) == 2  # pruned to keep=2
+    assert [d["created_unix"] for d in docs] == stamps[1:]  # oldest first
+
+
+def test_history_skips_foreign_files(tmp_path):
+    hist = tmp_path / "hist"
+    hist.mkdir()
+    (hist / "junk.json").write_text("{not json")
+    (hist / "other.json").write_text(json.dumps({"kind": "unrelated"}))
+    report.append_history(str(hist), _unified(wal_doc(), 1.7e9))
+    assert len(report.load_history(str(hist))) == 1
+
+
+def test_history_missing_dir_is_empty():
+    assert report.load_history("/nonexistent/bench-history") == []
+
+
+def test_build_report_diffs_and_trends():
+    baseline = _unified(wal_doc(baseline=2_000_000.0,
+                                batch=1_900_000.0), 1.0e9)
+    history = [_unified(wal_doc(baseline=2_200_000.0), 1.1e9),
+               _unified(wal_doc(baseline=2_400_000.0), 1.2e9)]
+    current = _unified(wal_doc(baseline=2_600_000.0), 1.3e9)
+    doc = report.build_report(current, {"wal": baseline}, history)
+    row = doc["targets"]["wal"]["metrics"]["baseline_eps"]
+    assert row["current"] == 2_600_000.0
+    assert row["baseline"] == 2_000_000.0
+    assert row["vs_baseline"] == 1.3
+    assert row["trend"] == [2_200_000.0, 2_400_000.0]
+    assert doc["prior_runs"] == 2
+
+
+def test_render_markdown_sections():
+    current = _unified(wal_doc(), 1.3e9)
+    gate = GateReport("wal", checked=5)
+    text = report.render_markdown(
+        report.build_report(current, {}, [], [gate]))
+    assert text.startswith("# Bench trend report")
+    assert "## Gates — all passing" in text
+    assert "- `wal`: PASS (5 checks)" in text
+    assert "### `wal`" in text
+    assert "| `batch_overhead` |" in text
+    assert "first run" in text  # no history yet
+
+
+def test_render_markdown_failure_and_trajectory():
+    history = [_unified(wal_doc(baseline=2_000_000.0), 1.1e9)]
+    current = _unified(wal_doc(baseline=2_600_000.0), 1.3e9)
+    gate = GateReport("wal", failures=["wal overhead: 40.0% > "
+                                       "allowed 15.0%"], checked=5)
+    text = report.render_markdown(
+        report.build_report(current, {}, history, [gate]))
+    assert "## Gates — **FAILED**" in text
+    assert "FAIL: wal overhead" in text
+    assert "▲" in text  # 2.6M vs prior 2.0M, higher-is-better
+
+
+def test_report_cli_end_to_end(tmp_path, capsys):
+    """`python -m repro.bench report` against a committed-style
+    baseline dir, with history accumulation across two runs."""
+    schema.dump_document(_unified(wal_doc(baseline=2_400_000.0), 1.0e9),
+                         str(tmp_path / "BENCH_wal.json"))
+    current = tmp_path / "current.json"
+    schema.dump_document(_unified(wal_doc(baseline=2_500_000.0), 2.0e9),
+                         str(current))
+    hist = tmp_path / "hist"
+    out_md = tmp_path / "report.md"
+    out_json = tmp_path / "report.json"
+    argv = ["report", "--current", str(current),
+            "--baseline-dir", str(tmp_path), "--history", str(hist),
+            "--out", str(out_md), "--json-out", str(out_json),
+            "--append"]
+    assert cli.main(argv) == 0
+    first = out_md.read_text()
+    assert "prior runs in history: 0" in first
+    assert "gate" not in capsys.readouterr().err.lower()
+
+    assert cli.main(argv) == 0  # second run sees the appended history
+    second = out_md.read_text()
+    assert "prior runs in history: 1" in second
+    doc = json.loads(out_json.read_text())
+    assert doc["kind"] == "repro.bench.report"
+    assert doc["gates"]["wal"]["ok"]
+    row = doc["targets"]["wal"]["metrics"]["baseline_eps"]
+    assert row["trend"] == [2_500_000.0]

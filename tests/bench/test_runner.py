@@ -1,0 +1,75 @@
+"""Parallel job runner: timeout kill, failure capture, deterministic
+result ordering."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.runner import Job, JobResult, run_jobs
+
+
+def _py(code: str, name: str = "job", timeout: float = 30.0) -> Job:
+    return Job(name=name, argv=(sys.executable, "-c", code),
+               timeout=timeout)
+
+
+def test_ok_job_captures_output():
+    [result] = run_jobs([_py("print('hello', 6 * 7)")])
+    assert result.ok
+    assert result.status == "ok"
+    assert result.returncode == 0
+    assert "hello 42" in result.output
+
+
+def test_failed_job_keeps_returncode_and_stderr():
+    [result] = run_jobs([_py(
+        "import sys; print('boom', file=sys.stderr); sys.exit(3)")])
+    assert not result.ok
+    assert result.status == "failed"
+    assert result.returncode == 3
+    assert "boom" in result.output  # stderr merged into the tail
+
+
+def test_timeout_kills_the_job():
+    started = time.perf_counter()
+    [result] = run_jobs([_py("import time; time.sleep(60)",
+                             name="sleeper", timeout=0.5)])
+    elapsed = time.perf_counter() - started
+    assert result.status == "timeout"
+    assert result.returncode is None
+    assert not result.ok
+    assert elapsed < 30.0  # killed, not waited out
+
+
+def test_results_come_back_in_input_order():
+    jobs = [
+        _py("import time; time.sleep(0.4); print('slow')", name="a"),
+        _py("print('instant')", name="b"),
+        _py("import time; time.sleep(0.1); print('quick')", name="c"),
+    ]
+    results = run_jobs(jobs, max_workers=3)
+    assert [r.name for r in results] == ["a", "b", "c"]
+    assert all(r.ok for r in results)
+
+
+def test_progress_called_per_completion():
+    seen: list[JobResult] = []
+    jobs = [_py("pass", name=f"j{i}") for i in range(4)]
+    results = run_jobs(jobs, max_workers=2, progress=seen.append)
+    assert sorted(r.name for r in seen) == ["j0", "j1", "j2", "j3"]
+    assert len(results) == 4
+
+
+def test_env_overlay_reaches_the_child():
+    job = Job(name="env",
+              argv=(sys.executable, "-c",
+                    "import os; print(os.environ['BENCH_TEST_VAR'])"),
+              env={"BENCH_TEST_VAR": "wired-through"})
+    [result] = run_jobs([job])
+    assert result.ok
+    assert "wired-through" in result.output
+
+
+def test_no_jobs_is_a_noop():
+    assert run_jobs([]) == []

@@ -1,0 +1,146 @@
+"""Results-document schema: round trips, version migration, and the
+compat loader for pre-unification per-kind files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from bench.legacy_docs import LEGACY_BUILDERS
+from repro.bench import schema
+from repro.bench.registry import Metric, eps, flag, ratio
+
+
+def _sample_document() -> dict:
+    doc = schema.new_document(suite="ci-gates")
+    schema.add_result(
+        doc, "serve", status="ok", elapsed_s=12.5,
+        kind="repro.serve.bench",
+        metrics={"single_process_eps": eps(2_500_000.0),
+                 "speedup_at_max_workers": ratio(1.9),
+                 "exact": flag(True)},
+        raw={"kind": "repro.serve.bench", "exact": True})
+    return doc
+
+
+def test_round_trip(tmp_path):
+    doc = _sample_document()
+    path = tmp_path / "results.json"
+    schema.dump_document(doc, str(path))
+    loaded = schema.load_document(str(path))
+    assert loaded == doc
+
+    metrics = schema.metrics_from_json(loaded["results"]["serve"])
+    assert metrics["single_process_eps"] == eps(2_500_000.0)
+    assert metrics["speedup_at_max_workers"].unit == "x"
+    assert not metrics["speedup_at_max_workers"].banded
+    assert metrics["exact"].value == 1.0
+
+
+def test_document_header_fields():
+    doc = _sample_document()
+    assert doc["kind"] == schema.RESULTS_KIND
+    assert doc["schema_version"] == schema.SCHEMA_VERSION
+    assert doc["host"]["cpus"] >= 1
+    assert isinstance(doc["created_unix"], float)
+
+
+def test_v1_document_migrates(tmp_path):
+    """v1 called the host fingerprint `machine` and stored metrics as
+    bare {"value": ...} entries; migrate() fills in the v2 fields."""
+    v1 = {
+        "kind": schema.RESULTS_KIND,
+        "schema_version": 1,
+        "created_unix": 1_700_000_000.0,
+        "suite": "ci-gates",
+        "smoke": False,
+        "machine": {"cpus": 8},
+        "results": {
+            "serve": {
+                "status": "ok", "elapsed_s": 1.0,
+                "kind": "repro.serve.bench",
+                "metrics": {"single_process_eps": {"value": 2.0e6}},
+                "raw": None,
+            },
+        },
+    }
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps(v1))
+    doc = schema.load_document(str(path))
+    assert doc["schema_version"] == schema.SCHEMA_VERSION
+    assert doc["host"] == {"cpus": 8}
+    assert "machine" not in doc
+    metric = doc["results"]["serve"]["metrics"]["single_process_eps"]
+    assert metric == {"value": 2.0e6, "unit": "events/s",
+                      "better": "higher", "banded": True}
+
+
+def test_newer_schema_version_refused(tmp_path):
+    doc = _sample_document()
+    doc["schema_version"] = schema.SCHEMA_VERSION + 1
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SystemExit, match="newer than"):
+        schema.load_document(str(path))
+
+
+@pytest.mark.parametrize("name", sorted(LEGACY_BUILDERS))
+def test_legacy_document_wraps(name, write_doc):
+    """Every pre-unification per-kind document loads as a unified doc
+    with the target's extracted metrics."""
+    raw = LEGACY_BUILDERS[name]()
+    doc = schema.load_document(write_doc(raw, f"BENCH_{name}.json"))
+    assert doc["kind"] == schema.RESULTS_KIND
+    assert list(doc["results"]) == [name]
+    entry = doc["results"][name]
+    assert entry["kind"] == raw["kind"]
+    assert entry["raw"] == raw
+    metrics = schema.metrics_from_json(entry)
+    assert metrics["exact"].value == 1.0
+    assert any(m.banded for m in metrics.values())
+
+
+def test_legacy_serve_metrics_recomputed(write_doc):
+    """The wrapped speedup comes from the per-mode figures, not the
+    stored ratio field."""
+    raw = LEGACY_BUILDERS["serve"]()
+    raw["speedup_at_max_workers"] = 99.0  # doctored; must be ignored
+    doc = schema.load_document(write_doc(raw))
+    metrics = schema.metrics_from_json(doc["results"]["serve"])
+    expected = (raw["multi_process_eps"]["4"]
+                / raw["single_process_eps"])
+    assert metrics["speedup_at_max_workers"].value == pytest.approx(
+        expected)
+
+
+def test_unknown_kind_rejected(write_doc):
+    path = write_doc({"kind": "repro.mystery.bench", "x": 1})
+    with pytest.raises(SystemExit, match="not a known bench result"):
+        schema.load_document(path)
+
+
+def test_fragment_round_trip(tmp_path):
+    path = tmp_path / "frag.json"
+    schema.write_fragment(
+        str(path), "wal", kind="repro.wal.bench", elapsed_s=3.25,
+        metrics={"baseline_eps": eps(2.0e6)}, raw={"exact": True})
+    frag = schema.read_fragment(str(path))
+    assert frag["name"] == "wal"
+    assert frag["result_kind"] == "repro.wal.bench"
+    assert frag["elapsed_s"] == 3.25
+    metrics = schema.metrics_from_json(frag)
+    assert metrics["baseline_eps"] == eps(2.0e6)
+
+
+def test_fragment_kind_checked(tmp_path):
+    path = tmp_path / "notafrag.json"
+    path.write_text(json.dumps({"kind": "something.else"}))
+    with pytest.raises(ValueError, match="not a bench fragment"):
+        schema.read_fragment(str(path))
+
+
+def test_metric_json_defaults():
+    metric = Metric.from_json({"value": 5.0})
+    assert metric == Metric(5.0, "events/s", "higher", True)
+    assert Metric.from_json(ratio(2.5).to_json()) == ratio(2.5)

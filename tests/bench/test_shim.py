@@ -1,0 +1,100 @@
+"""benchmarks/check_bench.py stays a working CLI: same flags, same
+exit codes, old- and new-format documents on either side."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from bench.legacy_docs import serve_doc, wal_doc
+from repro.bench import schema
+
+_SHIM = Path(__file__).resolve().parents[2] / "benchmarks" \
+    / "check_bench.py"
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location("check_bench",
+                                                  str(_SHIM))
+    module = importlib.util.module_from_spec(spec)
+    saved = sys.modules.get("check_bench")
+    sys.modules["check_bench"] = module
+    spec.loader.exec_module(module)
+    yield module
+    if saved is None:
+        sys.modules.pop("check_bench", None)
+    else:
+        sys.modules["check_bench"] = saved
+
+
+def test_historical_serve_invocation_passes(check_bench, write_doc,
+                                            capsys):
+    """The exact flag set ci.yml used before the unified runner."""
+    baseline = write_doc(serve_doc(), "BENCH_serve.json")
+    current = write_doc(serve_doc(), "BENCH_serve.current.json")
+    rc = check_bench.main([baseline, current, "--min-speedup", "1.8",
+                           "--tolerance", "0.4", "--min-cpus", "4",
+                           "--strict"])
+    assert rc == 0
+    assert "bench gate: OK" in capsys.readouterr().out
+
+
+def test_regression_still_exits_nonzero(check_bench, write_doc, capsys):
+    baseline = write_doc(serve_doc(), "BENCH_serve.json")
+    current = write_doc(serve_doc(eps4=3_000_000.0),  # 1.2x < 1.8x
+                        "BENCH_serve.current.json")
+    rc = check_bench.main([baseline, current, "--min-speedup", "1.8",
+                           "--tolerance", "0.4"])
+    assert rc == 1
+    assert "scaling floor" in capsys.readouterr().err
+
+
+def test_wal_flags_still_work(check_bench, write_doc, capsys):
+    baseline = write_doc(wal_doc(), "BENCH_wal.json")
+    current = write_doc(wal_doc(batch=1_500_000.0),  # 40% overhead
+                        "BENCH_wal.current.json")
+    assert check_bench.main([baseline, current,
+                             "--max-wal-overhead", "0.15",
+                             "--tolerance", "0.4"]) == 1
+    assert "wal overhead" in capsys.readouterr().err
+    relaxed = check_bench.main([baseline, current,
+                                "--max-wal-overhead", "0.5",
+                                "--tolerance", "0.4"])
+    assert relaxed == 0
+
+
+def test_kind_mismatch_rejected(check_bench, write_doc):
+    baseline = write_doc(serve_doc(), "BENCH_serve.json")
+    current = write_doc(wal_doc(), "BENCH_wal.current.json")
+    with pytest.raises(SystemExit, match="mismatch"):
+        check_bench.main([baseline, current])
+
+
+def test_new_format_baseline_old_format_current(check_bench, write_doc,
+                                                tmp_path, capsys):
+    """A migrated (unified) committed baseline gates an old-format
+    current file, and vice versa."""
+    unified = schema.wrap_legacy(serve_doc())
+    new_path = tmp_path / "BENCH_serve.json"
+    schema.dump_document(unified, str(new_path))
+    old_path = write_doc(serve_doc(), "BENCH_serve.current.json")
+
+    assert check_bench.main([str(new_path), old_path,
+                             "--min-speedup", "1.8"]) == 0
+    assert check_bench.main([old_path, str(new_path),
+                             "--min-speedup", "1.8"]) == 0
+    assert "bench gate: OK" in capsys.readouterr().out
+
+
+def test_committed_baselines_self_gate(check_bench):
+    """Every committed BENCH_*.json passes its own gate — the
+    repository ships a self-consistent baseline set."""
+    repo = _SHIM.parents[1]
+    for name in ("serve", "wal", "obs", "colpath", "repl"):
+        path = repo / f"BENCH_{name}.json"
+        assert path.exists(), f"missing committed baseline {path}"
+        assert check_bench.main([str(path), str(path)]) == 0, name
