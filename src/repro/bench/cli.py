@@ -30,7 +30,7 @@ from repro.bench.registry import all_suites, get_benchmark, iter_benchmarks
 #: check_bench-compatible override flags -> gate ``param`` keys.
 GATE_FLAGS = ("min_speedup", "max_wal_overhead", "max_obs_overhead",
               "min_colpath_speedup", "min_narrow_ratio",
-              "max_repl_overhead", "tolerance")
+              "max_repl_overhead", "min_tenant_scaling", "tolerance")
 
 
 def _src_root() -> str:
@@ -73,6 +73,10 @@ def _add_gate_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-repl-overhead", type=float, default=None,
                         help="repl gate: highest tolerated primary-side "
                              "throughput loss (default: 0.15)")
+    parser.add_argument("--min-tenant-scaling", type=float, default=None,
+                        help="tenant gate: required max-tenants/"
+                             "single-tenant throughput ratio "
+                             "(default: 0.0001)")
 
 
 def _overrides_from(args) -> dict[str, float]:

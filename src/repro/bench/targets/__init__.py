@@ -1,9 +1,9 @@
 """Benchmark target registrations.
 
-Importing this package populates the registry: the five gated perf
+Importing this package populates the registry: the six gated perf
 targets (serve scaling, WAL tax, obs tax, columnar fast path,
-replication tax) plus every paper figure/table sweep and extension
-experiment as smoke-able targets.
+replication tax, tenant scaling) plus every paper figure/table sweep
+and extension experiment as smoke-able targets.
 """
 
 from repro.bench.targets import (  # noqa: F401
@@ -12,5 +12,6 @@ from repro.bench.targets import (  # noqa: F401
     paper,
     repl,
     serve,
+    tenant,
     wal,
 )

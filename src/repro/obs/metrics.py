@@ -209,6 +209,18 @@ class MetricFamily:
         with self._lock:
             return iter(list(self._children.items()))
 
+    def remove(self, *values) -> None:
+        """Drop the child for one label combination, if present.
+
+        Exists for bounded-cardinality schemes (the per-tenant label
+        guard demotes cold tenants); exposition readers only ever see
+        the locked snapshot :meth:`children` takes, so removal is safe
+        against a concurrent scrape.
+        """
+        key = tuple(str(v) for v in values)
+        with self._lock:
+            self._children.pop(key, None)
+
     # -- label-less convenience proxies ---------------------------------
     def _solo(self):
         if self.labelnames:

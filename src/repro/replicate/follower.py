@@ -38,6 +38,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.config import ControllerConfig
 from repro.replicate import frames
 from repro.serve.events import EventBatch
@@ -335,6 +337,9 @@ class ReplicationFollower:
         if batch.seq <= service.last_seq:
             return False
         service._wal.append(batch)
+        # Follower apply bypasses admission (like WAL replay): restore
+        # any spilled tenants the batch touches before it lands.
+        service._ensure_resident(batch)
         service.bank.apply_batch(batch)
         service._last_seq = batch.seq
         service._events_submitted += batch.n_events
@@ -343,12 +348,12 @@ class ReplicationFollower:
         return True
 
     # -- read-only view -------------------------------------------------
-    def should_speculate(self, pc: int) -> bool:
+    def should_speculate(self, pc: int, tenant: int = 0) -> bool:
         """Deployed-code answer from the replica (read-only)."""
         service = self.service
         if service is None:
             raise ReplicationError("follower has no state yet")
-        return service.bank.should_speculate(pc)
+        return service.bank.should_speculate(pc, tenant)
 
     def status(self) -> dict:
         service = self.service
@@ -443,14 +448,23 @@ class ReadOnlyServer:
                 payload = transport.recv()
                 ftype = frames.frame_type(payload)
                 if ftype == frames.RO_QUERY:
-                    pcs = frames.decode_ro_query(payload)
+                    keys = frames.decode_ro_query(payload)
                     service = self.follower.service
                     if service is None:
                         transport.send(frames.encode_r_error(
                             "follower has no state yet"))
                         continue
-                    decisions = [service.bank.should_speculate(int(pc))
-                                 for pc in pcs]
+                    # A tenant-aware query carries int64
+                    # (tenant << 32) | pc keys; the legacy form
+                    # carries raw int32 pcs.
+                    if keys.dtype == np.int64:
+                        decisions = [service.bank.should_speculate(
+                                         int(k) & 0xFFFFFFFF,
+                                         int(k) >> 32)
+                                     for k in keys]
+                    else:
+                        decisions = [service.bank.should_speculate(int(pc))
+                                     for pc in keys]
                     transport.send(frames.encode_ro_decision(decisions))
                 elif ftype == frames.RO_STATUS_REQ:
                     transport.send(frames.encode_ro_status(

@@ -30,6 +30,8 @@ acked ⇒ follower-durable, which is what lets
 Read-only serving (client ⇄ follower)::
 
     RO_QUERY      uint32 n | int32 pc[n]             client → follower
+                  (bit 31 of n set: int64 packed
+                  ``(tenant << 32) | pc`` keys instead of int32 pcs)
     RO_DECISION   uint32 n | uint8 speculate[n]      follower → client
     RO_STATUS_REQ (empty)                            client → follower
     RO_STATUS     zlib(JSON status)                  follower → client
@@ -194,18 +196,36 @@ def decode_r_error(payload: bytes) -> str:
 
 
 # -- read-only serving ------------------------------------------------------
-def encode_ro_query(pcs) -> bytes:
-    arr = np.asarray(pcs, dtype=np.int32)
-    return _RO_QUERY.pack(RO_QUERY, len(arr)) + arr.tobytes()
+#: Bit 31 of the RO_QUERY count marks a tenant-aware query: the column
+#: is int64 packed ``(tenant << 32) | pc`` keys instead of int32 pcs.
+#: Legacy frames stay byte-identical (tenant-0 keys *are* the pcs).
+_RO_TENANT_FLAG = 1 << 31
+
+
+def encode_ro_query(pcs, tenants=None) -> bytes:
+    if tenants is None:
+        arr = np.asarray(pcs, dtype=np.int32)
+        return _RO_QUERY.pack(RO_QUERY, len(arr)) + arr.tobytes()
+    from repro.tenant.keys import pack_keys
+
+    keys = pack_keys(np.asarray(tenants, dtype=np.uint32),
+                     np.asarray(pcs, dtype=np.int64))
+    return (_RO_QUERY.pack(RO_QUERY, len(keys) | _RO_TENANT_FLAG)
+            + keys.tobytes())
 
 
 def decode_ro_query(payload: bytes) -> np.ndarray:
+    """Queried pcs (int32, the legacy form) or packed keys (int64)."""
     _expect(payload, RO_QUERY, "RO_QUERY", min_len=_RO_QUERY.size)
     _, n = _RO_QUERY.unpack_from(payload)
-    if len(payload) != _RO_QUERY.size + 4 * n:
+    tenanted = bool(n & _RO_TENANT_FLAG)
+    n &= ~_RO_TENANT_FLAG
+    width = 8 if tenanted else 4
+    if len(payload) != _RO_QUERY.size + width * n:
         raise ProtocolError("RO_QUERY frame length mismatch")
-    return np.frombuffer(payload, dtype=np.int32, count=n,
-                         offset=_RO_QUERY.size)
+    return np.frombuffer(payload,
+                         dtype=np.int64 if tenanted else np.int32,
+                         count=n, offset=_RO_QUERY.size)
 
 
 def encode_ro_decision(decisions) -> bytes:

@@ -18,6 +18,9 @@ Usage::
         --replicate-to 127.0.0.1:7420
     python -m repro.serve --follow 127.0.0.1:7420 --wal-dir /tmp/wal2 \\
         --ro-port 7421 --on-disconnect promote
+    python -m repro.serve --benchmark gzip --tenants 1024 \\
+        --tenant-mix zipf --tenant-quota-rate 100000 \\
+        --tenant-budget-bytes 8388608
 
 Feeds the chosen trace through a :class:`SpeculationService` at a
 configurable event rate, printing a live telemetry line as it goes and
@@ -107,6 +110,30 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-sample", type=int, default=1,
                         help="trace 1-in-N PCs by hash (default: 1 = "
                              "every PC; arc counters always cover all)")
+    ten = parser.add_argument_group(
+        "multi-tenancy (see docs/multitenancy.md)")
+    ten.add_argument("--tenants", type=int, default=None, metavar="N",
+                     help="interleave the trace across N tenant "
+                          "universes (each tenant gets its own "
+                          "controller per branch)")
+    ten.add_argument("--tenant-mix", choices=("zipf", "uniform"),
+                     default="zipf",
+                     help="tenant traffic distribution for --tenants "
+                          "(default: zipf)")
+    ten.add_argument("--tenant-quota-rate", type=float, default=None,
+                     metavar="EPS",
+                     help="per-tenant admission quota in events/sec "
+                          "(token bucket; default: unlimited)")
+    ten.add_argument("--tenant-quota-burst", type=int, default=32768,
+                     metavar="EVENTS",
+                     help="per-tenant burst allowance (default: 32768)")
+    ten.add_argument("--tenant-budget-bytes", type=int, default=None,
+                     metavar="BYTES",
+                     help="resident-set byte budget; cold tenants "
+                          "spill past it (default: unlimited)")
+    ten.add_argument("--tenant-spill-dir", default=None, metavar="DIR",
+                     help="directory for the cold-tenant spill store "
+                          "(default: a temp dir when spilling is on)")
     repl = parser.add_argument_group(
         "replication (see docs/durability.md)")
     repl.add_argument("--replicate-to", default=None, metavar="ADDR",
@@ -146,6 +173,10 @@ async def _run(args) -> int:
 
     trace = load_trace(args.benchmark, args.input_name,
                        length=args.max_events)
+    if args.tenants is not None:
+        from repro.trace.synthetic import with_tenants
+
+        trace = with_tenants(trace, args.tenants, args.tenant_mix)
     if (args.workers and args.shards is not None
             and args.shards != args.workers):
         raise ValueError(f"--workers {args.workers} implies --shards "
@@ -205,6 +236,10 @@ async def _run(args) -> int:
             trace_ring=args.trace_ring,
             trace_sample=args.trace_sample,
             columnar=not args.no_columnar,
+            tenant_quota_rate=args.tenant_quota_rate,
+            tenant_quota_burst=args.tenant_quota_burst,
+            tenant_resident_bytes=args.tenant_budget_bytes,
+            tenant_spill_dir=args.tenant_spill_dir,
         )
         service = SpeculationService(service_config=scfg)
 
@@ -237,6 +272,7 @@ async def _run(args) -> int:
             metrics = service.metrics()
             worker_pids = service.worker_pids
             replicated_seq = service.last_replicated_seq
+            tenant_stats = service.tenant_stats()
     finally:
         if metrics_server is not None:
             metrics_server.close()
@@ -264,6 +300,14 @@ async def _run(args) -> int:
               f"reject {arcs['reject']:,}  evict {arcs['evict']:,}  "
               f"revisit {arcs['revisit']:,}  disable {arcs['disable']:,} "
               f"({len(service.trace)} in the trace ring)")
+    if tenant_stats is not None:
+        print(f"tenants    {tenant_stats['resident_tenants']:,} resident "
+              f"/ {tenant_stats['spilled_tenants']:,} spilled, "
+              f"{tenant_stats['spills']:,} spills, "
+              f"{tenant_stats['restores']:,} restores, "
+              f"{tenant_stats['quota_rejections']:,} quota rejections "
+              f"(peak resident "
+              f"{tenant_stats['peak_resident_bytes']:,} bytes)")
     if args.wal_dir is not None:
         print(f"wal        {reading.wal_records_appended:,} records / "
               f"{reading.wal_bytes_appended:,} bytes appended, "
@@ -300,6 +344,8 @@ async def _run(args) -> int:
             "telemetry": asdict(reading),
             "metrics": asdict(metrics),
         }
+        if tenant_stats is not None:
+            dump["tenants"] = tenant_stats
         out = Path(args.dump_telemetry)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(dump, indent=2) + "\n")

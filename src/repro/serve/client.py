@@ -56,9 +56,9 @@ class SpeculationClient:
         self.max_backoff = max_backoff
         self.stats = SubmitStats()
 
-    def should_speculate(self, pc: int) -> bool:
+    def should_speculate(self, pc: int, tenant: int = 0) -> bool:
         """Deployed-code view of one branch (see the service method)."""
-        return self.service.should_speculate(pc)
+        return self.service.should_speculate(pc, tenant)
 
     async def submit(self, batch: EventBatch) -> int:
         """Submit one batch, retrying on backpressure.

@@ -74,7 +74,7 @@ _NEVER = 1 << 62
 #: int64 columns, in (attribute, default) order.
 _I64_COLS = ("pc", "exec", "next_fire", "land", "counter",
              "mon_taken", "mon_samples", "correct", "incorrect")
-_BOOL_COLS = ("deployed", "dep_dir", "episode", "dirty")
+_BOOL_COLS = ("deployed", "dep_dir", "episode", "dirty", "dead")
 
 
 class ColumnarBank:
@@ -90,18 +90,23 @@ class ColumnarBank:
     stale between :meth:`flush` calls (tracked per row by ``dirty``).
     """
 
-    __slots__ = ("config", "_scalars", "_decisions", "n_rows", "_cap",
-                 "_keys", "_key_rows",
+    __slots__ = ("config", "_scalars", "_decisions", "n_rows", "n_dead",
+                 "_cap", "_keys", "_key_rows", "_tenant_index",
                  "rows_fast", "rows_fallback",
                  "events_fast", "events_fallback",
                  "state", *_I64_COLS, *_BOOL_COLS)
 
     def __init__(self, config: ControllerConfig, scalars: ControllerBank,
-                 decisions: dict[int, bool]) -> None:
+                 decisions: dict[int, bool],
+                 tenant_index: dict[int, set[int]] | None = None) -> None:
         self.config = config
         self._scalars = scalars
         self._decisions = decisions
+        #: Shard-owned tenant → key-set index, maintained wherever
+        #: controllers are minted so tenant spill stays O(tenant keys).
+        self._tenant_index = tenant_index
         self.n_rows = 0
+        self.n_dead = 0
         self._cap = 0
         self._grow(1024)
         self._keys = np.empty(0, dtype=np.int64)
@@ -143,6 +148,7 @@ class ColumnarBank:
         """Fast-path engagement counters since construction."""
         return {
             "rows": self.n_rows,
+            "rows_dead": self.n_dead,
             "rows_fast": self.rows_fast,
             "rows_fallback": self.rows_fallback,
             "events_fast": self.events_fast,
@@ -167,10 +173,19 @@ class ColumnarBank:
         miss = np.flatnonzero(~found)
         if miss.size:
             rows[miss] = self._add_rows(upcs[miss])
-            order = np.argsort(self.pc[:self.n_rows])
-            self._keys = self.pc[:self.n_rows][order]
-            self._key_rows = order
+            self._rebuild_index()
         return rows
+
+    def _rebuild_index(self) -> None:
+        """Recompute the sorted key → row lookup, skipping dead rows."""
+        n = self.n_rows
+        if self.n_dead:
+            alive = np.flatnonzero(~self.dead[:n])
+        else:
+            alive = np.arange(n, dtype=np.int64)
+        order = np.argsort(self.pc[:n][alive])
+        self._key_rows = alive[order]
+        self._keys = self.pc[self._key_rows]
 
     def _add_rows(self, new_pcs: np.ndarray) -> np.ndarray:
         base = self.n_rows
@@ -189,6 +204,7 @@ class ColumnarBank:
             getattr(self, name)[rows] = False
         controllers = self._scalars._controllers
         decisions = self._decisions
+        tenant_index = self._tenant_index
         config = self.config
         for offset, pc in enumerate(new_pcs.tolist()):
             ctrl = controllers.get(pc)
@@ -197,6 +213,8 @@ class ColumnarBank:
                 # branch immediately; hot fields live in the columns.
                 controllers[pc] = ReactiveBranchController(config, pc)
                 decisions.setdefault(pc, False)
+                if tenant_index is not None:
+                    tenant_index.setdefault(pc >> 32, set()).add(pc)
             else:
                 # Pre-existing controller (restored snapshot, or made
                 # via the controller() accessor): the row starts from
@@ -263,6 +281,53 @@ class ColumnarBank:
         if row is not None and self.dirty[row]:
             self._flush_row(row, ctrl)
         return ctrl
+
+    # -- eviction -------------------------------------------------------
+    def evict_keys(self, keys: np.ndarray) -> None:
+        """Drop the rows for ``keys`` (sorted int64) from the mirror.
+
+        Used by tenant spill after the rows were flushed: the rows are
+        tombstoned (``dead``) and removed from the lookup index, so a
+        later re-intern of the same key mints a fresh row seeded from
+        the restored scalar controller.  Tombstones are compacted away
+        once they outnumber live rows, keeping resident memory
+        proportional to the *resident* working set.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if not keys.size or not self._keys.size:
+            return
+        pos = np.searchsorted(self._keys, keys)
+        clip = np.minimum(pos, self._keys.size - 1)
+        hit = self._keys[clip] == keys
+        if not hit.any():
+            return
+        slots = clip[hit]
+        rows = self._key_rows[slots]
+        self.dead[rows] = True
+        self.dirty[rows] = False
+        self.n_dead += int(rows.size)
+        keep = np.ones(self._keys.size, dtype=bool)
+        keep[slots] = False
+        self._keys = self._keys[keep]
+        self._key_rows = self._key_rows[keep]
+        if self.n_dead > max(1024, self.n_rows - self.n_dead):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Gather live rows into a dense prefix and rebuild the index."""
+        n = self.n_rows
+        alive = np.flatnonzero(~self.dead[:n])
+        m = int(alive.size)
+        for name in _I64_COLS:
+            col = getattr(self, name)
+            col[:m] = col[alive]
+        self.state[:m] = self.state[alive]
+        for name in _BOOL_COLS:
+            col = getattr(self, name)
+            col[:m] = col[alive]
+        self.n_rows = m
+        self.n_dead = 0
+        self._rebuild_index()
 
     # -- the fast path --------------------------------------------------
     def _fallback_segment(self, row: int, taken: np.ndarray,

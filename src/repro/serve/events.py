@@ -21,6 +21,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.tenant.keys import pack_keys
 from repro.trace.stream import Trace
 
 __all__ = ["BranchEvent", "EventBatch", "iter_trace_batches",
@@ -28,8 +29,16 @@ __all__ = ["BranchEvent", "EventBatch", "iter_trace_batches",
 
 #: Bytes per event on the wire: int32 pc + uint8 taken + int64 instr.
 EVENT_WIRE_BYTES = 4 + 1 + 8
+#: Extra bytes per event when a batch carries tenant ids (uint32).
+TENANT_WIRE_BYTES = 4
 
 _BATCH_HEADER = struct.Struct("<QI")
+#: High bit of the header's uint32 ``n`` field marks a tenant-bearing
+#: batch (a uint32 tenant array follows the event columns).  Legacy
+#: tenant-less batches keep the exact pre-tenant byte layout, so WAL
+#: records and replication frames written before tenants existed — and
+#: by tenant-less producers today — decode unchanged (as tenant 0).
+_TENANT_FLAG = 1 << 31
 
 
 def pack_events(pcs: np.ndarray, taken: np.ndarray,
@@ -96,19 +105,28 @@ class EventBatch:
         outcome, and global instruction stamp per event.  Instruction
         stamps must be non-decreasing within the batch and across
         consecutive batches (program order).
+    tenants:
+        Optional parallel uint32 array of tenant ids.  ``None`` (the
+        default) means every event belongs to tenant 0 and the batch
+        keeps the legacy single-tenant wire form byte-for-byte.
     """
 
     seq: int
     pcs: np.ndarray = field(repr=False)
     taken: np.ndarray = field(repr=False)
     instrs: np.ndarray = field(repr=False)
+    tenants: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         n = len(self.pcs)
         if len(self.taken) != n or len(self.instrs) != n:
             raise ValueError("batch arrays must have equal length")
+        if self.tenants is not None and len(self.tenants) != n:
+            raise ValueError("batch arrays must have equal length")
         if n == 0:
             raise ValueError("batch must contain at least one event")
+        if n >= _TENANT_FLAG:
+            raise ValueError("batch too large for the wire header")
         if self.seq < 0:
             raise ValueError("seq must be non-negative")
 
@@ -142,24 +160,60 @@ class EventBatch:
             yield BranchEvent(int(self.pcs[i]), bool(self.taken[i]),
                               int(self.instrs[i]))
 
+    def keys(self) -> np.ndarray:
+        """Packed int64 ``(tenant << 32) | pc`` controller keys.
+
+        Tenant-less batches return the bare PCs widened to int64 —
+        numerically identical to tenant 0's packed keys, which is what
+        keeps legacy and tenant traffic in one key space.
+        """
+        if self.tenants is None:
+            return self.pcs.astype(np.int64)
+        return pack_keys(self.tenants, self.pcs)
+
     # -- wire form ------------------------------------------------------
     def to_bytes(self) -> bytes:
-        """Wire form: ``<uint64 seq><uint32 n>`` + :func:`pack_events`."""
-        return (_BATCH_HEADER.pack(self.seq, len(self.pcs))
-                + pack_events(self.pcs, self.taken, self.instrs))
+        """Wire form: ``<uint64 seq><uint32 n>`` + :func:`pack_events`.
+
+        Tenant-bearing batches set the header's tenant flag bit and
+        append a ``uint32 tenant[n]`` column; tenant-less batches are
+        byte-identical to the pre-tenant format.
+        """
+        if self.tenants is None:
+            return (_BATCH_HEADER.pack(self.seq, len(self.pcs))
+                    + pack_events(self.pcs, self.taken, self.instrs))
+        return (_BATCH_HEADER.pack(self.seq, len(self.pcs) | _TENANT_FLAG)
+                + pack_events(self.pcs, self.taken, self.instrs)
+                + np.ascontiguousarray(self.tenants,
+                                       dtype=np.uint32).tobytes())
 
     @classmethod
     def from_bytes(cls, buf: bytes | memoryview) -> "EventBatch":
-        """Decode :meth:`to_bytes` output (arrays are zero-copy views)."""
+        """Decode :meth:`to_bytes` output (arrays are zero-copy views).
+
+        Frames without the tenant flag — every record written before
+        the tenant dimension existed — decode with ``tenants=None``,
+        i.e. as tenant 0.
+        """
         if len(buf) < _BATCH_HEADER.size:
             raise ValueError("batch frame truncated: missing header")
         seq, n = _BATCH_HEADER.unpack_from(buf)
+        tenanted = bool(n & _TENANT_FLAG)
+        n &= _TENANT_FLAG - 1
         expected = _BATCH_HEADER.size + n * EVENT_WIRE_BYTES
+        if tenanted:
+            expected += n * TENANT_WIRE_BYTES
         if len(buf) != expected:
             raise ValueError(
                 f"batch frame length mismatch: {len(buf)} != {expected}")
         pcs, taken, instrs = unpack_events(buf, _BATCH_HEADER.size, n)
-        return cls(seq=seq, pcs=pcs, taken=taken, instrs=instrs)
+        tenants = None
+        if tenanted:
+            tenants = np.frombuffer(
+                buf, dtype=np.uint32, count=n,
+                offset=_BATCH_HEADER.size + n * EVENT_WIRE_BYTES)
+        return cls(seq=seq, pcs=pcs, taken=taken, instrs=instrs,
+                   tenants=tenants)
 
 
 def iter_trace_batches(trace: Trace, batch_events: int = 4096,
@@ -176,6 +230,7 @@ def iter_trace_batches(trace: Trace, batch_events: int = 4096,
     if batch_events <= 0:
         raise ValueError("batch_events must be positive")
     n = len(trace) if max_events is None else min(len(trace), max_events)
+    tenants = getattr(trace, "tenants", None)
     seq = start_seq
     for lo in range(0, n, batch_events):
         hi = min(lo + batch_events, n)
@@ -184,5 +239,6 @@ def iter_trace_batches(trace: Trace, batch_events: int = 4096,
             pcs=trace.branch_ids[lo:hi],
             taken=trace.taken[lo:hi],
             instrs=trace.instrs[lo:hi],
+            tenants=None if tenants is None else tenants[lo:hi],
         )
         seq += 1

@@ -44,8 +44,9 @@ Design points:
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from time import monotonic
 
 import numpy as np
 
@@ -53,13 +54,14 @@ from repro.core.config import ControllerConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import TransitionTrace
 from repro.serve.events import EventBatch
-from repro.serve.shard import BankShard, ShardedBank
+from repro.serve.shard import BankShard, ShardedBank, shard_of
 from repro.serve.telemetry import ServiceTelemetry, TelemetryReading
 from repro.serve.workers import WorkerDiedError, WorkerPool
 from repro.sim.metrics import SpeculationMetrics
+from repro.tenant.manager import TenantManager
 
-__all__ = ["ServiceConfig", "BackpressureError", "SequenceError",
-           "SpeculationService"]
+__all__ = ["ServiceConfig", "BackpressureError", "QuotaExceededError",
+           "SequenceError", "SpeculationService"]
 
 
 @dataclass(frozen=True)
@@ -118,6 +120,23 @@ class ServiceConfig:
     #: loop.  Both are bit-exact; ``--no-columnar`` is the escape
     #: hatch.
     columnar: bool = True
+    #: Per-tenant admission quota: sustained events/second refill of
+    #: each tenant's token bucket (None = quotas off).  Rejections are
+    #: retryable (:class:`QuotaExceededError`).
+    tenant_quota_rate: float | None = None
+    #: Token-bucket capacity, in events (the permitted burst).
+    tenant_quota_burst: int = 32_768
+    #: Resident-set budget in estimated controller bytes; cold tenants
+    #: are spilled to disk to stay under it (None = no spilling).
+    tenant_resident_bytes: int | None = None
+    #: Spill-store directory (None = a managed temporary directory,
+    #: discarded with the process).
+    tenant_spill_dir: str | None = None
+    #: Footprint estimate per distinct resident branch key.
+    tenant_bytes_per_branch: int = 512
+    #: Per-tenant metric labels kept: top-K tenants by traffic get
+    #: dedicated labels, the rest aggregate under ``__overflow__``.
+    tenant_top_k: int = 16
 
     def __post_init__(self) -> None:
         if self.n_shards <= 0:
@@ -157,6 +176,18 @@ class ServiceConfig:
         if self.trace_sample <= 0:
             raise ValueError("trace_sample must be positive "
                              "(1 = trace every PC)")
+        if (self.tenant_quota_rate is not None
+                and self.tenant_quota_rate <= 0):
+            raise ValueError("tenant_quota_rate must be positive")
+        if self.tenant_quota_burst <= 0:
+            raise ValueError("tenant_quota_burst must be positive")
+        if (self.tenant_resident_bytes is not None
+                and self.tenant_resident_bytes <= 0):
+            raise ValueError("tenant_resident_bytes must be positive")
+        if self.tenant_bytes_per_branch <= 0:
+            raise ValueError("tenant_bytes_per_branch must be positive")
+        if self.tenant_top_k <= 0:
+            raise ValueError("tenant_top_k must be positive")
 
 
 class BackpressureError(Exception):
@@ -177,8 +208,43 @@ class BackpressureError(Exception):
         self.retry_after = retry_after
 
 
+class QuotaExceededError(BackpressureError):
+    """A submission exceeded its tenant's admission quota.
+
+    Subclasses :class:`BackpressureError` so existing client retry
+    loops treat a throttled tenant exactly like a full queue: resubmit
+    the same batch (same ``seq``) after ``retry_after`` seconds.
+    """
+
+    def __init__(self, tenant: int, retry_after: float) -> None:
+        Exception.__init__(
+            self, f"tenant {tenant} quota exceeded; retry after "
+            f"{retry_after:.3f}s")
+        self.tenant = tenant
+        self.shard = -1
+        self.queued_events = 0
+        self.retry_after = retry_after
+
+
 class SequenceError(Exception):
     """A batch arrived with a non-monotonic sequence number."""
+
+
+@dataclass
+class _TenantJob:
+    """A per-shard spill/restore control job riding the event queues.
+
+    Queue position is the correctness argument: a restore enqueued
+    *before* its triggering batch's partitions re-interns the tenant's
+    controllers ahead of the events, and a spill enqueued *after* a
+    batch's partitions extracts state behind every event already
+    admitted — the shard queues are FIFO, so no flush or barrier is
+    needed.
+    """
+
+    kind: str  # "spill" | "restore"
+    tenant: int
+    states: list[dict] | None = field(default=None, repr=False)
 
 
 class SpeculationService:
@@ -251,6 +317,26 @@ class SpeculationService:
         self._repl = None
         if self.service_config.repl_listen is not None:
             self.enable_replication(self.service_config.repl_listen)
+        #: Tenant registry: eager when any tenant knob is set, else
+        #: created lazily by the first tenant-bearing batch (metrics
+        #: only) or by a snapshot carrying spilled tenants.
+        self._tenants: TenantManager | None = None
+        if (self.service_config.tenant_quota_rate is not None
+                or self.service_config.tenant_resident_bytes is not None
+                or self.service_config.tenant_spill_dir is not None):
+            self._tenants = self._make_tenant_manager()
+
+    def _make_tenant_manager(self) -> TenantManager:
+        scfg = self.service_config
+        return TenantManager(
+            self.bank.n_shards,
+            quota_rate=scfg.tenant_quota_rate,
+            quota_burst=scfg.tenant_quota_burst,
+            resident_bytes=scfg.tenant_resident_bytes,
+            bytes_per_branch=scfg.tenant_bytes_per_branch,
+            spill_dir=scfg.tenant_spill_dir,
+            top_k=scfg.tenant_top_k,
+            registry=self.registry if scfg.obs else None)
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -366,6 +452,30 @@ class SpeculationService:
                           key=self._queued_events.__getitem__)
             raise BackpressureError(deepest, self._queued_events[deepest],
                                     self._retry_after(deepest))
+        tm = self._tenants
+        if tm is None and batch.tenants is not None:
+            # First tenant-bearing batch on an unconfigured service:
+            # create the registry lazily (per-tenant metrics only — no
+            # quota or resident-set policy was requested).
+            tm = self._tenants = self._make_tenant_manager()
+        plan = None
+        now = 0.0
+        if tm is not None and (batch.tenants is not None or tm.active):
+            now = monotonic()
+            plan = tm.plan(batch, now)
+            if plan.reject_kind == "quota":
+                tm.count_rejection(plan.reject_tenant)
+                raise QuotaExceededError(plan.reject_tenant,
+                                         plan.retry_after)
+            if plan.reject_kind == "spilling":
+                # The tenant's controllers are mid-extraction in the
+                # shard queues; admitting more of its events would race
+                # the spill.  Same retryable signal as a full queue.
+                deepest = max(range(len(self._queued_events)),
+                              key=self._queued_events.__getitem__)
+                raise BackpressureError(
+                    deepest, self._queued_events[deepest],
+                    self._retry_after(deepest))
         cap = self.service_config.queue_events
         parts = self.bank.partition(batch)
         for p in parts:
@@ -388,6 +498,9 @@ class SpeculationService:
                 self._wal_dirty.set()
             if self._repl is not None:
                 self._repl.offer(batch.seq)
+        if plan is not None:
+            for _tenant, states in plan.restores:
+                self._enqueue_restores(states)
         for p in parts:
             self._queues[p.shard].put_nowait(p)
             depth = self._queued_events[p.shard] + p.n_events
@@ -395,6 +508,11 @@ class SpeculationService:
             self.telemetry.record_enqueue(p.shard, p.n_events, depth)
         self._last_seq = batch.seq
         self._events_submitted += batch.n_events
+        if plan is not None:
+            tm.commit(plan, batch, now)
+            for victim in tm.pick_victims():
+                for queue in self._queues:
+                    queue.put_nowait(_TenantJob("spill", victim))
 
     async def submit(self, batch: EventBatch) -> None:
         """:meth:`submit_nowait`, yielding to workers afterwards."""
@@ -408,6 +526,18 @@ class SpeculationService:
         # Time for the offending shard to drain half its queue.
         eta = self._queued_events[shard] / (2 * rate)
         return float(min(max(eta, 0.001), 1.0))
+
+    def _enqueue_restores(self, states: list[dict]) -> None:
+        """Split one spilled tenant's blob by live shard and enqueue
+        the restore jobs (ahead of the triggering batch's partitions)."""
+        n = self.bank.n_shards
+        by_shard: dict[int, list[dict]] = {}
+        for state in states:
+            key = int(state["branch"])
+            by_shard.setdefault(shard_of(key, n), []).append(state)
+        for sh, part in by_shard.items():
+            self._queues[sh].put_nowait(
+                _TenantJob("restore", part[0]["branch"] >> 32, part))
 
     async def drain(self) -> None:
         """Wait until every queued event has been applied.
@@ -440,13 +570,24 @@ class SpeculationService:
         scfg = self.service_config
         while True:
             part = await queue.get()
+            if isinstance(part, _TenantJob):
+                if not await self._run_tenant_jobs(shard_index, [part]):
+                    return
+                continue
             parts = [part]
+            jobs: list[_TenantJob] = []
             events = part.n_events
             target = self._targets[shard_index]
             while events < target:
                 try:
                     extra = queue.get_nowait()
                 except asyncio.QueueEmpty:
+                    break
+                if isinstance(extra, _TenantJob):
+                    # FIFO fence: the job must run after everything
+                    # coalesced so far and before anything behind it —
+                    # stop coalescing here.
+                    jobs.append(extra)
                     break
                 parts.append(extra)
                 events += extra.n_events
@@ -464,7 +605,7 @@ class SpeculationService:
                     self._set_fatal(err)
                     # Release joiners: this shard's events can never be
                     # applied, so account them out of the queue.
-                    for _ in parts:
+                    for _ in (*parts, *jobs):
                         queue.task_done()
                     while True:
                         try:
@@ -501,8 +642,56 @@ class SpeculationService:
                 self._snap_due.set()
             for _ in parts:
                 queue.task_done()
+            if jobs and not await self._run_tenant_jobs(shard_index, jobs):
+                return
             # Yield so producers/other shards interleave under load.
             await asyncio.sleep(0)
+
+    async def _run_tenant_jobs(self, shard_index: int,
+                               jobs: list[_TenantJob]) -> bool:
+        """Run dequeued spill/restore control jobs on one shard.
+
+        Marks each job done on the queue; returns False after latching
+        a fatal worker death (mirroring the apply path's cleanup).
+        """
+        queue = self._queues[shard_index]
+        shard = self.bank.shards[shard_index]
+        for i, job in enumerate(jobs):
+            try:
+                if job.kind == "spill":
+                    if self._pool is not None:
+                        states = await self._pool.spill(shard_index,
+                                                        job.tenant)
+                        # The parent mirror learns decision flips from
+                        # APPLY_RESULT frames; evictions it learns here.
+                        for state in states:
+                            shard.decisions.pop(int(state["branch"]), None)
+                        shard.tenant_keys.pop(job.tenant, None)
+                    else:
+                        states = shard.spill_tenant(job.tenant)
+                    self._tenants.spill_contribution(job.tenant, states)
+                else:
+                    if self._pool is not None:
+                        await self._pool.restore(shard_index, job.states)
+                        for state in job.states:
+                            shard.decisions[int(state["branch"])] = bool(
+                                state["deployed"])
+                    else:
+                        shard.restore_tenant(job.states)
+            except WorkerDiedError as err:
+                self._set_fatal(err)
+                for _ in jobs[i:]:
+                    queue.task_done()
+                while True:
+                    try:
+                        queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    queue.task_done()
+                self._queued_events[shard_index] = 0
+                return False
+            queue.task_done()
+        return True
 
     async def _wal_committer(self) -> None:
         """Group commit: one fsync covers every append since the last.
@@ -528,16 +717,62 @@ class SpeculationService:
             self._snap_due.clear()
 
     # -- decision API ---------------------------------------------------
-    def should_speculate(self, pc: int) -> bool:
+    def should_speculate(self, pc: int, tenant: int = 0) -> bool:
         """Deployed-code view: does live code speculate on ``pc``?
 
         This answers from the per-shard decision cache — the paper's
         deployment-latency accounting — not from the FSM state: a
         branch freshly SELECTed keeps answering False until its
         speculative code lands, and keeps answering True after EVICT
-        until the repaired code lands.
+        until the repaired code lands.  A spilled tenant's branches
+        answer False (unoptimized code runs while it is cold), exactly
+        like branches never seen.
         """
-        return self.bank.should_speculate(pc)
+        return self.bank.should_speculate(pc, tenant)
+
+    # -- tenant plumbing ------------------------------------------------
+    def _ensure_resident(self, batch: EventBatch) -> None:
+        """Synchronously restore any spilled tenants ``batch`` touches.
+
+        WAL replay and follower apply push events straight into the
+        bank, bypassing admission and the queues; they call this first
+        so a spilled tenant's controllers are re-interned before its
+        events land — the offline equivalent of the queued restore job.
+        """
+        tm = self._tenants
+        if tm is None or not tm.spilled_count():
+            return
+        tenants = ([0] if batch.tenants is None
+                   else np.unique(batch.tenants).tolist())
+        now = monotonic()
+        n = self.bank.n_shards
+        for tenant in tenants:
+            states = tm.take_spilled(int(tenant), now)
+            if not states:
+                continue
+            by_shard: dict[int, list[dict]] = {}
+            for state in states:
+                key = int(state["branch"])
+                by_shard.setdefault(shard_of(key, n), []).append(state)
+            for sh, part in by_shard.items():
+                self.bank.shards[sh].restore_tenant(part)
+
+    def _export_tenants(self) -> dict[str, list[dict]]:
+        """Spilled tenants' controller states (snapshot embedding)."""
+        return (self._tenants.export_spilled()
+                if self._tenants is not None else {})
+
+    def _install_tenants(self, spilled: dict) -> None:
+        """Seed the spill store from a snapshot's tenants section."""
+        if not spilled:
+            return
+        if self._tenants is None:
+            self._tenants = self._make_tenant_manager()
+        self._tenants.install_spilled(spilled)
+
+    def tenant_stats(self) -> dict | None:
+        """Tenant-manager counters (None when no tenant state exists)."""
+        return self._tenants.stats() if self._tenants is not None else None
 
     # -- views ----------------------------------------------------------
     def metrics(self) -> SpeculationMetrics:

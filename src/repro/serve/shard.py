@@ -103,15 +103,20 @@ class BankShard:
     is updated only when a batch application lands a SELECT or EVICT.
     """
 
-    __slots__ = ("index", "bank", "decisions", "events_applied",
-                 "last_instr", "correct", "incorrect", "capture",
-                 "columnar", "col")
+    __slots__ = ("index", "bank", "decisions", "tenant_keys",
+                 "events_applied", "last_instr", "correct", "incorrect",
+                 "capture", "columnar", "col")
 
     def __init__(self, index: int, config: ControllerConfig,
                  columnar: bool = True) -> None:
         self.index = index
         self.bank = ControllerBank(config)
         self.decisions: dict[int, bool] = {}
+        #: Tenant → set of this shard's controller keys for that tenant
+        #: (key >> 32).  Maintained wherever controllers are minted so
+        #: :meth:`spill_tenant` never scans the whole bank.  Tenant-less
+        #: traffic lands under tenant 0 (bare PCs *are* tenant-0 keys).
+        self.tenant_keys: dict[int, set[int]] = {}
         self.events_applied = 0
         self.last_instr = 0
         self.correct = 0
@@ -161,7 +166,8 @@ class BankShard:
             col = self.col
             if col is None:
                 col = self.col = ColumnarBank(self.bank.config, self.bank,
-                                              self.decisions)
+                                              self.decisions,
+                                              tenant_index=self.tenant_keys)
             correct, incorrect, changed, fired = col.apply_sorted(
                 sorted_pcs, sorted_taken, sorted_instrs,
                 starts, ends, capture)
@@ -193,6 +199,8 @@ class BankShard:
         fired: list[tuple[int, int, int, int]] = []
         for s, e in zip(starts, ends):
             pc = int(sorted_pcs[s])
+            if pc not in self.decisions:
+                self.tenant_keys.setdefault(pc >> 32, set()).add(pc)
             ctrl = controller(pc)
             before = ctrl._deployed
             seen = len(ctrl.transitions) if capture else 0
@@ -252,6 +260,53 @@ class BankShard:
         the decision cache)."""
         self.col = None
         self.bank._controllers.clear()
+        self.tenant_keys.clear()
+
+    # -- tenant spill / restore -----------------------------------------
+    def spill_tenant(self, tenant: int) -> list[dict]:
+        """Extract and evict every controller of ``tenant``.
+
+        Returns the controllers' ``export_state()`` dicts in ascending
+        key order (deterministic blobs) and removes the keys from the
+        bank, the decision cache, and the columnar mirror.  Restoring
+        the same states via :meth:`restore_tenant` is bit-exact.
+        """
+        keys = self.tenant_keys.pop(tenant, None)
+        if not keys:
+            return []
+        sorted_keys = np.fromiter(keys, dtype=np.int64, count=len(keys))
+        sorted_keys.sort()
+        controllers = self.bank._controllers
+        col = self.col
+        if col is not None:
+            for key in sorted_keys.tolist():
+                row = col._row_of(key)
+                if row is not None and col.dirty[row]:
+                    col._flush_row(row, controllers[key])
+            col.evict_keys(sorted_keys)
+        states = []
+        for key in sorted_keys.tolist():
+            ctrl = controllers.pop(key, None)
+            self.decisions.pop(key, None)
+            if ctrl is not None:
+                states.append(ctrl.export_state())
+        return states
+
+    def restore_tenant(self, states: list[dict]) -> None:
+        """Re-intern spilled controller states into this shard.
+
+        Columnar rows are *not* rebuilt eagerly — the next batch that
+        touches a restored key re-interns it through the pre-existing-
+        controller path, seeding the row from the live state.
+        """
+        controllers = self.bank._controllers
+        config = self.bank.config
+        for state in states:
+            ctrl = ReactiveBranchController.from_state(config, state)
+            key = ctrl.branch
+            controllers[key] = ctrl
+            self.decisions[key] = ctrl.deployed
+            self.tenant_keys.setdefault(key >> 32, set()).add(key)
 
     # -- snapshot hooks -------------------------------------------------
     def export_state(self) -> dict:
@@ -277,6 +332,8 @@ class BankShard:
         shard.bank = ControllerBank.from_state(config, state["bank"])
         for ctrl in shard.bank:
             shard.decisions[ctrl.branch] = ctrl.deployed
+            shard.tenant_keys.setdefault(ctrl.branch >> 32,
+                                         set()).add(ctrl.branch)
         return shard
 
 
@@ -341,12 +398,16 @@ class ShardedBank:
         slices per shard — cheaper than a boolean-mask pass per shard
         and zero-copy downstream.
         """
+        # Tenant-bearing batches route (and apply) by packed int64 key;
+        # tenant-less batches keep their bare int32 PCs, which *are*
+        # tenant 0's keys, so both traffic kinds share one key space.
+        ids = batch.pcs if batch.tenants is None else batch.keys()
         if self.n_shards == 1:
-            return [_Partition(0, batch.pcs, batch.taken, batch.instrs)]
-        dest = shard_ids(batch.pcs, self.n_shards)
+            return [_Partition(0, ids, batch.taken, batch.instrs)]
+        dest = shard_ids(ids, self.n_shards)
         order = np.argsort(dest, kind="stable")
         dest = dest[order]
-        pcs = batch.pcs[order]
+        pcs = ids[order]
         taken = batch.taken[order]
         instrs = batch.instrs[order]
         bounds = np.flatnonzero(dest[1:] != dest[:-1]) + 1
@@ -360,11 +421,14 @@ class ShardedBank:
         return [self.shards[p.shard].apply(p.pcs, p.taken, p.instrs)
                 for p in self.partition(batch)]
 
-    def should_speculate(self, pc: int) -> bool:
-        return self.shards[shard_of(pc, self.n_shards)].should_speculate(pc)
+    def should_speculate(self, pc: int, tenant: int = 0) -> bool:
+        key = (tenant << 32) | pc
+        return self.shards[shard_of(key, self.n_shards)].should_speculate(key)
 
-    def controller(self, pc: int) -> ReactiveBranchController:
-        return self.shards[shard_of(pc, self.n_shards)].controller(pc)
+    def controller(self, pc: int,
+                   tenant: int = 0) -> ReactiveBranchController:
+        key = (tenant << 32) | pc
+        return self.shards[shard_of(key, self.n_shards)].controller(key)
 
     @property
     def events_applied(self) -> int:

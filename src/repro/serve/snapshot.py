@@ -47,12 +47,15 @@ logger = logging.getLogger(__name__)
 #: (``wal_dir``/``wal_fsync``/``wal_segment_bytes``); version 4 added
 #: the observability knobs (``obs``/``trace_ring``/``trace_sample``);
 #: version 5 added the batch-engine knob (``columnar``); version 6
-#: adds the replication knob (``repl_listen``).  The state schema is
-#: otherwise unchanged, so every older version loads fine (missing
-#: knobs take their defaults); see
+#: adds the replication knob (``repl_listen``); version 7 adds the
+#: tenant knobs (``tenant_*``) plus an optional ``tenants`` section
+#: carrying spilled tenants' controller states.  The bank state schema
+#: is otherwise unchanged, so every older version loads fine (missing
+#: knobs take their defaults, and every pre-tenant controller key *is*
+#: a tenant-0 key); see
 #: ``tests/serve/test_snapshot.py::test_version1_snapshot_still_loads``.
-FORMAT_VERSION = 6
-_COMPATIBLE_FORMATS = (1, 2, 3, 4, 5, 6)
+FORMAT_VERSION = 7
+_COMPATIBLE_FORMATS = (1, 2, 3, 4, 5, 6, 7)
 _KIND = "repro.serve.snapshot"
 
 
@@ -82,6 +85,12 @@ def save_snapshot(path: str | Path, service: "SpeculationService",
         "bank": (bank_state if bank_state is not None
                  else service.bank.export_state()),
     }
+    spilled = service._export_tenants()
+    if spilled:
+        # Spilled tenants are part of the model state: their
+        # controllers continue bit-identically after restore, they are
+        # just cold.  Resident tenants already live in the bank export.
+        state["tenants"] = {"spilled": spilled}
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
@@ -186,7 +195,8 @@ def load_snapshot(path: str | Path,
     else:
         scfg = ServiceConfig(**{**state["service_config"],
                                 "workers": 0, "transport": "pipe",
-                                "wal_dir": None, "repl_listen": None})
+                                "wal_dir": None, "repl_listen": None,
+                                "tenant_spill_dir": None})
     if n_shards is not None and n_shards != scfg.n_shards:
         scfg = replace(scfg, n_shards=n_shards)
     if workers is not None and workers != scfg.workers:
@@ -207,6 +217,7 @@ def load_snapshot(path: str | Path,
                                  last_seq=int(state["last_seq"]))
     service._events_submitted = int(state["events_submitted"])
     service._restored_from = Path(path)
+    service._install_tenants(state.get("tenants", {}).get("spilled", {}))
     return service
 
 

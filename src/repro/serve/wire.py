@@ -28,8 +28,8 @@ Frame catalogue (body layouts, all little-endian)::
                  | uint64 correct | uint64 incorrect
                  | int64 last_instr | uint32 n_changed
                  | uint32 n_trans | float64 apply_seconds
-                 | int32 pc[n_changed] | uint8 deployed[n_changed]
-                 | int32 trans_pc[n_trans] | uint8 trans_arc[n_trans]
+                 | int64 key[n_changed] | uint8 deployed[n_changed]
+                 | int64 trans_key[n_trans] | uint8 trans_arc[n_trans]
                  | int64 trans_exec[n_trans] | int64 trans_instr[n_trans]
                                                         worker → parent
     BARRIER      uint64 ticket                          parent → worker
@@ -38,6 +38,22 @@ Frame catalogue (body layouts, all little-endian)::
     STATE        zlib(JSON shard state)                 worker → parent
     SHUTDOWN     (empty)                                parent → worker
     ERROR        utf-8 message                          worker → parent
+    TAPPLY       uint64 ticket | uint32 n
+                 | int64 key[n] | uint8 taken[n]
+                 | int64 instr[n]                       parent → worker
+    TSPILL       uint64 ticket | uint32 tenant          parent → worker
+    TSPILL_RESULT uint64 ticket | uint32 zlen
+                 | zlib(JSON state list)                worker → parent
+    TRESTORE     uint64 ticket | uint32 zlen
+                 | zlib(JSON state list)                parent → worker
+    TRESTORE_ACK uint64 ticket                          worker → parent
+
+``APPLY`` carries bare int32 PCs — the legacy tenant-less frame, still
+what tenant-0-only deployments speak — while ``TAPPLY`` carries packed
+int64 ``(tenant << 32) | pc`` keys (see :mod:`repro.tenant.keys`).
+Both produce the same ``APPLY_RESULT``, whose changed/transition id
+columns are int64 keys; the frame is parent↔worker only and never
+persisted, so widening it costs no compatibility.
 """
 
 from __future__ import annotations
@@ -53,10 +69,15 @@ from repro.serve.events import pack_events, unpack_events
 
 __all__ = [
     "LOAD", "HELLO", "APPLY", "APPLY_RESULT", "BARRIER", "BARRIER_ACK",
-    "STATE_REQ", "STATE", "SHUTDOWN", "ERROR", "ProtocolError",
+    "STATE_REQ", "STATE", "SHUTDOWN", "ERROR", "TAPPLY", "TSPILL",
+    "TSPILL_RESULT", "TRESTORE", "TRESTORE_ACK", "ProtocolError",
     "encode_load", "decode_load", "encode_hello", "decode_hello",
-    "encode_apply", "decode_apply", "encode_apply_result",
-    "decode_apply_result", "encode_barrier", "decode_barrier",
+    "encode_apply", "decode_apply", "encode_tapply", "decode_tapply",
+    "encode_apply_result", "decode_apply_result",
+    "encode_tspill", "decode_tspill", "encode_tspill_result",
+    "decode_tspill_result", "encode_trestore", "decode_trestore",
+    "encode_trestore_ack", "decode_trestore_ack",
+    "encode_barrier", "decode_barrier",
     "encode_state_req", "encode_state", "decode_state",
     "encode_shutdown", "encode_error", "decode_error", "frame_type",
     "PipeTransport", "SocketTransport",
@@ -72,13 +93,25 @@ STATE_REQ = 0x07
 STATE = 0x08
 SHUTDOWN = 0x09
 ERROR = 0x0A
+TAPPLY = 0x0B
+TSPILL = 0x0C
+TSPILL_RESULT = 0x0D
+TRESTORE = 0x0E
+TRESTORE_ACK = 0x0F
 
 _HELLO = struct.Struct("<BHI")
 _APPLY = struct.Struct("<BQI")
+_TAPPLY = struct.Struct("<BQI")
 _RESULT = struct.Struct("<BQIQQqIId")
 _BARRIER = struct.Struct("<BQ")
 _LOAD = struct.Struct("<BI")
+_TSPILL = struct.Struct("<BQI")
+_TBLOB = struct.Struct("<BQI")
+_TACK = struct.Struct("<BQ")
 _LEN = struct.Struct("<I")
+
+#: Bytes per event in a TAPPLY frame: int64 key + uint8 taken + int64 instr.
+TKEY_EVENT_WIRE_BYTES = 8 + 1 + 8
 
 
 class ProtocolError(Exception):
@@ -177,14 +210,14 @@ def encode_apply_result(ticket: int, events: int, correct: int,
     ``(pc, arc_code, exec_index, instr)`` tuples — and
     ``apply_seconds`` its measured apply latency, so observability
     data rides the result frame instead of needing a side channel."""
-    pcs = np.asarray(changed_pcs, dtype=np.int32)
+    pcs = np.asarray(changed_pcs, dtype=np.int64)
     dep = np.asarray(changed_deployed, dtype=np.uint8)
     head = _RESULT.pack(APPLY_RESULT, ticket, events, correct, incorrect,
                         last_instr, len(pcs), len(transitions),
                         apply_seconds)
     body = head + pcs.tobytes() + dep.tobytes()
     if transitions:
-        t_pc = np.fromiter((t[0] for t in transitions), dtype=np.int32,
+        t_pc = np.fromiter((t[0] for t in transitions), dtype=np.int64,
                            count=len(transitions))
         t_arc = np.fromiter((t[1] for t in transitions), dtype=np.uint8,
                             count=len(transitions))
@@ -204,29 +237,117 @@ def decode_apply_result(payload: bytes) -> tuple:
     (_, ticket, events, correct, incorrect, last_instr, n_changed,
      n_trans, apply_seconds) = _RESULT.unpack_from(payload)
     off = _RESULT.size
-    if len(payload) != off + 5 * n_changed + 21 * n_trans:
+    if len(payload) != off + 9 * n_changed + 25 * n_trans:
         raise ProtocolError("APPLY_RESULT frame length mismatch")
-    pcs = np.frombuffer(payload, dtype=np.int32, count=n_changed,
+    pcs = np.frombuffer(payload, dtype=np.int64, count=n_changed,
                         offset=off)
     dep = np.frombuffer(payload, dtype=np.uint8, count=n_changed,
-                        offset=off + 4 * n_changed)
+                        offset=off + 8 * n_changed)
     transitions: tuple = ()
     if n_trans:
-        t_off = off + 5 * n_changed
-        t_pc = np.frombuffer(payload, dtype=np.int32, count=n_trans,
+        t_off = off + 9 * n_changed
+        t_pc = np.frombuffer(payload, dtype=np.int64, count=n_trans,
                              offset=t_off)
         t_arc = np.frombuffer(payload, dtype=np.uint8, count=n_trans,
-                              offset=t_off + 4 * n_trans)
+                              offset=t_off + 8 * n_trans)
         t_exec = np.frombuffer(payload, dtype=np.int64, count=n_trans,
-                               offset=t_off + 5 * n_trans)
+                               offset=t_off + 9 * n_trans)
         t_instr = np.frombuffer(payload, dtype=np.int64, count=n_trans,
-                                offset=t_off + 13 * n_trans)
+                                offset=t_off + 17 * n_trans)
         transitions = tuple(
             (int(a), int(b), int(c), int(d))
             for a, b, c, d in zip(t_pc, t_arc, t_exec, t_instr))
     return (ticket, events, correct, incorrect, last_instr,
             tuple(int(p) for p in pcs), tuple(bool(d) for d in dep),
             transitions, float(apply_seconds))
+
+
+# -- tenant frames ----------------------------------------------------------
+def encode_tapply(ticket: int, keys: np.ndarray, taken: np.ndarray,
+                  instrs: np.ndarray) -> bytes:
+    """Like :func:`encode_apply` but with packed int64 tenant keys."""
+    return (_TAPPLY.pack(TAPPLY, ticket, len(keys))
+            + np.ascontiguousarray(keys, dtype=np.int64).tobytes()
+            + np.ascontiguousarray(taken, dtype=np.uint8).tobytes()
+            + np.ascontiguousarray(instrs, dtype=np.int64).tobytes())
+
+
+def decode_tapply(payload: bytes,
+                  ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Returns ``(ticket, keys, taken, instrs)`` — arrays are zero-copy
+    read-only views into ``payload``."""
+    _expect(payload, TAPPLY, "TAPPLY", min_len=_TAPPLY.size)
+    _, ticket, n = _TAPPLY.unpack_from(payload)
+    off = _TAPPLY.size
+    if len(payload) != off + n * TKEY_EVENT_WIRE_BYTES:
+        raise ProtocolError("TAPPLY frame length mismatch")
+    keys = np.frombuffer(payload, dtype=np.int64, count=n, offset=off)
+    taken = np.frombuffer(payload, dtype=np.uint8, count=n,
+                          offset=off + 8 * n).view(np.bool_)
+    instrs = np.frombuffer(payload, dtype=np.int64, count=n,
+                           offset=off + 9 * n)
+    return ticket, keys, taken, instrs
+
+
+def encode_tspill(ticket: int, tenant: int) -> bytes:
+    return _TSPILL.pack(TSPILL, ticket, tenant)
+
+
+def decode_tspill(payload: bytes) -> tuple[int, int]:
+    """Returns ``(ticket, tenant)``."""
+    _expect(payload, TSPILL, "TSPILL", exact_len=_TSPILL.size)
+    _, ticket, tenant = _TSPILL.unpack(payload)
+    return ticket, tenant
+
+
+def _encode_state_blob(ftype: int, ticket: int, states: list) -> bytes:
+    blob = zlib.compress(json.dumps(states, separators=(",", ":"))
+                         .encode("utf-8"))
+    return _TBLOB.pack(ftype, ticket, len(blob)) + blob
+
+
+def _decode_state_blob(payload: bytes, ftype: int, name: str,
+                       ) -> tuple[int, list]:
+    _expect(payload, ftype, name, min_len=_TBLOB.size)
+    _, ticket, zlen = _TBLOB.unpack_from(payload)
+    if len(payload) != _TBLOB.size + zlen:
+        raise ProtocolError(f"{name} frame length mismatch")
+    try:
+        states = json.loads(zlib.decompress(payload[_TBLOB.size:])
+                            .decode("utf-8"))
+    except (zlib.error, ValueError) as err:
+        raise ProtocolError(f"{name} frame body is not zlib JSON: {err}") \
+            from err
+    if not isinstance(states, list):
+        raise ProtocolError(f"{name} frame body is not a state list")
+    return ticket, states
+
+
+def encode_tspill_result(ticket: int, states: list) -> bytes:
+    """Worker → parent: controller states evicted by a TSPILL."""
+    return _encode_state_blob(TSPILL_RESULT, ticket, states)
+
+
+def decode_tspill_result(payload: bytes) -> tuple[int, list]:
+    return _decode_state_blob(payload, TSPILL_RESULT, "TSPILL_RESULT")
+
+
+def encode_trestore(ticket: int, states: list) -> bytes:
+    """Parent → worker: controller states to re-intern into the shard."""
+    return _encode_state_blob(TRESTORE, ticket, states)
+
+
+def decode_trestore(payload: bytes) -> tuple[int, list]:
+    return _decode_state_blob(payload, TRESTORE, "TRESTORE")
+
+
+def encode_trestore_ack(ticket: int) -> bytes:
+    return _TACK.pack(TRESTORE_ACK, ticket)
+
+
+def decode_trestore_ack(payload: bytes) -> int:
+    _expect(payload, TRESTORE_ACK, "TRESTORE_ACK", exact_len=_TACK.size)
+    return _TACK.unpack(payload)[1]
 
 
 # -- control frames ---------------------------------------------------------

@@ -151,6 +151,21 @@ def worker_main(index: int, config_dict: dict, endpoint, kind: str,
                     ticket, res.events, res.correct, res.incorrect,
                     res.last_instr, res.changed, res.changed_deployed,
                     res.transitions, res.apply_seconds))
+            elif ftype == wire.TAPPLY:
+                ticket, keys, taken, instrs = wire.decode_tapply(payload)
+                res = shard.apply(keys, taken, instrs)
+                transport.send(wire.encode_apply_result(
+                    ticket, res.events, res.correct, res.incorrect,
+                    res.last_instr, res.changed, res.changed_deployed,
+                    res.transitions, res.apply_seconds))
+            elif ftype == wire.TSPILL:
+                ticket, tenant = wire.decode_tspill(payload)
+                transport.send(wire.encode_tspill_result(
+                    ticket, shard.spill_tenant(tenant)))
+            elif ftype == wire.TRESTORE:
+                ticket, states = wire.decode_trestore(payload)
+                shard.restore_tenant(states)
+                transport.send(wire.encode_trestore_ack(ticket))
             elif ftype == wire.BARRIER:
                 transport.send(wire.encode_barrier(
                     wire.decode_barrier(payload), ack=True))
@@ -221,6 +236,15 @@ class _WorkerHandle:
                     transitions=transitions, apply_seconds=apply_seconds))
         elif ftype == wire.BARRIER_ACK:
             fut = self.pending.pop(wire.decode_barrier(payload), None)
+            if fut is not None and not fut.done():
+                fut.set_result(None)
+        elif ftype == wire.TSPILL_RESULT:
+            ticket, states = wire.decode_tspill_result(payload)
+            fut = self.pending.pop(ticket, None)
+            if fut is not None and not fut.done():
+                fut.set_result(states)
+        elif ftype == wire.TRESTORE_ACK:
+            fut = self.pending.pop(wire.decode_trestore_ack(payload), None)
             if fut is not None and not fut.done():
                 fut.set_result(None)
         elif ftype == wire.STATE:
@@ -433,7 +457,31 @@ class WorkerPool:
     # -- protocol -------------------------------------------------------
     async def apply(self, shard: int, pcs: np.ndarray, taken: np.ndarray,
                     instrs: np.ndarray) -> ShardApplyResult:
-        """Ship one micro-batch to its worker; await the result."""
+        """Ship one micro-batch to its worker; await the result.
+
+        int64 ``pcs`` are packed tenant keys and travel as ``TAPPLY``;
+        int32 arrays keep the legacy ``APPLY`` frame byte-for-byte.
+        """
+        handle = self.handles[shard]
+        handle.check_alive()
+        ticket = handle.next_ticket
+        handle.next_ticket += 1
+        fut = handle.loop.create_future()
+        handle.pending[ticket] = fut
+        if pcs.dtype == np.int64:
+            frame = wire.encode_tapply(ticket, pcs, taken, instrs)
+        else:
+            frame = wire.encode_apply(ticket, pcs, taken, instrs)
+        try:
+            await handle.send(frame)
+        except Exception:
+            handle.pending.pop(ticket, None)
+            raise
+        return await fut
+
+    async def spill(self, shard: int, tenant: int) -> list[dict]:
+        """Evict one tenant's controllers from a worker's shard;
+        returns their exported states."""
         handle = self.handles[shard]
         handle.check_alive()
         ticket = handle.next_ticket
@@ -441,11 +489,26 @@ class WorkerPool:
         fut = handle.loop.create_future()
         handle.pending[ticket] = fut
         try:
-            await handle.send(wire.encode_apply(ticket, pcs, taken, instrs))
+            await handle.send(wire.encode_tspill(ticket, tenant))
         except Exception:
             handle.pending.pop(ticket, None)
             raise
         return await fut
+
+    async def restore(self, shard: int, states: list[dict]) -> None:
+        """Re-intern spilled controller states into a worker's shard."""
+        handle = self.handles[shard]
+        handle.check_alive()
+        ticket = handle.next_ticket
+        handle.next_ticket += 1
+        fut = handle.loop.create_future()
+        handle.pending[ticket] = fut
+        try:
+            await handle.send(wire.encode_trestore(ticket, states))
+        except Exception:
+            handle.pending.pop(ticket, None)
+            raise
+        await fut
 
     async def barrier(self) -> None:
         """Wait until every worker has processed all frames sent so far

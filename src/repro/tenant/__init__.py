@@ -1,0 +1,27 @@
+"""Multi-tenant controller universes.
+
+A tenant is an independent principal — a user, a process, a VM — with
+its own branch universe and its own reactive state.  The package keeps
+the serving engines tenant-oblivious by packing ``(tenant, pc)`` into
+one int64 key (:mod:`repro.tenant.keys`); everything tenant-*aware* —
+admission quotas, the resident-set LRU, cold-tenant spill/restore —
+lives in :mod:`repro.tenant.manager` and the blob log of
+:mod:`repro.tenant.spillstore`.
+
+Only :mod:`~repro.tenant.keys` is imported here: the hot path
+(``repro.serve.events``) depends on it, and the manager depends on the
+hot path, so the package root must stay cycle-free.
+"""
+
+from repro.tenant.keys import (
+    MAX_PC,
+    MAX_TENANT,
+    TENANT_SHIFT,
+    key_pc,
+    key_tenant,
+    pack_key,
+    pack_keys,
+)
+
+__all__ = ["TENANT_SHIFT", "MAX_TENANT", "MAX_PC", "pack_key",
+           "key_tenant", "key_pc", "pack_keys"]

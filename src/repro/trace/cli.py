@@ -6,6 +6,7 @@ Usage::
     python -m repro.trace info gcc
     python -m repro.trace info path/to/trace.npz
     python -m repro.trace gen gzip -o gzip.npz --length 200000
+    python -m repro.trace gen gzip -o mt.npz --tenants 64 --tenant-mix zipf
     python -m repro.trace bias gcc --bins 10
 """
 
@@ -38,6 +39,14 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--output", required=True)
     gen.add_argument("--input", dest="input_name", default=None)
     gen.add_argument("--length", type=int, default=None)
+    gen.add_argument("--tenants", type=int, default=None, metavar="N",
+                     help="interleave N tenant streams "
+                          "(events carry a tenant id column)")
+    gen.add_argument("--tenant-mix", choices=("zipf", "uniform"),
+                     default="zipf",
+                     help="tenant traffic distribution (default: zipf)")
+    gen.add_argument("--tenant-seed", type=int, default=0,
+                     help="seed for the tenant assignment draw")
 
     bias = sub.add_parser("bias",
                           help="event-weighted bias histogram")
@@ -83,8 +92,15 @@ def main(argv: list[str] | None = None) -> int:
 
         trace = load_trace(args.benchmark, args.input_name,
                            length=args.length)
+        if args.tenants is not None:
+            from repro.trace.synthetic import with_tenants
+
+            trace = with_tenants(trace, args.tenants,
+                                 args.tenant_mix, seed=args.tenant_seed)
         path = save_trace(trace, args.output)
-        print(f"wrote {len(trace):,} events to {path}")
+        extra = (f" across {args.tenants:,} tenants ({args.tenant_mix})"
+                 if args.tenants is not None else "")
+        print(f"wrote {len(trace):,} events{extra} to {path}")
         return 0
 
     if args.command == "bias":

@@ -29,13 +29,21 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
         "input_name": trace.input_name,
         "meta": trace.meta,
     }
+    arrays = {
+        "branch_ids": trace.branch_ids,
+        "taken": trace.taken,
+        "instrs": trace.instrs,
+    }
+    if trace.tenants is not None:
+        # Optional column: absent for single-tenant traces, so files
+        # written by older code and files without tenants stay
+        # byte-compatible (the format version does not change).
+        arrays["tenants"] = trace.tenants
     np.savez_compressed(
         path,
         header=np.frombuffer(
             json.dumps(header).encode(), dtype=np.uint8),
-        branch_ids=trace.branch_ids,
-        taken=trace.taken,
-        instrs=trace.instrs,
+        **arrays,
     )
     return path
 
@@ -54,4 +62,5 @@ def load_trace_file(path: str | Path) -> Trace:
             taken=data["taken"],
             instrs=data["instrs"],
             meta=header.get("meta", {}),
+            tenants=data["tenants"] if "tenants" in data.files else None,
         )

@@ -71,6 +71,10 @@ class Trace:
         strictly increasing.
     meta:
         Free-form provenance (model parameters, seed, ...).
+    tenants:
+        Optional parallel uint32 tenant id per event (``None`` — the
+        default — means a single-tenant trace, i.e. tenant 0); see
+        :func:`repro.trace.synthetic.assign_tenants`.
     """
 
     name: str
@@ -79,12 +83,15 @@ class Trace:
     taken: np.ndarray
     instrs: np.ndarray
     meta: dict = field(default_factory=dict)
+    tenants: np.ndarray | None = field(default=None, repr=False)
     _groups: BranchGroups | None = field(
         default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         n = len(self.branch_ids)
         if len(self.taken) != n or len(self.instrs) != n:
+            raise ValueError("trace arrays must have equal length")
+        if self.tenants is not None and len(self.tenants) != n:
             raise ValueError("trace arrays must have equal length")
         if n == 0:
             raise ValueError("trace must contain at least one event")
@@ -135,7 +142,9 @@ class Trace:
             branch_ids=self.branch_ids[start:stop],
             taken=self.taken[start:stop],
             instrs=self.instrs[start:stop] - offset,
-            meta=dict(self.meta))
+            meta=dict(self.meta),
+            tenants=(None if self.tenants is None
+                     else self.tenants[start:stop]))
 
 
 def _region_slot_gaps(region: Region) -> np.ndarray:

@@ -19,7 +19,62 @@ __all__ = [
     "round_robin_trace",
     "single_branch_trace",
     "uniform_model",
+    "assign_tenants",
+    "with_tenants",
 ]
+
+
+def assign_tenants(n_events: int, n_tenants: int, mix: str = "zipf", *,
+                   s: float = 1.1, seed: int | np.random.Generator = 0
+                   ) -> np.ndarray:
+    """Draw a uint32 tenant id per event.
+
+    ``mix="zipf"`` draws from a Zipf distribution over tenant ranks
+    (``p(k) ∝ 1/k**s`` for rank ``k``, via inverse-CDF sampling) — a
+    few hot tenants dominate, a long tail stays cold, which is the
+    shape that exercises quota enforcement and cold-tenant spill.
+    ``mix="uniform"`` spreads events evenly; with many tenants each is
+    touched rarely, which exercises resident-set churn.  Deterministic
+    for a given ``(n_events, n_tenants, mix, s, seed)``.
+    """
+    if n_events <= 0:
+        raise ValueError("n_events must be positive")
+    if n_tenants <= 0:
+        raise ValueError("n_tenants must be positive")
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
+    if n_tenants == 1:
+        return np.zeros(n_events, dtype=np.uint32)
+    if mix == "uniform":
+        return rng.integers(0, n_tenants, size=n_events, dtype=np.uint32)
+    if mix != "zipf":
+        raise ValueError(f"unknown tenant mix {mix!r} "
+                         "(expected 'zipf' or 'uniform')")
+    ranks = np.arange(1, n_tenants + 1, dtype=np.float64)
+    cdf = np.cumsum(ranks ** -s)
+    cdf /= cdf[-1]
+    draws = np.searchsorted(cdf, rng.random(n_events), side="right")
+    return draws.astype(np.uint32)
+
+
+def with_tenants(trace: Trace, n_tenants: int, mix: str = "zipf", *,
+                 s: float = 1.1, seed: int | np.random.Generator = 0
+                 ) -> Trace:
+    """A copy of ``trace`` with per-event tenant ids attached.
+
+    Each tenant sees the same branch-id space (branch ids become
+    per-tenant *universes* downstream — the serving layer namespaces
+    controllers by ``(tenant, branch)``), so attaching tenants to an
+    existing single-tenant trace models N tenants running the same
+    workload interleaved.
+    """
+    tenants = assign_tenants(len(trace), n_tenants, mix, s=s, seed=seed)
+    return Trace(
+        name=trace.name, input_name=trace.input_name,
+        branch_ids=trace.branch_ids, taken=trace.taken,
+        instrs=trace.instrs,
+        meta={**trace.meta, "n_tenants": n_tenants, "tenant_mix": mix},
+        tenants=tenants)
 
 
 def trace_from_outcomes(outcomes: dict[int, Sequence[bool]],

@@ -15,7 +15,7 @@ from repro.bench.registry import all_suites, get_benchmark, \
 def test_list_enumerates_every_registered_target(capsys):
     assert cli.main(["list"]) == 0
     out = capsys.readouterr().out
-    for name in ("serve", "wal", "obs", "colpath", "repl",
+    for name in ("serve", "wal", "obs", "colpath", "repl", "tenant",
                  "fig2", "tab4", "ext-uarch"):
         assert name in out
     assert "ci-gates" in out
@@ -24,7 +24,7 @@ def test_list_enumerates_every_registered_target(capsys):
 def test_list_filters_by_suite(capsys):
     assert cli.main(["list", "--suite", "ci-gates"]) == 0
     out = capsys.readouterr().out
-    assert "5 benchmark(s)" in out
+    assert "6 benchmark(s)" in out
     assert "fig1" not in out
 
 
@@ -40,7 +40,7 @@ def test_registry_suites_and_ordering():
     # registration order (the import order in bench.targets) is what
     # makes suite runs and aggregated documents deterministic
     ci = [spec.name for spec in iter_benchmarks("ci-gates")]
-    assert ci == ["colpath", "obs", "repl", "serve", "wal"]
+    assert ci == ["colpath", "obs", "repl", "serve", "tenant", "wal"]
     assert len(iter_benchmarks("paper")) >= 20
     # every registered benchmark resolves by name
     for spec in iter_benchmarks():

@@ -118,6 +118,24 @@ def test_ro_query_and_decision_roundtrip():
         frames.decode_ro_query(frames.encode_ro_decision(decisions))
 
 
+def test_ro_query_tenant_form_roundtrip():
+    """The bit-31 form: a tenant column widens the query to packed
+    int64 keys; the legacy int32 form stays byte-identical."""
+    pcs = np.array([5, 9, 1000], dtype=np.int32)
+    tenants = np.array([0, 7, 7], dtype=np.uint32)
+    out = frames.decode_ro_query(frames.encode_ro_query(pcs, tenants))
+    assert out.dtype == np.int64
+    np.testing.assert_array_equal(
+        out, [(0 << 32) | 5, (7 << 32) | 9, (7 << 32) | 1000])
+    # Tenant-less encodes are bit-identical to the pre-tenant wire.
+    legacy = frames.encode_ro_query(pcs)
+    assert frames.encode_ro_query(pcs, None) == legacy
+    assert frames.decode_ro_query(legacy).dtype == np.int32
+    with pytest.raises(ProtocolError, match="length mismatch"):
+        frames.decode_ro_query(
+            frames.encode_ro_query(pcs, tenants)[:-1])
+
+
 def test_ro_status_roundtrip_and_validation():
     status = {"role": "follower", "last_seq": 12, "connected": True}
     assert frames.decode_ro_status(frames.encode_ro_status(status)) \

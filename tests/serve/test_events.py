@@ -58,3 +58,72 @@ def test_iter_trace_batches_is_zero_copy():
     trace = make_trace([0, 1, 2, 3], [1, 1, 0, 0])
     (batch,) = iter_trace_batches(trace, batch_events=8)
     assert batch.pcs.base is trace.branch_ids
+
+
+def _batch(seq=0, tenants=None):
+    return EventBatch(seq, np.array([3, 9, 3], np.int32),
+                      np.array([True, False, True]),
+                      np.array([10, 20, 30], np.int64),
+                      tenants=tenants)
+
+
+def test_tenantless_wire_form_is_the_legacy_layout():
+    """Byte-level compat anchor: a tenant-less batch must serialize
+    exactly as it did before the tenant dimension existed, so old WAL
+    records and replication frames stay readable (and new tenant-less
+    ones stay readable by anything old)."""
+    import struct
+
+    batch = _batch(seq=5)
+    expected = (struct.pack("<QI", 5, 3)
+                + batch.pcs.tobytes()
+                + batch.taken.astype(np.uint8).tobytes()
+                + batch.instrs.tobytes())
+    assert batch.to_bytes() == expected
+    clone = EventBatch.from_bytes(expected)
+    assert clone.tenants is None
+    np.testing.assert_array_equal(clone.pcs, batch.pcs)
+
+
+def test_tenant_batch_wire_roundtrip():
+    tenants = np.array([0, 7, 7], np.uint32)
+    clone = EventBatch.from_bytes(_batch(tenants=tenants).to_bytes())
+    assert clone.tenants is not None
+    np.testing.assert_array_equal(clone.tenants, tenants)
+    np.testing.assert_array_equal(clone.pcs, [3, 9, 3])
+    with pytest.raises(ValueError, match="length mismatch"):
+        EventBatch.from_bytes(_batch(tenants=tenants).to_bytes()[:-2])
+    with pytest.raises(ValueError, match="length mismatch"):
+        EventBatch.from_bytes(_batch(tenants=tenants).to_bytes() + b"x")
+
+
+def test_batch_keys_pack_tenant_and_pc():
+    legacy = _batch()
+    assert legacy.keys().dtype == np.int64
+    np.testing.assert_array_equal(legacy.keys(), [3, 9, 3])
+    # An explicit zero tenant column packs to the same keys.
+    zeros = _batch(tenants=np.zeros(3, np.uint32))
+    np.testing.assert_array_equal(zeros.keys(), legacy.keys())
+    packed = _batch(tenants=np.array([1, 1, 2], np.uint32))
+    np.testing.assert_array_equal(
+        packed.keys(),
+        [(1 << 32) | 3, (1 << 32) | 9, (2 << 32) | 3])
+
+
+def test_tenant_column_length_validated():
+    with pytest.raises(ValueError, match="equal length"):
+        _batch(tenants=np.array([1], np.uint32))
+
+
+def test_iter_trace_batches_carries_tenant_slices():
+    from repro.trace.synthetic import with_tenants
+
+    trace = make_trace([0, 1, 2, 0, 1, 2, 0], [1, 0, 1, 1, 0, 1, 0])
+    tenanted = with_tenants(trace, 4, "uniform", seed=3)
+    batches = list(iter_trace_batches(tenanted, batch_events=3))
+    assert all(b.tenants is not None for b in batches)
+    np.testing.assert_array_equal(
+        np.concatenate([b.tenants for b in batches]), tenanted.tenants)
+    # Tenant-less traces keep yielding tenant-less batches.
+    assert all(b.tenants is None
+               for b in iter_trace_batches(trace, batch_events=3))

@@ -213,6 +213,51 @@ def test_version1_snapshot_still_loads(bench_trace, bench_config):
             == run_reactive(bench_trace, bench_config).metrics)
 
 
+def test_version6_snapshot_loads_as_tenant_zero(bench_trace,
+                                                bench_config):
+    """Format-compat anchor for the tenant dimension: a committed v6
+    fixture (written before tenants existed) must load with the
+    tenant knobs at their defaults, and its controllers must BE tenant
+    0's — resuming under an explicit all-zeros tenant column is
+    bit-identical to the uninterrupted single-tenant run.
+
+    Same recipe as the v1 fixture: gzip/60k, 2 shards, snapshotted
+    after 10,240 events in 1,024-event batches, ``service_config``
+    stripped to the v6 schema and ``format`` rewritten to 6.
+    """
+    from pathlib import Path
+
+    from repro.tenant.keys import MAX_PC
+    from repro.trace.synthetic import with_tenants
+
+    fixture = Path(__file__).parent / "data" / "snapshot-v6.json.gz"
+    service = load_snapshot(fixture)
+    assert service.last_seq == 10_240 // 1024 - 1
+    # Knobs born in v7 take their defaults.
+    assert service.service_config.tenant_quota_rate is None
+    assert service.service_config.tenant_resident_bytes is None
+    assert service.service_config.tenant_spill_dir is None
+    assert service.tenant_stats() is None  # no tenant state materialized
+    # Every pre-tenant controller key IS a tenant-0 packed key.
+    state = service.bank.export_state()
+    for shard in state["shards"]:
+        for ctrl in shard["bank"]:
+            assert 0 <= ctrl["branch"] <= MAX_PC
+
+    async def finish():
+        async with service:
+            # Resume under an explicit tenant column of zeros: the
+            # restored legacy controllers and the tenant-0 traffic
+            # must land on the same keys.
+            await feed_trace(service, with_tenants(bench_trace, 1),
+                             batch_events=1024)
+            await service.drain()
+            return service.metrics()
+
+    assert (asyncio.run(finish())
+            == run_reactive(bench_trace, bench_config).metrics)
+
+
 def test_find_latest_snapshot_skips_corrupt(tmp_path, bench_config):
     from repro.serve.snapshot import find_latest_snapshot
 

@@ -95,6 +95,42 @@ def test_apply_result_frame_carries_transitions_and_latency():
         wire.decode_apply_result(frame[:-1])
 
 
+def test_tapply_frame_roundtrip_with_packed_keys():
+    """TAPPLY is APPLY with int64 (tenant << 32) | pc keys."""
+    pcs, taken, instrs = _arrays(50)
+    keys = pcs.astype(np.int64) | (np.int64(9) << 32)
+    frame = wire.encode_tapply(42, keys, taken, instrs)
+    ticket, out_keys, out_taken, out_instrs = wire.decode_tapply(frame)
+    assert ticket == 42
+    assert out_keys.dtype == np.int64
+    np.testing.assert_array_equal(out_keys, keys)
+    np.testing.assert_array_equal(out_taken, taken)
+    np.testing.assert_array_equal(out_instrs, instrs)
+
+
+def test_tenant_control_frames_roundtrip():
+    assert wire.decode_tspill(wire.encode_tspill(7, 12345)) == (7, 12345)
+    states = [{"branch": (9 << 32) | 5, "deployed": True},
+              {"branch": (9 << 32) | 6, "deployed": False}]
+    assert wire.decode_tspill_result(
+        wire.encode_tspill_result(8, states)) == (8, states)
+    assert wire.decode_trestore(
+        wire.encode_trestore(9, states)) == (9, states)
+    assert wire.decode_trestore_ack(wire.encode_trestore_ack(10)) == 10
+
+
+def test_tenant_blob_decoders_reject_non_list_bodies():
+    import json
+    import zlib
+
+    blob = zlib.compress(json.dumps({"not": "a list"}).encode())
+    frame = (bytes([wire.TRESTORE])
+             + wire.encode_trestore(1, [])[1:9]
+             + len(blob).to_bytes(4, "little") + blob)
+    with pytest.raises(wire.ProtocolError, match="not a state list"):
+        wire.decode_trestore(frame)
+
+
 def test_load_and_state_frames_roundtrip():
     state = {"index": 2, "bank": [{"branch": 7, "state": "biased"}],
              "events_applied": 99}
@@ -173,6 +209,19 @@ def test_every_decoder_rejects_malformed_frames():
          True, False),
         (wire.decode_error, wire.encode_error("x"), "ERROR",
          False, False),
+        (wire.decode_tapply,
+         wire.encode_tapply(3, pcs.astype(np.int64), taken, instrs),
+         "TAPPLY", True, True),
+        (wire.decode_tspill, wire.encode_tspill(4, 77), "TSPILL",
+         True, True),
+        (wire.decode_tspill_result,
+         wire.encode_tspill_result(5, [{"branch": 1}]),
+         "TSPILL_RESULT", True, True),
+        (wire.decode_trestore,
+         wire.encode_trestore(6, [{"branch": 1}]),
+         "TRESTORE", True, True),
+        (wire.decode_trestore_ack, wire.encode_trestore_ack(7),
+         "TRESTORE_ACK", True, True),
     ]
     for decode, frame, name, cuts_fail, trailing_fails in cases:
         with pytest.raises(wire.ProtocolError):

@@ -41,3 +41,27 @@ class TestRoundTrip:
         np.savez_compressed(path, **arrays)
         with pytest.raises(ValueError):
             load_trace_file(path)
+
+
+class TestTenantColumn:
+    def test_roundtrip_preserves_tenants(self, tmp_path):
+        from repro.trace.synthetic import with_tenants
+
+        base = round_robin_trace([ConstantBias(0.7), ConstantBias(0.2)],
+                                 length=400, seed=1, name="mt")
+        trace = with_tenants(base, 16, "zipf", seed=2)
+        path = save_trace(trace, tmp_path / "mt.npz")
+        loaded = load_trace_file(path)
+        assert loaded.tenants is not None
+        assert np.array_equal(loaded.tenants, trace.tenants)
+        assert loaded.meta["n_tenants"] == 16
+        assert loaded.meta["tenant_mix"] == "zipf"
+
+    def test_tenantless_files_load_with_none(self, tmp_path):
+        """Pre-tenant .npz files have no tenants array; they load as
+        single-tenant traces (tenants=None), not as an error."""
+        trace = round_robin_trace([ConstantBias(0.5)], length=50)
+        path = save_trace(trace, tmp_path / "legacy.npz")
+        with np.load(path) as data:
+            assert "tenants" not in data.files
+        assert load_trace_file(path).tenants is None

@@ -58,3 +58,85 @@ class TestUniformModel:
         model = uniform_model(5, p=0.5)
         assert model.n_static == 5
         assert len(model.regions) == 1
+
+
+class TestTenantAssignment:
+    def test_deterministic_and_typed(self):
+        import numpy as np
+
+        from repro.trace.synthetic import assign_tenants
+
+        a = assign_tenants(1000, 64, "zipf", seed=5)
+        b = assign_tenants(1000, 64, "zipf", seed=5)
+        assert a.dtype == np.uint32
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 64
+        assert (assign_tenants(1000, 64, "zipf", seed=6) != a).any()
+
+    def test_single_tenant_is_all_zero(self):
+        from repro.trace.synthetic import assign_tenants
+
+        assert not assign_tenants(100, 1).any()
+
+    def test_uniform_mix_spreads(self):
+        import numpy as np
+
+        from repro.trace.synthetic import assign_tenants
+
+        col = assign_tenants(50_000, 16, "uniform", seed=1)
+        counts = np.bincount(col, minlength=16)
+        assert (counts > 0).all()
+        # No tenant dominates a uniform spray.
+        assert counts.max() < 2 * counts.min() + 100
+
+    def test_zipf_mix_is_head_heavy(self):
+        import numpy as np
+
+        from repro.trace.synthetic import assign_tenants
+
+        col = assign_tenants(50_000, 1024, "zipf", s=1.5, seed=2)
+        counts = np.bincount(col, minlength=1024)
+        # Rank 0 carries far more than a uniform share...
+        assert counts[0] > 10 * (50_000 / 1024)
+        # ...and the head outweighs the whole tail.
+        assert counts[:8].sum() > counts[8:].sum()
+
+    def test_validation(self):
+        from repro.trace.synthetic import assign_tenants
+
+        with pytest.raises(ValueError):
+            assign_tenants(0, 4)
+        with pytest.raises(ValueError):
+            assign_tenants(10, 0)
+        with pytest.raises(ValueError):
+            assign_tenants(10, 4, "bogus")
+
+    def test_with_tenants_attaches_column_and_meta(self):
+        from repro.trace.synthetic import round_robin_trace, with_tenants
+
+        base = round_robin_trace([ConstantBias(0.5)] * 3, length=300,
+                                 seed=1)
+        assert base.tenants is None
+        tenanted = with_tenants(base, 8, "uniform", seed=4)
+        assert base.tenants is None  # the original is untouched
+        assert tenanted.tenants is not None
+        assert len(tenanted.tenants) == len(tenanted)
+        assert tenanted.meta["n_tenants"] == 8
+        assert tenanted.meta["tenant_mix"] == "uniform"
+        # The branch/outcome/instr columns are the same events.
+        import numpy as np
+
+        np.testing.assert_array_equal(tenanted.branch_ids,
+                                      base.branch_ids)
+        np.testing.assert_array_equal(tenanted.taken, base.taken)
+
+    def test_slice_carries_tenants(self):
+        from repro.trace.synthetic import round_robin_trace, with_tenants
+
+        base = round_robin_trace([ConstantBias(0.5)] * 2, length=100)
+        tenanted = with_tenants(base, 4, seed=0)
+        part = tenanted.slice(10, 30)
+        import numpy as np
+
+        np.testing.assert_array_equal(part.tenants,
+                                      tenanted.tenants[10:30])
