@@ -29,8 +29,9 @@ from repro.bench.registry import all_suites, get_benchmark, iter_benchmarks
 
 #: check_bench-compatible override flags -> gate ``param`` keys.
 GATE_FLAGS = ("min_speedup", "max_wal_overhead", "max_obs_overhead",
-              "min_colpath_speedup", "min_narrow_ratio",
-              "max_repl_overhead", "min_tenant_scaling", "tolerance")
+              "max_span_overhead", "min_colpath_speedup",
+              "min_narrow_ratio", "max_repl_overhead",
+              "min_tenant_scaling", "tolerance")
 
 
 def _src_root() -> str:
@@ -64,6 +65,11 @@ def _add_gate_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-obs-overhead", type=float, default=None,
                         help="obs gate: highest tolerated instrumented "
                              "throughput loss (default: 0.10)")
+    parser.add_argument("--max-span-overhead", type=float, default=None,
+                        help="obs gate: highest tolerated span-tracing "
+                             "plus detector throughput loss against the "
+                             "same run's instrumented figure "
+                             "(default: 0.10)")
     parser.add_argument("--min-colpath-speedup", type=float, default=None,
                         help="colpath gate: required wide-point "
                              "columnar-vs-loop speedup (default: 2.5)")

@@ -77,8 +77,11 @@ def _ingest(trace, wal_dir: str, repl_listen: str | None = None,
     from repro.serve.service import ServiceConfig, SpeculationService
 
     async def run():
+        # spans/detect off: isolate the replication tax from the
+        # instrumentation tax (measured by the obs target).
         scfg = ServiceConfig(n_shards=4, wal_dir=wal_dir,
-                             wal_fsync="batch", repl_listen=repl_listen)
+                             wal_fsync="batch", repl_listen=repl_listen,
+                             spans=False, detect=False)
         async with SpeculationService(scaled_config(), scfg) as service:
             if wait_follower:
                 deadline = time.monotonic() + 30.0
@@ -204,7 +207,8 @@ def run_repl_bench(events: int = 400_000, trace_name: str = "gcc",
             )
             scfg = ServiceConfig(n_shards=4,
                                  wal_dir=str(Path(d) / "wal"),
-                                 wal_fsync="batch", repl_listen=listen)
+                                 wal_fsync="batch", repl_listen=listen,
+                                 spans=False, detect=False)
             async with SpeculationService(scaled_config(),
                                           scfg) as service:
                 while service._repl.connections < 1:

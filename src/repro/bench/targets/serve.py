@@ -33,8 +33,11 @@ def ingest(trace, n_shards: int, queue_events: int = 65_536,
     from repro.serve.service import ServiceConfig, SpeculationService
 
     async def run():
+        # spans/detect off: this target tracks raw ingest scaling; the
+        # instrumentation tax has its own gated target (obs).
         scfg = ServiceConfig(n_shards=n_shards, queue_events=queue_events,
-                             workers=workers, transport=transport)
+                             workers=workers, transport=transport,
+                             spans=False, detect=False)
         async with SpeculationService(scaled_config(), scfg) as service:
             started = time.perf_counter()
             await feed_trace(service, trace, batch_events=8192)

@@ -32,8 +32,11 @@ def _ingest(trace, wal_dir: str | None, wal_fsync: str = "batch"):
     from repro.serve.service import ServiceConfig, SpeculationService
 
     async def run():
+        # spans/detect off: this target measures the WAL tax alone
+        # (the combined instrumentation tax is the obs target's job).
         scfg = ServiceConfig(n_shards=4, wal_dir=wal_dir,
-                             wal_fsync=wal_fsync)
+                             wal_fsync=wal_fsync,
+                             spans=False, detect=False)
         async with SpeculationService(scaled_config(), scfg) as service:
             started = time.perf_counter()
             await feed_trace(service, trace, batch_events=8192)

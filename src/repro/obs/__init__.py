@@ -5,7 +5,11 @@ text + JSON exposition (:mod:`repro.obs.expo`) behind a stdlib HTTP
 endpoint (:mod:`repro.obs.http`), and the paper-specific piece: a
 bounded, sampled ring of FSM arc firings (:mod:`repro.obs.tracing`)
 that makes "why did PC X stop being speculated" a queryable question
-(``python -m repro.obs explain PC``).
+(``python -m repro.obs explain PC``).  On top of those sit per-batch
+stage-timing spans (:mod:`repro.obs.spans`, ``/spans.json``,
+``python -m repro.obs spans|slowest``) and the online misspeculation
+health detector (:mod:`repro.obs.detect`, ``/health``,
+``python -m repro.obs top``).
 
 Quickstart::
 
@@ -23,8 +27,10 @@ The speculation service wires all of this up itself — run
 docs/observability.md for the metric catalog.
 """
 
+from repro.obs.detect import DetectorConfig, MisspecDetector, VERDICTS
 from repro.obs.expo import parse_exposition, render_json, render_prometheus
 from repro.obs.http import MetricsServer
+from repro.obs.spans import STAGES, SpanRecord, SpanRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -46,13 +52,19 @@ __all__ = [
     "ARC_CODE",
     "ARC_ENDPOINTS",
     "Counter",
+    "DetectorConfig",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
     "MetricsServer",
+    "MisspecDetector",
+    "STAGES",
+    "SpanRecord",
+    "SpanRecorder",
     "TraceRecord",
     "TransitionTrace",
+    "VERDICTS",
     "explain_records",
     "parse_exposition",
     "render_json",

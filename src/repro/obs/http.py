@@ -11,6 +11,12 @@ optionally, a transition trace ring):
 ``GET /trace.json``
     The transition ring (``?pc=N`` filters one branch, ``?n=K`` tails
     the last K records) — what ``python -m repro.obs`` queries.
+``GET /spans.json``
+    The per-batch span ring (``?n=K`` tails the last K spans,
+    ``?slowest=K`` returns the K slowest completed spans instead).
+``GET /health``
+    The online misspeculation detector's health document (verdict,
+    rolling-window rates, per-PC time-to-evict).
 
 Reads are lock-light snapshots of live instruments; the service's
 event loop is never blocked by a scrape (the server thread does the
@@ -41,9 +47,14 @@ class MetricsServer:
 
     def __init__(self, registry: MetricsRegistry,
                  trace: TransitionTrace | None = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 spans=None, health=None) -> None:
         self.registry = registry
         self.trace = trace
+        # Optional repro.obs.spans.SpanRecorder (serves /spans.json) and
+        # repro.obs.detect.MisspecDetector (serves /health).
+        self.spans = spans
+        self.health = health
         server = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -93,9 +104,36 @@ class MetricsServer:
             doc = self.trace.snapshot_doc(pc=pc, n=n)
             body = json.dumps(doc, indent=2).encode("utf-8")
             self._reply(request, 200, "application/json", body)
+        elif parsed.path == "/spans.json":
+            if self.spans is None:
+                self._reply(request, 404, "text/plain",
+                            b"span tracing is not enabled\n")
+                return
+            query = parse_qs(parsed.query)
+            try:
+                n = (int(query["n"][0]) if "n" in query else None)
+                slowest = (int(query["slowest"][0])
+                           if "slowest" in query else None)
+            except ValueError:
+                self._reply(request, 400, "text/plain",
+                            b"n and slowest must be integers\n")
+                return
+            doc = self.spans.snapshot_doc(n=n, slowest=slowest)
+            body = json.dumps(doc, indent=2).encode("utf-8")
+            self._reply(request, 200, "application/json", body)
+        elif parsed.path == "/health":
+            if self.health is None:
+                self._reply(request, 404, "text/plain",
+                            b"the misspeculation detector is not "
+                            b"enabled\n")
+                return
+            body = json.dumps(self.health.health_doc(),
+                              indent=2).encode("utf-8")
+            self._reply(request, 200, "application/json", body)
         else:
             self._reply(request, 404, "text/plain",
-                        b"try /metrics, /metrics.json or /trace.json\n")
+                        b"try /metrics, /metrics.json, /trace.json, "
+                        b"/spans.json or /health\n")
 
     @staticmethod
     def _reply(request: BaseHTTPRequestHandler, status: int,

@@ -137,6 +137,31 @@ class Histogram:
             out.append((bound, running))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets
+        (linear interpolation within the containing bucket, the usual
+        Prometheus ``histogram_quantile`` scheme).  Returns 0.0 for an
+        empty histogram; observations above the last finite bound clamp
+        to that bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        cumulative = self.cumulative_buckets()
+        total = cumulative[-1][1]
+        if total == 0:
+            return 0.0
+        rank = q * total
+        prev_bound, prev_count = 0.0, 0
+        for bound, count in cumulative:
+            if count >= rank and count > prev_count:
+                if bound == float("inf"):
+                    return prev_bound
+                span = count - prev_count
+                frac = (rank - prev_count) / span if span else 1.0
+                return prev_bound + (bound - prev_bound) * frac
+            prev_bound, prev_count = (bound if bound != float("inf")
+                                      else prev_bound), count
+        return prev_bound
+
 
 _CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 

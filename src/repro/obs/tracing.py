@@ -125,6 +125,7 @@ class TransitionTrace:
         self._lock = threading.Lock()
         self._next_seq = 0
         self._arc_counts = dict.fromkeys(ARCS, 0)
+        self._listeners: list = []
         self._counters = None
         if registry is not None:
             family = registry.counter(
@@ -156,11 +157,23 @@ class TransitionTrace:
                 exec_index=exec_index, instr=instr))
             self._next_seq += 1
 
+    def add_listener(self, listener) -> None:
+        """Register a callable invoked from :meth:`extend` with each
+        batch of ``(pc, arc_code, exec_index, instr)`` tuples, before
+        they are folded into the ring.  This is how downstream
+        consumers (the misspeculation detector) tap the exact
+        transition stream without a second plumbing path."""
+        self._listeners.append(listener)
+
     def extend(self, transitions: Iterable[tuple[int, int, int, int]],
                ) -> None:
         """Record a batch of ``(pc, arc_code, exec_index, instr)``
         tuples — the shape :class:`~repro.serve.shard.ShardApplyResult`
         carries."""
+        if self._listeners:
+            transitions = tuple(transitions)
+            for listener in self._listeners:
+                listener(transitions)
         for pc, code, exec_index, instr in transitions:
             self.record(pc, code, exec_index, instr)
 

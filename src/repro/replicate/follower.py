@@ -104,6 +104,12 @@ class ReplicationFollower:
         self.config = config
         self.service: SpeculationService | None = None
         self.stats = FollowerStats()
+        # Standby health: a private rate-only detector fed by the apply
+        # stream.  The follower applies synchronously (no capture, so no
+        # transition arcs); verdicts come from the windowed misspec
+        # rate, which is exactly what a standby can observe.
+        from repro.obs.detect import MisspecDetector
+        self._detector = MisspecDetector()
         self._stopped = threading.Event()
         self._thread: threading.Thread | None = None
         self._transport: SocketTransport | None = None
@@ -340,11 +346,16 @@ class ReplicationFollower:
         # Follower apply bypasses admission (like WAL replay): restore
         # any spilled tenants the batch touches before it lands.
         service._ensure_resident(batch)
-        service.bank.apply_batch(batch)
+        results = service.bank.apply_batch(batch)
         service._last_seq = batch.seq
         service._events_submitted += batch.n_events
         self.stats.batches_applied += 1
         self.stats.events_applied += batch.n_events
+        self._detector.observe_apply(
+            batch.n_events,
+            sum(r.correct for r in results),
+            sum(r.incorrect for r in results),
+            batch.first_instr, batch.last_instr)
         return True
 
     # -- read-only view -------------------------------------------------
@@ -369,6 +380,8 @@ class ReplicationFollower:
             "duplicates_skipped": self.stats.duplicates_skipped,
             "reconnects": self.stats.reconnects,
             "snapshots_installed": self.stats.snapshots_installed,
+            "health": self._detector.verdict,
+            "peak_health": self._detector.peak_verdict,
         }
 
     # -- test/CLI helpers -----------------------------------------------

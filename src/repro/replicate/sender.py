@@ -71,12 +71,15 @@ class ReplicationSender:
     """Accepts follower connections and streams the service's WAL."""
 
     def __init__(self, service: "SpeculationService", listen_addr: str,
-                 registry=None) -> None:
+                 registry=None, spans=None) -> None:
         if service.service_config.wal_dir is None:
             raise ValueError("replication requires a WAL "
                              "(repl_listen without wal_dir)")
         self.service = service
         self.listen_addr = listen_addr
+        # Optional repro.obs.spans.SpanRecorder: stamps the repl_ack
+        # stage whenever the replication watermark advances.
+        self._spans = spans
         self._lock = threading.Lock()
         self._acked = -1
         self._offers: deque[tuple[int, float]] = deque()
@@ -318,6 +321,8 @@ class ReplicationSender:
                 self._m_lag_seq.set(self.service.last_seq - seq)
                 if accepted_at is not None:
                     self._m_lag_sec.set(now - accepted_at)
+        if self._spans is not None:
+            self._spans.note_replicated(seq)
 
     def _send_error(self, conn: _Connection, message: str) -> None:
         try:

@@ -43,7 +43,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Run reactive speculation control as an online "
                     "service over a benchmark trace.")
     parser.add_argument("--benchmark", default="gcc",
-                        help="benchmark trace to replay (default: gcc)")
+                        help="benchmark trace to replay, or a .npz "
+                             "trace file (default: gcc)")
     parser.add_argument("--input", dest="input_name", default=None,
                         help="input name (default: evaluation input)")
     parser.add_argument("--max-events", type=int, default=None,
@@ -105,6 +106,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="disable observability capture (latency "
                              "histograms + transition tracing); counters "
                              "and gauges stay on")
+    parser.add_argument("--no-spans", action="store_true",
+                        help="disable per-batch stage-timing spans "
+                             "(/spans.json)")
+    parser.add_argument("--no-detect", action="store_true",
+                        help="disable the online misspeculation health "
+                             "detector (/health)")
+    parser.add_argument("--span-ring", type=int, default=1024,
+                        help="span-ring capacity (default: 1024)")
     parser.add_argument("--trace-ring", type=int, default=4096,
                         help="transition-ring capacity (default: 4096)")
     parser.add_argument("--trace-sample", type=int, default=1,
@@ -167,12 +176,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 async def _run(args) -> int:
+    from pathlib import Path
+
     from repro.serve.client import feed_trace
     from repro.serve.service import ServiceConfig, SpeculationService
     from repro.trace.spec2000 import load_trace
 
-    trace = load_trace(args.benchmark, args.input_name,
-                       length=args.max_events)
+    if args.benchmark.endswith(".npz") or Path(args.benchmark).exists():
+        from repro.trace.io import load_trace_file
+
+        trace = load_trace_file(args.benchmark)
+    else:
+        trace = load_trace(args.benchmark, args.input_name,
+                           length=args.max_events)
     if args.tenants is not None:
         from repro.trace.synthetic import with_tenants
 
@@ -233,6 +249,9 @@ async def _run(args) -> int:
             wal_segment_bytes=args.wal_segment_bytes,
             repl_listen=args.replicate_to,
             obs=not args.no_obs,
+            spans=not args.no_spans,
+            span_ring=args.span_ring,
+            detect=not args.no_detect,
             trace_ring=args.trace_ring,
             trace_sample=args.trace_sample,
             columnar=not args.no_columnar,
@@ -249,9 +268,15 @@ async def _run(args) -> int:
 
         metrics_server = MetricsServer(service.registry,
                                        trace=service.trace,
-                                       port=args.metrics_port)
+                                       port=args.metrics_port,
+                                       spans=service.spans,
+                                       health=service.detector)
+        extras = "".join(
+            f", {route}" for route, enabled in
+            (("/spans.json", service.spans is not None),
+             ("/health", service.detector is not None)) if enabled)
         print(f"metrics    {metrics_server.url}/metrics "
-              f"(also /metrics.json, /trace.json)")
+              f"(also /metrics.json, /trace.json{extras})")
 
     def report() -> None:
         print(service.reading().summary())
@@ -300,6 +325,22 @@ async def _run(args) -> int:
               f"reject {arcs['reject']:,}  evict {arcs['evict']:,}  "
               f"revisit {arcs['revisit']:,}  disable {arcs['disable']:,} "
               f"({len(service.trace)} in the trace ring)")
+    if service.detector is not None:
+        health = service.detector.health_doc()
+        tte = health["time_to_evict"]
+        print(f"health     verdict {health['verdict']} "
+              f"(peak {health['peak_verdict']}, "
+              f"{health['bursts']} burst(s), "
+              f"window misspec {health['window']['misspec_rate']:.4%}, "
+              f"{tte['count']} eviction(s)"
+              + (f", mean time-to-evict {tte['mean']:,.0f} events"
+                 if tte['count'] else "") + ")")
+    if service.spans is not None:
+        q = service.spans.quantiles()
+        parts = [f"{stage} p99 {vals['p99']*1e6:,.0f}us"
+                 for stage, vals in q.items() if vals is not None]
+        if parts:
+            print(f"spans      {', '.join(parts)}")
     if tenant_stats is not None:
         print(f"tenants    {tenant_stats['resident_tenants']:,} resident "
               f"/ {tenant_stats['spilled_tenants']:,} spilled, "
@@ -360,6 +401,10 @@ async def _run(args) -> int:
             "metrics": service.registry.snapshot(),
             "trace": service.trace.snapshot_doc(),
         }
+        if service.spans is not None:
+            doc["spans"] = service.spans.snapshot_doc()
+        if service.detector is not None:
+            doc["health"] = service.detector.health_doc()
         out = Path(args.metrics_json)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(doc, indent=2) + "\n")

@@ -138,6 +138,10 @@ class EventBatch:
         return len(self.pcs)
 
     @property
+    def first_instr(self) -> int:
+        return int(self.instrs[0])
+
+    @property
     def last_instr(self) -> int:
         return int(self.instrs[-1])
 

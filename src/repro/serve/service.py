@@ -110,6 +110,19 @@ class ServiceConfig:
     #: ``perf_counter`` call and transition copy — the obs-off
     #: baseline of ``benchmarks/bench_obs.py``.
     obs: bool = True
+    #: Span tracing: stamp every accepted batch with a trace context
+    #: and record per-stage latency spans (enqueue → queue wait → wire
+    #: → apply → WAL fsync → replication ack) into a bounded ring
+    #: served at ``/spans.json``.  Effective only with ``obs`` on;
+    #: read-only with respect to controller state.
+    spans: bool = True
+    #: Span ring capacity (most recent micro-batch spans kept).
+    span_ring: int = 1024
+    #: Online misspeculation health detection: sliding-window misspec
+    #: rate / eviction-storm detectors over the exact transition
+    #: stream, served at ``/health``.  Effective only with ``obs`` on;
+    #: read-only with respect to controller state.
+    detect: bool = True
     #: Transition-ring capacity (most recent arc firings kept).
     trace_ring: int = 4096
     #: Trace 1-in-N PCs by deterministic hash (1 = every PC).
@@ -173,6 +186,8 @@ class ServiceConfig:
                              "streams the write-ahead log")
         if self.trace_ring <= 0:
             raise ValueError("trace_ring must be positive")
+        if self.span_ring <= 0:
+            raise ValueError("span_ring must be positive")
         if self.trace_sample <= 0:
             raise ValueError("trace_sample must be positive "
                              "(1 = trace every PC)")
@@ -278,6 +293,27 @@ class SpeculationService:
         self.telemetry = ServiceTelemetry(
             n, self.service_config.telemetry_window,
             registry=self.registry)
+        #: Span tracer and misspeculation health detector (obs v2).
+        #: Both are pure observers — they read timestamps, counts and
+        #: the transition stream, never controller state, so results
+        #: are bit-identical with them on or off.
+        self.spans = None
+        self.detector = None
+        if self.service_config.obs and self.service_config.spans:
+            from repro.obs.spans import SpanRecorder
+
+            self.spans = SpanRecorder(
+                capacity=self.service_config.span_ring,
+                engine=("columnar" if self.service_config.columnar
+                        else "chunked"),
+                registry=self.registry)
+        if self.service_config.obs and self.service_config.detect:
+            from repro.obs.detect import MisspecDetector
+
+            self.detector = MisspecDetector(registry=self.registry)
+            # The detector taps the exact arc stream through the trace
+            # ring's listener hook — one plumbing path for transitions.
+            self.trace.add_listener(self.detector.observe_transitions)
         self._queues: list[asyncio.Queue] = [asyncio.Queue()
                                              for _ in range(n)]
         self._queued_events = [0] * n
@@ -314,6 +350,10 @@ class SpeculationService:
                 fsync=self.service_config.wal_fsync,
                 registry=(self.registry if self.service_config.obs
                           else None))
+            if self.spans is not None:
+                # Durability watermark advances → stamp wal_fsync
+                # (time-to-durability) on the covered spans.
+                self._wal.on_durable = self.spans.note_durable
         self._repl = None
         if self.service_config.repl_listen is not None:
             self.enable_replication(self.service_config.repl_listen)
@@ -476,6 +516,8 @@ class SpeculationService:
                 raise BackpressureError(
                     deepest, self._queued_events[deepest],
                     self._retry_after(deepest))
+        spans = self.spans
+        t_submit = monotonic() if spans is not None else 0.0
         cap = self.service_config.queue_events
         parts = self.bank.partition(batch)
         for p in parts:
@@ -488,12 +530,18 @@ class SpeculationService:
                 raise BackpressureError(
                     p.shard, self._queued_events[p.shard],
                     self._retry_after(p.shard))
+        wal_seconds = 0.0
         if self._wal is not None:
             # Log-before-enqueue: once a batch is accepted it is in the
             # WAL, so a crash can only lose what the fsync policy
             # permits.  An append failure (disk) rejects atomically —
             # nothing was enqueued yet.
-            self._wal.append(batch)
+            if spans is not None:
+                t_wal = monotonic()
+                self._wal.append(batch)
+                wal_seconds = monotonic() - t_wal
+            else:
+                self._wal.append(batch)
             if self.service_config.wal_fsync == "batch":
                 self._wal_dirty.set()
             if self._repl is not None:
@@ -502,10 +550,18 @@ class SpeculationService:
             for _tenant, states in plan.restores:
                 self._enqueue_restores(states)
         for p in parts:
+            if spans is not None:
+                p.seq = batch.seq
+                p.t_enqueue = monotonic()
             self._queues[p.shard].put_nowait(p)
             depth = self._queued_events[p.shard] + p.n_events
             self._queued_events[p.shard] = depth
             self.telemetry.record_enqueue(p.shard, p.n_events, depth)
+        if spans is not None:
+            spans.begin(batch.seq, batch.n_events, len(parts), t_submit,
+                        enqueue_seconds=(monotonic() - t_submit
+                                         - wal_seconds),
+                        wal_seconds=wal_seconds)
         self._last_seq = batch.seq
         self._events_submitted += batch.n_events
         if plan is not None:
@@ -597,6 +653,9 @@ class SpeculationService:
                 pcs = np.concatenate([p.pcs for p in parts])
                 taken = np.concatenate([p.taken for p in parts])
                 instrs = np.concatenate([p.instrs for p in parts])
+            spans = self.spans
+            t_dequeue = monotonic() if spans is not None else 0.0
+            t_send = t_dequeue
             if self._pool is not None:
                 try:
                     result = await self._pool.apply(shard_index, pcs,
@@ -624,6 +683,35 @@ class SpeculationService:
                 self.telemetry.record_apply(
                     shard_index, events, result.correct, result.incorrect,
                     depth, apply_seconds=result.apply_seconds)
+                if spans is not None:
+                    t_ret = monotonic()
+                    # Worker stamps share CLOCK_MONOTONIC with ours, so
+                    # wire legs are direct differences; 0.0 stamps mean
+                    # in-process mode (no wire legs).
+                    wire_out = (result.t_recv - t_send
+                                if result.t_recv > 0.0 else 0.0)
+                    wire_back = (t_ret - result.t_done
+                                 if result.t_done > 0.0 else 0.0)
+                    for p in parts:
+                        # A coalesced apply covers several batches; the
+                        # full stage durations are attributed to each
+                        # covered batch's span (worst-path semantics).
+                        spans.note_applied(
+                            p.seq,
+                            queue_wait=t_dequeue - p.t_enqueue,
+                            apply=result.apply_seconds,
+                            wire_out=wire_out, wire_back=wire_back,
+                            t_now=t_ret)
+                det = self.detector
+                if det is not None:
+                    # Outcomes first, transitions second (via the trace
+                    # listener below): the flip detector must see each
+                    # batch's outcomes against the deployed set as it
+                    # stood *before* the batch's arcs fired.
+                    det.observe_batch(pcs, taken)
+                    det.observe_apply(events, result.correct,
+                                      result.incorrect, int(instrs[0]),
+                                      int(instrs[-1]))
                 if result.transitions:
                     self.trace.extend(result.transitions)
             else:
@@ -782,7 +870,9 @@ class SpeculationService:
     def reading(self) -> TelemetryReading:
         return self.telemetry.reading(
             wal=self._wal.stats_snapshot() if self._wal is not None
-            else None)
+            else None,
+            detect_verdict=(self.detector.verdict
+                            if self.detector is not None else "off"))
 
     @property
     def last_seq(self) -> int:
@@ -890,7 +980,8 @@ class SpeculationService:
                                           repl_listen=listen_addr)
         self._repl = ReplicationSender(
             self, listen_addr,
-            registry=self.registry if self.service_config.obs else None)
+            registry=self.registry if self.service_config.obs else None,
+            spans=self.spans)
 
     def newest_snapshot(self) -> Path | None:
         """Newest snapshot covering this service's history, if any.

@@ -92,6 +92,13 @@ class ShardApplyResult:
     #: Wall-clock seconds the apply took where it ran (0.0 when the
     #: shard is not capturing observability data).
     apply_seconds: float = 0.0
+    #: Worker-side CLOCK_MONOTONIC stamps at APPLY frame receipt and
+    #: apply completion (multi-process mode with capture on; 0.0
+    #: otherwise).  CLOCK_MONOTONIC is system-wide on Linux, so these
+    #: compare directly against parent-side stamps for the span
+    #: tracer's ``wire_out``/``wire_back`` stages.
+    t_recv: float = 0.0
+    t_done: float = 0.0
 
 
 class BankShard:
@@ -345,6 +352,11 @@ class _Partition:
     pcs: np.ndarray = field(repr=False)
     taken: np.ndarray = field(repr=False)
     instrs: np.ndarray = field(repr=False)
+    #: Span-tracing context, stamped by the service at enqueue time
+    #: when spans are on: the owning batch's seq and the monotonic
+    #: instant the partition entered its shard queue.
+    seq: int = -1
+    t_enqueue: float = 0.0
 
     @property
     def n_events(self) -> int:

@@ -61,6 +61,9 @@ class TelemetryReading:
     wal_mean_commit_records: float = 0.0  # group-commit batch size
     wal_segments_created: int = 0
     wal_segments_compacted: int = 0
+    # Online misspeculation health verdict ("off" when the detector is
+    # disabled; else one of repro.obs.detect.VERDICTS).
+    detect_verdict: str = "off"
 
     @property
     def window_misspec_rate(self) -> float:
@@ -241,9 +244,12 @@ class ServiceTelemetry:
         """Events/sec EMA of recent applies (0.0 before the first)."""
         return self._rate_ema
 
-    def reading(self, wal: "WalStats | None" = None) -> TelemetryReading:
+    def reading(self, wal: "WalStats | None" = None,
+                detect_verdict: str = "off") -> TelemetryReading:
         """Build a reading; ``wal`` is a :class:`repro.wal.writer.WalStats`
-        copy when the service runs with a WAL attached."""
+        copy when the service runs with a WAL attached, and
+        ``detect_verdict`` the current health verdict when the online
+        misspeculation detector is enabled."""
         wal_fields = {}
         if wal is not None:
             wal_fields = {
@@ -268,5 +274,6 @@ class ServiceTelemetry:
             shard_events=tuple(self.shard_events),
             mean_batch_events=(events_applied / batches_applied
                                if batches_applied else 0.0),
+            detect_verdict=detect_verdict,
             **wal_fields,
         )

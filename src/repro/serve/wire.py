@@ -28,6 +28,7 @@ Frame catalogue (body layouts, all little-endian)::
                  | uint64 correct | uint64 incorrect
                  | int64 last_instr | uint32 n_changed
                  | uint32 n_trans | float64 apply_seconds
+                 | float64 t_recv | float64 t_done
                  | int64 key[n_changed] | uint8 deployed[n_changed]
                  | int64 trans_key[n_trans] | uint8 trans_arc[n_trans]
                  | int64 trans_exec[n_trans] | int64 trans_instr[n_trans]
@@ -102,7 +103,7 @@ TRESTORE_ACK = 0x0F
 _HELLO = struct.Struct("<BHI")
 _APPLY = struct.Struct("<BQI")
 _TAPPLY = struct.Struct("<BQI")
-_RESULT = struct.Struct("<BQIQQqIId")
+_RESULT = struct.Struct("<BQIQQqIIddd")
 _BARRIER = struct.Struct("<BQ")
 _LOAD = struct.Struct("<BI")
 _TSPILL = struct.Struct("<BQI")
@@ -205,16 +206,20 @@ def encode_apply_result(ticket: int, events: int, correct: int,
                         incorrect: int, last_instr: int,
                         changed_pcs, changed_deployed,
                         transitions=(), apply_seconds: float = 0.0,
+                        t_recv: float = 0.0, t_done: float = 0.0,
                         ) -> bytes:
     """``transitions`` piggybacks the worker's FSM arc firings —
     ``(pc, arc_code, exec_index, instr)`` tuples — and
     ``apply_seconds`` its measured apply latency, so observability
-    data rides the result frame instead of needing a side channel."""
+    data rides the result frame instead of needing a side channel.
+    ``t_recv``/``t_done`` are the worker's CLOCK_MONOTONIC stamps at
+    frame receipt and apply completion (system-wide on Linux, so they
+    compare against parent-side stamps); 0.0 when capture is off."""
     pcs = np.asarray(changed_pcs, dtype=np.int64)
     dep = np.asarray(changed_deployed, dtype=np.uint8)
     head = _RESULT.pack(APPLY_RESULT, ticket, events, correct, incorrect,
                         last_instr, len(pcs), len(transitions),
-                        apply_seconds)
+                        apply_seconds, t_recv, t_done)
     body = head + pcs.tobytes() + dep.tobytes()
     if transitions:
         t_pc = np.fromiter((t[0] for t in transitions), dtype=np.int64,
@@ -232,10 +237,11 @@ def encode_apply_result(ticket: int, events: int, correct: int,
 
 def decode_apply_result(payload: bytes) -> tuple:
     """Returns ``(ticket, events, correct, incorrect, last_instr,
-    changed_pcs, changed_deployed, transitions, apply_seconds)``."""
+    changed_pcs, changed_deployed, transitions, apply_seconds,
+    t_recv, t_done)``."""
     _expect(payload, APPLY_RESULT, "APPLY_RESULT", min_len=_RESULT.size)
     (_, ticket, events, correct, incorrect, last_instr, n_changed,
-     n_trans, apply_seconds) = _RESULT.unpack_from(payload)
+     n_trans, apply_seconds, t_recv, t_done) = _RESULT.unpack_from(payload)
     off = _RESULT.size
     if len(payload) != off + 9 * n_changed + 25 * n_trans:
         raise ProtocolError("APPLY_RESULT frame length mismatch")
@@ -259,7 +265,8 @@ def decode_apply_result(payload: bytes) -> tuple:
             for a, b, c, d in zip(t_pc, t_arc, t_exec, t_instr))
     return (ticket, events, correct, incorrect, last_instr,
             tuple(int(p) for p in pcs), tuple(bool(d) for d in dep),
-            transitions, float(apply_seconds))
+            transitions, float(apply_seconds), float(t_recv),
+            float(t_done))
 
 
 # -- tenant frames ----------------------------------------------------------

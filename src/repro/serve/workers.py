@@ -43,6 +43,7 @@ import socket
 import tempfile
 import threading
 from pathlib import Path
+from time import monotonic
 
 import numpy as np
 
@@ -144,20 +145,21 @@ def worker_main(index: int, config_dict: dict, endpoint, kind: str,
         while True:
             payload = transport.recv()
             ftype = payload[0]
-            if ftype == wire.APPLY:
-                ticket, pcs, taken, instrs = wire.decode_apply(payload)
+            if ftype in (wire.APPLY, wire.TAPPLY):
+                # Monotonic stamps bracket the apply so the parent's
+                # span tracer can attribute wire_out/wire_back time
+                # (CLOCK_MONOTONIC is system-wide on Linux).
+                t_recv = monotonic() if capture else 0.0
+                if ftype == wire.APPLY:
+                    ticket, pcs, taken, instrs = wire.decode_apply(payload)
+                else:
+                    ticket, pcs, taken, instrs = wire.decode_tapply(payload)
                 res = shard.apply(pcs, taken, instrs)
+                t_done = monotonic() if capture else 0.0
                 transport.send(wire.encode_apply_result(
                     ticket, res.events, res.correct, res.incorrect,
                     res.last_instr, res.changed, res.changed_deployed,
-                    res.transitions, res.apply_seconds))
-            elif ftype == wire.TAPPLY:
-                ticket, keys, taken, instrs = wire.decode_tapply(payload)
-                res = shard.apply(keys, taken, instrs)
-                transport.send(wire.encode_apply_result(
-                    ticket, res.events, res.correct, res.incorrect,
-                    res.last_instr, res.changed, res.changed_deployed,
-                    res.transitions, res.apply_seconds))
+                    res.transitions, res.apply_seconds, t_recv, t_done))
             elif ftype == wire.TSPILL:
                 ticket, tenant = wire.decode_tspill(payload)
                 transport.send(wire.encode_tspill_result(
@@ -225,15 +227,16 @@ class _WorkerHandle:
         ftype = payload[0]
         if ftype == wire.APPLY_RESULT:
             (ticket, events, correct, incorrect, last_instr,
-             changed, deployed, transitions,
-             apply_seconds) = wire.decode_apply_result(payload)
+             changed, deployed, transitions, apply_seconds,
+             t_recv, t_done) = wire.decode_apply_result(payload)
             fut = self.pending.pop(ticket, None)
             if fut is not None and not fut.done():
                 fut.set_result(ShardApplyResult(
                     shard=self.shard, events=events, correct=correct,
                     incorrect=incorrect, changed=changed,
                     changed_deployed=deployed, last_instr=last_instr,
-                    transitions=transitions, apply_seconds=apply_seconds))
+                    transitions=transitions, apply_seconds=apply_seconds,
+                    t_recv=t_recv, t_done=t_done))
         elif ftype == wire.BARRIER_ACK:
             fut = self.pending.pop(wire.decode_barrier(payload), None)
             if fut is not None and not fut.done():

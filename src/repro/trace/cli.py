@@ -7,6 +7,8 @@ Usage::
     python -m repro.trace info path/to/trace.npz
     python -m repro.trace gen gzip -o gzip.npz --length 200000
     python -m repro.trace gen gzip -o mt.npz --tenants 64 --tenant-mix zipf
+    python -m repro.trace gen -o adv.npz --pattern train-then-flip \\
+        --flip-at 4096 --branches 8
     python -m repro.trace bias gcc --bins 10
 """
 
@@ -35,10 +37,23 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("--length", type=int, default=None)
 
     gen = sub.add_parser("gen", help="generate a trace to a file")
-    gen.add_argument("benchmark")
+    gen.add_argument("benchmark", nargs="?", default=None,
+                     help="benchmark to model (omit with --pattern)")
     gen.add_argument("-o", "--output", required=True)
     gen.add_argument("--input", dest="input_name", default=None)
     gen.add_argument("--length", type=int, default=None)
+    gen.add_argument("--pattern", choices=("train-then-flip",),
+                     default=None,
+                     help="generate a synthetic adversarial pattern "
+                          "instead of a benchmark model")
+    gen.add_argument("--flip-at", type=int, default=4096,
+                     help="train-then-flip: per-branch executions "
+                          "before the bias flips (default: 4096)")
+    gen.add_argument("--branches", type=int, default=8,
+                     help="train-then-flip: number of simultaneously "
+                          "flipping branches (default: 8)")
+    gen.add_argument("--seed", type=int, default=0,
+                     help="synthetic pattern outcome seed (default: 0)")
     gen.add_argument("--tenants", type=int, default=None, metavar="N",
                      help="interleave N tenant streams "
                           "(events carry a tenant id column)")
@@ -90,8 +105,19 @@ def main(argv: list[str] | None = None) -> int:
         from repro.trace.io import save_trace
         from repro.trace.spec2000 import load_trace
 
-        trace = load_trace(args.benchmark, args.input_name,
-                           length=args.length)
+        if args.pattern is None and args.benchmark is None:
+            print("error: gen needs a benchmark name or --pattern",
+                  file=sys.stderr)
+            return 2
+        if args.pattern is not None:
+            from repro.trace.synthetic import train_then_flip_trace
+
+            trace = train_then_flip_trace(
+                n_branches=args.branches, flip_at=args.flip_at,
+                length=args.length, seed=args.seed)
+        else:
+            trace = load_trace(args.benchmark, args.input_name,
+                               length=args.length)
         if args.tenants is not None:
             from repro.trace.synthetic import with_tenants
 

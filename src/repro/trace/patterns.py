@@ -31,6 +31,7 @@ __all__ = [
     "PhaseSchedule",
     "GlobalPhase",
     "induction_flip",
+    "train_then_flip",
 ]
 
 
@@ -115,6 +116,23 @@ def induction_flip(change_at: int = 32_768) -> StepChange:
     """The loop-induction-variable branch from Section 2.3: perfectly
     not-taken until ``change_at`` executions, perfectly taken after."""
     return StepChange(0.0, 1.0, change_at)
+
+
+def train_then_flip(train_for: int = 4_096,
+                    p_train: float = 1.0) -> StepChange:
+    """The adversarial pattern for the reactive controller: behave
+    perfectly biased (``p_train``) for exactly ``train_for`` executions
+    — long enough for the monitor to select the branch for speculation
+    — then flip to the opposite bias forever.
+
+    Every post-flip execution is a misspeculation until the eviction
+    counter reacts, so a group of such branches flipping together is
+    the worst case the misspeculation-health detectors (``/health``,
+    ``python -m repro.obs top``) must flag, and the distance from the
+    flip to the EVICT arc is the controller's exact time-to-evict.
+    """
+    _check_probability(p_train, "p_train")
+    return StepChange(p_train, 1.0 - p_train, train_for)
 
 
 @dataclass(frozen=True)

@@ -11,13 +11,15 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.trace.model import BenchmarkModel, Region, StaticBranch
-from repro.trace.patterns import BehaviorPattern, ConstantBias
+from repro.trace.patterns import (BehaviorPattern, ConstantBias,
+                                  train_then_flip)
 from repro.trace.stream import Trace
 
 __all__ = [
     "trace_from_outcomes",
     "round_robin_trace",
     "single_branch_trace",
+    "train_then_flip_trace",
     "uniform_model",
     "assign_tenants",
     "with_tenants",
@@ -134,6 +136,27 @@ def round_robin_trace(patterns: Sequence[BehaviorPattern], length: int,
         taken[idx] = rng.random(len(idx)) < p
     return Trace(name=name, input_name="synthetic",
                  branch_ids=branch_ids, taken=taken, instrs=instrs)
+
+
+def train_then_flip_trace(n_branches: int = 8, flip_at: int = 4_096,
+                          length: int | None = None,
+                          instr_stride: int = 8, seed: int = 0,
+                          name: str = "train-then-flip") -> Trace:
+    """The adversarial detector workload: ``n_branches`` branches that
+    are perfectly biased for their first ``flip_at`` executions each,
+    then flip simultaneously (in per-branch execution count; they run
+    round-robin, so also nearly simultaneously in program time).
+
+    The default length runs each branch for ``3 * flip_at`` executions:
+    one third training, two thirds misbehaving — enough for the
+    controller to select every branch, suffer the flip, and evict.
+    """
+    if length is None:
+        length = 3 * flip_at * n_branches
+    patterns = [train_then_flip(flip_at) for _ in range(n_branches)]
+    return round_robin_trace(patterns, length,
+                             instr_stride=instr_stride, seed=seed,
+                             name=name)
 
 
 def uniform_model(n_branches: int, p: float = 1.0,

@@ -189,6 +189,11 @@ class WalWriter:
         self._durable_seq = -1
         self._pending_records = 0   # appended since the last fsync
         self._closed = False
+        #: Optional callback invoked with the durable watermark each
+        #: time it advances (after the fsync, outside the writer lock).
+        #: The service's span tracer hangs off this to stamp
+        #: time-to-durability on each batch's span.
+        self.on_durable = None
         self.directory.mkdir(parents=True, exist_ok=True)
         self._adopt_existing()
 
@@ -322,6 +327,10 @@ class WalWriter:
             obs.append_latency.observe(perf_counter() - t0)
             obs.records.inc()
             obs.bytes.inc(len(record))
+        if self.fsync_policy != "batch" and self.on_durable is not None:
+            # 'always' fsynced this batch; 'off' advanced optimistically
+            # — either way the durable watermark just moved.
+            self.on_durable(batch.seq)
 
     def _open_segment_locked(self, base_seq: int) -> None:
         path = self.directory / segment_name(base_seq)
@@ -369,8 +378,11 @@ class WalWriter:
             self.stats.committed_records += covered
             if target > self._durable_seq:
                 self._durable_seq = target
+            durable = self._durable_seq
         self._note_commit(covered)
-        return self._durable_seq
+        if self.on_durable is not None:
+            self.on_durable(durable)
+        return durable
 
     def sync(self) -> int:
         """Flush-and-fsync regardless of policy (used at stop/close)."""
@@ -388,7 +400,10 @@ class WalWriter:
                 self._note_commit(covered)
             if target > self._durable_seq:
                 self._durable_seq = target
-            return self._durable_seq
+            durable = self._durable_seq
+        if self.on_durable is not None:
+            self.on_durable(durable)
+        return durable
 
     # -- compaction -----------------------------------------------------
     def compact(self, covered_seq: int) -> list[Path]:

@@ -46,15 +46,19 @@ def wal_doc(baseline: float = 2_500_000.0, batch: float = 2_300_000.0,
 
 
 def obs_doc(baseline: float = 2_500_000.0, obs: float = 2_400_000.0,
-            exact: bool = True) -> dict:
+            full: float | None = None, exact: bool = True) -> dict:
+    if full is None:
+        full = 0.97 * obs
     return {
         "kind": "repro.obs.bench",
-        "schema": 1,
+        "schema": 2,
         "trace": {"name": "gcc", "events": 400_000},
         "machine": {"cpus": 4},
         "baseline_eps": float(baseline),
         "obs_eps": float(obs),
+        "full_eps": float(full),
         "overhead": 1.0 - obs / baseline,
+        "span_overhead": 1.0 - full / obs,
         "exact": exact,
     }
 

@@ -78,3 +78,97 @@ def test_file_without_trace_errors(tmp_path, capsys):
 def test_missing_file_errors(capsys):
     assert main(["--file", "/nonexistent/obs.json", "tail"]) == 2
     assert "error:" in capsys.readouterr().err
+
+
+def test_explain_accepts_hex_branch_ids(dump_file, capsys):
+    assert main(["--file", dump_file, "explain", "0x7"]) == 0
+    assert "pc 7: 2 transition(s)" in capsys.readouterr().out
+
+
+def test_explain_tenant_packs_the_trace_key(tmp_path, capsys):
+    packed = (5 << 32) | 7
+    trace = TransitionTrace(capacity=16)
+    trace.record(packed, "select", 10, 100)
+    doc = {"kind": "repro.obs.snapshot",
+           "metrics": MetricsRegistry().snapshot(),
+           "trace": trace.snapshot_doc()}
+    path = tmp_path / "obs.json"
+    path.write_text(json.dumps(doc))
+    # Bare pc 7 does not match the packed key; --tenant 5 does.
+    assert main(["--file", str(path), "explain", "7"]) == 1
+    capsys.readouterr()
+    assert main(["--file", str(path), "explain", "0x7",
+                 "--tenant", "5"]) == 0
+    assert f"pc {packed}: 1 transition(s)" in capsys.readouterr().out
+
+
+def _full_dump(tmp_path, verdict_incorrect: int):
+    """A --metrics-json dump with spans and health sections, the shape
+    ``repro.serve --metrics-json`` writes when both features are on."""
+    from repro.obs.detect import DetectorConfig, MisspecDetector
+    from repro.obs.spans import SpanRecorder
+
+    spans = SpanRecorder(capacity=8)
+    for seq, apply_s in ((0, 0.004), (1, 0.002)):
+        spans.begin(seq=seq, events=32, parts=1, t_submit=0.0,
+                    enqueue_seconds=0.001)
+        spans.note_applied(seq, queue_wait=0.002, apply=apply_s,
+                           t_now=0.05 * (seq + 1))
+    det = MisspecDetector(DetectorConfig(window_events=100,
+                                         min_window_events=10))
+    det.observe_apply(50, 50 - verdict_incorrect, verdict_incorrect,
+                      0, 400)
+    doc = {"kind": "repro.obs.snapshot",
+           "metrics": MetricsRegistry().snapshot(),
+           "trace": _trace().snapshot_doc(),
+           "spans": spans.snapshot_doc(),
+           "health": det.health_doc()}
+    path = tmp_path / "obs-full.json"
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_spans_and_slowest_from_file(tmp_path, capsys):
+    path = _full_dump(tmp_path, verdict_incorrect=0)
+    assert main(["--file", path, "spans", "-n", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "queue_wait" in out            # stage header
+    assert " 1  " in out and "\n       0  " not in out  # tailed to seq 1
+    assert main(["--file", path, "slowest", "-k", "1"]) == 0
+    out = capsys.readouterr().out
+    # seq 1 completed later (total 0.1s) → it is the slowest.
+    assert out.splitlines()[1].split()[0] == "1"
+
+
+def test_top_once_exit_code_reflects_verdict(tmp_path, capsys):
+    healthy = _full_dump(tmp_path, verdict_incorrect=0)
+    assert main(["--file", healthy, "top", "--once"]) == 0
+    assert "verdict ok" in capsys.readouterr().out
+    bursting = _full_dump(tmp_path, verdict_incorrect=25)  # rate 0.5
+    assert main(["--file", bursting, "top", "--once"]) == 3
+    out = capsys.readouterr().out
+    assert "verdict misspec-burst" in out
+
+
+def test_spans_against_file_without_span_section(dump_file, capsys):
+    assert main(["--file", dump_file, "spans"]) == 2
+    assert "span ring" in capsys.readouterr().err
+
+
+def test_dump_from_live_endpoint_embeds_spans_and_health(capsys):
+    from repro.obs.detect import MisspecDetector
+    from repro.obs.spans import SpanRecorder
+
+    registry = MetricsRegistry()
+    with MetricsServer(registry, trace=_trace(),
+                       spans=SpanRecorder(capacity=4),
+                       health=MisspecDetector()) as server:
+        assert main(["--url", server.url, "dump"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["spans"]["kind"] == "repro.obs.spans"
+    assert doc["health"]["kind"] == "repro.obs.health"
+    # A server without those surfaces: dump still works, keys absent.
+    with MetricsServer(MetricsRegistry(), trace=_trace()) as server:
+        assert main(["--url", server.url, "dump"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "spans" not in doc and "health" not in doc

@@ -1,0 +1,238 @@
+"""Misspeculation health detection: exact flip-onset/time-to-evict
+tracking, sliding-window verdicts, and the train-then-flip acceptance
+property (detector tte == arc-counter ground truth)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.obs.detect import DetectorConfig, MisspecDetector
+from repro.obs.tracing import ARC_CODE
+from repro.serve.client import feed_trace
+from repro.serve.service import ServiceConfig, SpeculationService
+from repro.trace.synthetic import train_then_flip_trace
+
+SEL = ARC_CODE["select"]
+EV = ARC_CODE["evict"]
+
+
+def _ones(n):
+    return np.ones(n, dtype=bool)
+
+
+def _zeros(n):
+    return np.zeros(n, dtype=bool)
+
+
+class TestDetectorConfig:
+    def test_defaults_valid(self):
+        cfg = DetectorConfig()
+        assert cfg.window_events == 8192
+        assert cfg.degraded_misspec_rate < cfg.burst_misspec_rate
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window_events": 0},
+        {"min_window_events": 0},
+        {"min_window_events": 9000},  # > window_events
+        {"degraded_misspec_rate": 0.0},
+        {"degraded_misspec_rate": 1.5},
+        {"burst_misspec_rate": 0.05},  # < degraded
+        {"burst_misspec_rate": 1.5},
+        {"storm_evictions": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            DetectorConfig(**kwargs)
+
+
+class TestFlipTracking:
+    def test_dense_onset_and_time_to_evict(self):
+        det = MisspecDetector()
+        det.observe_batch(np.full(10, 5), _ones(10))      # execs 0..9
+        det.observe_transitions([(5, SEL, 9, 80)])
+        det.observe_batch(np.full(6, 5), _ones(6))        # 10..15: trained taken
+        det.observe_batch(
+            np.full(4, 5),
+            np.array([True, False, False, False]))        # 16..19: onset 17
+        det.observe_transitions([(5, EV, 19, 200)])
+        assert det.time_to_evict() == {5: 2}
+
+    def test_trained_not_taken_flips_on_taken(self):
+        det = MisspecDetector()
+        det.observe_transitions([(7, SEL, 0, 0)])
+        det.observe_batch(np.full(8, 7), _zeros(8))       # 0..7: not-taken
+        det.observe_batch(
+            np.full(3, 7),
+            np.array([False, True, True]))                # onset exec 9
+        det.observe_transitions([(7, EV, 14, 0)])
+        assert det.time_to_evict() == {7: 5}
+
+    def test_onset_in_direction_establishing_batch(self):
+        # The first post-select batch both fixes the trained direction
+        # (by majority) and is scanned for flips against it.
+        det = MisspecDetector()
+        det.observe_transitions([(2, SEL, 0, 0)])
+        outcomes = np.array([False] * 6 + [True] * 2)     # onset exec 6
+        det.observe_batch(np.full(8, 2), outcomes)
+        det.observe_transitions([(2, EV, 10, 0)])
+        assert det.time_to_evict() == {2: 4}
+
+    def test_interleaved_pcs_count_in_own_exec_timebase(self):
+        det = MisspecDetector()
+        det.observe_transitions([(5, SEL, 0, 0)])
+        det.observe_batch(np.array([5, 9, 5]), _ones(3))  # pc5 execs 0..1
+        # pc5 outcomes T, F, F at batch positions 1, 3, 5 → its execs
+        # 2, 3, 4; the first flip is exec 3 regardless of pc9 noise.
+        det.observe_batch(
+            np.array([9, 5, 9, 5, 9, 5]),
+            np.array([True, True, False, False, True, False]))
+        det.observe_transitions([(5, EV, 6, 0)])
+        assert det.time_to_evict() == {5: 3}
+
+    def test_evict_without_flip_records_nothing(self):
+        det = MisspecDetector()
+        det.observe_transitions([(4, SEL, 0, 0)])
+        det.observe_batch(np.full(16, 4), _ones(16))
+        det.observe_transitions([(4, EV, 15, 0)])
+        assert det.time_to_evict() == {}
+
+    def test_dense_to_sparse_migration_preserves_flip_state(self):
+        det = MisspecDetector()
+        det.observe_batch(np.full(8, 3), _ones(8))        # execs 0..7
+        det.observe_transitions([(3, SEL, 7, 0)])
+        det.observe_batch(np.full(4, 3), _ones(4))        # 8..11: taken
+        # A packed (tenant << 32) | pc key forces the sparse counters;
+        # pc 3's trained direction and exec count must survive.
+        big = (7 << 32) | 3
+        det.observe_batch(np.full(5, big), _ones(5))
+        det.observe_batch(np.full(2, 3), _zeros(2))       # onset exec 12
+        det.observe_transitions([(3, EV, 15, 0)])
+        assert det.time_to_evict() == {3: 3}
+
+    def test_sparse_keys_tracked_from_the_start(self):
+        det = MisspecDetector()
+        big = (9 << 32) | 42
+        det.observe_transitions([(big, SEL, 0, 0)])
+        det.observe_batch(np.full(6, big), _ones(6))      # 0..5: taken
+        det.observe_batch(np.full(2, big),
+                          np.array([False, False]))       # onset exec 6
+        det.observe_transitions([(big, EV, 9, 0)])
+        assert det.time_to_evict() == {big: 3}
+
+    def test_empty_batch_is_a_noop(self):
+        det = MisspecDetector()
+        det.observe_batch(np.array([], dtype=np.int64),
+                          np.array([], dtype=bool))
+        assert det.health_doc()["events_observed"] == 0
+
+
+class TestVerdicts:
+    CFG = DetectorConfig(window_events=100, min_window_events=10)
+
+    def test_rate_thresholds_and_latching(self):
+        det = MisspecDetector(self.CFG)
+        det.observe_apply(50, 49, 1, 0, 400)
+        assert det.verdict == "ok"
+        det.observe_apply(50, 44, 6, 400, 800)            # window rate 0.07
+        assert det.verdict == "ok"
+        det.observe_apply(50, 40, 10, 800, 1200)          # trims to 0.16
+        assert det.verdict == "degraded"
+        det.observe_apply(50, 25, 25, 1200, 1600)         # 0.35
+        assert det.verdict == "misspec-burst"
+        # Clean traffic recovers the live verdict; the peak latches.
+        for i in range(4):
+            det.observe_apply(50, 50, 0, 1600 + 400 * i, 2000 + 400 * i)
+        assert det.verdict == "ok"
+        assert det.peak_verdict == "misspec-burst"
+        doc = det.health_doc()
+        assert doc["bursts"] == 1
+        # A second burst increments the counter again.
+        det.observe_apply(100, 50, 50, 4000, 4400)
+        assert det.verdict == "misspec-burst"
+        assert det.health_doc()["bursts"] == 2
+
+    def test_window_below_minimum_reports_no_rate(self):
+        det = MisspecDetector(DetectorConfig(window_events=100,
+                                             min_window_events=100))
+        det.observe_apply(50, 0, 50, 0, 400)              # all misspeculated
+        assert det.verdict == "ok"
+        assert det.health_doc()["window"]["misspec_rate"] == 0.0
+
+    def test_window_trims_to_configured_events(self):
+        det = MisspecDetector(self.CFG)
+        for i in range(10):
+            det.observe_apply(50, 50, 0, i * 400, (i + 1) * 400)
+        win = det.health_doc()["window"]
+        assert win["events"] == 100
+        assert det.health_doc()["events_observed"] == 500
+
+    def test_eviction_storm_trips_and_expires(self):
+        det = MisspecDetector(self.CFG)
+        for i in range(4):
+            det.observe_apply(50, 50, 0, i * 400, (i + 1) * 400)
+        marks = [(pc, EV, 0, 0) for pc in (1, 2, 3)]
+        det.observe_transitions(marks)
+        assert det.verdict == "misspec-burst"             # storm, low rate
+        assert det.health_doc()["window"]["evictions"] == 3
+        det.observe_apply(50, 50, 0, 1600, 2000)          # floor 150 < 200
+        assert det.verdict == "misspec-burst"
+        det.observe_apply(50, 50, 0, 2000, 2400)          # floor 200: expire
+        assert det.verdict == "ok"
+        assert det.peak_verdict == "misspec-burst"
+
+    def test_fewer_evictions_than_storm_stay_ok(self):
+        det = MisspecDetector(self.CFG)
+        det.observe_apply(50, 50, 0, 0, 400)
+        det.observe_transitions([(1, EV, 0, 0), (2, EV, 0, 0)])
+        assert det.verdict == "ok"
+
+    def test_mpki_uses_window_instruction_span(self):
+        det = MisspecDetector(self.CFG)
+        det.observe_apply(100, 90, 10, 0, 10_000)
+        assert det.health_doc()["window"]["mpki"] == pytest.approx(1.0)
+
+
+def test_health_doc_shape_and_thresholds():
+    cfg = DetectorConfig(window_events=100, min_window_events=10,
+                         storm_evictions=5)
+    doc = MisspecDetector(cfg).health_doc()
+    assert doc["kind"] == "repro.obs.health"
+    assert doc["verdict"] == "ok" and doc["peak_verdict"] == "ok"
+    assert set(doc["window"]) == {"events", "misspeculated",
+                                  "misspec_rate", "mpki", "evictions",
+                                  "instrs"}
+    assert doc["thresholds"]["window_events"] == 100
+    assert doc["thresholds"]["storm_evictions"] == 5
+    assert doc["time_to_evict"] == {"count": 0, "mean": 0.0, "last": {}}
+
+
+def test_train_then_flip_acceptance(bench_config):
+    """The headline property: on the adversarial train-then-flip trace
+    the detector (a) reports a misspeculation burst and (b) reproduces
+    per-PC time-to-evict exactly from the arc-counter ground truth —
+    every branch flips at execution ``flip_at``, so tte must equal
+    ``evict.exec_index - flip_at`` in each branch's own timebase."""
+    flip_at = 4096
+    trace = train_then_flip_trace(n_branches=8, flip_at=flip_at, seed=0)
+
+    async def run():
+        async with SpeculationService(bench_config,
+                                      ServiceConfig(n_shards=2)) as svc:
+            await feed_trace(svc, trace, batch_events=4096)
+            await svc.drain()
+            truth = {r.pc: r.exec_index - flip_at
+                     for r in svc.trace.records() if r.arc == "evict"}
+            return svc.detector, truth
+
+    detector, truth = asyncio.run(run())
+    assert set(truth) == set(range(8))                    # all evicted
+    assert detector.time_to_evict() == truth
+    assert detector.peak_verdict == "misspec-burst"
+    doc = detector.health_doc()
+    assert doc["bursts"] >= 1
+    assert doc["time_to_evict"]["count"] == 8
+    assert doc["time_to_evict"]["mean"] == pytest.approx(
+        sum(truth.values()) / 8)

@@ -74,3 +74,43 @@ def test_render_json_kind():
     doc = render_json(_registry())
     assert doc["kind"] == "repro.obs.metrics"
     assert doc["metrics"]["req_total"]["values"][0]["value"] == 3
+
+
+def test_span_and_health_families_roundtrip():
+    """The families the span recorder and misspeculation detector
+    register survive a render → parse round-trip with their labelled
+    series intact."""
+    import numpy as np
+
+    from repro.obs.detect import DetectorConfig, MisspecDetector
+    from repro.obs.spans import SpanRecorder
+    from repro.obs.tracing import ARC_CODE
+
+    r = MetricsRegistry()
+    spans = SpanRecorder(capacity=8, registry=r)
+    spans.begin(seq=0, events=32, parts=1, t_submit=0.0,
+                enqueue_seconds=0.0005, wal_seconds=0.001)
+    spans.note_applied(0, queue_wait=0.002, apply=0.004, t_now=0.05)
+    det = MisspecDetector(DetectorConfig(window_events=100,
+                                         min_window_events=10),
+                          registry=r)
+    det.observe_apply(50, 10, 40, 0, 400)             # burst by rate
+    det.observe_transitions([(3, ARC_CODE["select"], 0, 0)])
+    det.observe_batch(np.full(4, 3), np.ones(4, dtype=bool))
+    det.observe_batch(np.full(2, 3), np.zeros(2, dtype=bool))
+    det.observe_transitions([(3, ARC_CODE["evict"], 5, 0)])
+
+    families = parse_exposition(render_prometheus(r))
+    assert families["repro_spans_total"] == [({}, 1.0)]
+    stage = families["repro_span_stage_seconds"]
+    seen = {labels["stage"] for labels, _ in stage if "stage" in labels}
+    assert {"enqueue", "wal_append", "queue_wait", "apply"} <= seen
+    assert ({"stage": "apply", "le": "+Inf"}, 1.0) in stage
+    assert ({}, 1.0) in families["repro_span_batch_seconds"]  # _count
+    assert families["repro_detect_verdict"] == [({}, 2.0)]
+    assert families["repro_detect_window_misspec_rate"] == [({}, 0.8)]
+    assert families["repro_detect_bursts_total"] == [({}, 1.0)]
+    assert families["repro_detect_deployed_pcs"] == [({}, 0.0)]
+    tte = families["repro_detect_time_to_evict_events"]
+    assert ({"le": "+Inf"}, 1.0) in tte
+    assert ({}, 1.0) in tte                           # tte sum == 1.0

@@ -3,14 +3,17 @@
 from __future__ import annotations
 
 import json
+import threading
 import urllib.error
 import urllib.request
 
 import pytest
 
+from repro.obs.detect import MisspecDetector
 from repro.obs.expo import parse_exposition
 from repro.obs.http import MetricsServer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
 from repro.obs.tracing import TransitionTrace
 
 
@@ -78,3 +81,99 @@ def test_close_is_idempotent():
     server = MetricsServer(MetricsRegistry())
     server.close()
     server.close()
+
+
+@pytest.fixture
+def served_full():
+    """A server with every optional surface wired: trace ring, span
+    recorder, and health detector."""
+    registry = MetricsRegistry()
+    trace = TransitionTrace(capacity=16, registry=registry)
+    spans = SpanRecorder(capacity=8, registry=registry)
+    spans.begin(seq=0, events=64, parts=1, t_submit=0.0,
+                enqueue_seconds=0.001)
+    spans.note_applied(0, queue_wait=0.002, apply=0.003, t_now=0.01)
+    detector = MisspecDetector(registry=registry)
+    detector.observe_apply(1024, 1000, 24, 0, 8192)
+    with MetricsServer(registry, trace=trace, spans=spans,
+                       health=detector) as server:
+        yield server
+
+
+def test_spans_endpoint_with_filters(served_full):
+    ctype, body = _get(f"{served_full.url}/spans.json")
+    assert ctype == "application/json"
+    doc = json.loads(body)
+    assert doc["kind"] == "repro.obs.spans"
+    assert [s["seq"] for s in doc["spans"]] == [0]
+    _, body = _get(f"{served_full.url}/spans.json?slowest=1")
+    assert json.loads(body)["spans"][0]["complete"] is True
+    _, body = _get(f"{served_full.url}/spans.json?n=0")
+    assert json.loads(body)["spans"] == []
+
+
+def test_health_endpoint(served_full):
+    ctype, body = _get(f"{served_full.url}/health")
+    assert ctype == "application/json"
+    doc = json.loads(body)
+    assert doc["kind"] == "repro.obs.health"
+    assert doc["verdict"] == "ok"
+    assert doc["events_observed"] == 1024
+
+
+def test_spans_bad_query_is_400(served_full):
+    for query in ("n=x", "slowest=ten"):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{served_full.url}/spans.json?{query}")
+        assert err.value.code == 400
+
+
+def test_spans_and_health_404_when_not_wired(served):
+    for path in ("/spans.json", "/health"):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{served.url}{path}")
+        assert err.value.code == 404
+
+
+def test_concurrent_scrapes_of_a_busy_registry(served_full):
+    """Scrape every endpoint from several threads while producers keep
+    mutating the registry, the span ring, and the detector — all
+    responses must be well-formed (the locks make snapshots atomic)."""
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def produce():
+        seq = 1
+        detector = served_full.health
+        spans = served_full.spans
+        while not stop.is_set():
+            spans.begin(seq=seq, events=seq, parts=1, t_submit=0.0,
+                        enqueue_seconds=0.001)
+            spans.note_applied(seq, queue_wait=0.001, apply=0.001,
+                               t_now=0.01)
+            detector.observe_apply(64, 60, 4, seq * 512,
+                                   (seq + 1) * 512)
+            seq += 1
+
+    def scrape():
+        try:
+            for _ in range(20):
+                for path in ("/metrics", "/metrics.json", "/spans.json",
+                             "/health"):
+                    ctype, body = _get(f"{served_full.url}{path}")
+                    assert body
+                    if ctype == "application/json":
+                        json.loads(body)
+        except BaseException as exc:  # noqa: BLE001 - report in main thread
+            errors.append(exc)
+
+    producer = threading.Thread(target=produce, daemon=True)
+    scrapers = [threading.Thread(target=scrape) for _ in range(4)]
+    producer.start()
+    for t in scrapers:
+        t.start()
+    for t in scrapers:
+        t.join(timeout=60)
+    stop.set()
+    producer.join(timeout=10)
+    assert not errors

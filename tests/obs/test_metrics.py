@@ -127,3 +127,25 @@ def test_thread_safety_under_contention():
     assert c.value == 40_000
     assert h._solo().count == 40_000
     assert h._solo().cumulative_buckets()[0] == (0.5, 40_000)
+
+
+def test_histogram_quantile_interpolates_within_bucket():
+    h = Histogram(buckets=(1.0, 2.0))
+    h.observe(0.5)
+    h.observe(1.5)
+    assert h.quantile(0.5) == pytest.approx(1.0)
+    assert h.quantile(0.75) == pytest.approx(1.5)
+    assert h.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_histogram_quantile_edge_cases():
+    h = Histogram(buckets=(1.0, 2.0))
+    assert h.quantile(0.5) == 0.0          # empty histogram
+    h.observe(100.0)                       # lands in the +Inf bucket
+    # Estimates clamp to the last finite bound rather than inventing
+    # a value beyond the instrumented range.
+    assert h.quantile(0.99) == pytest.approx(2.0)
+    with pytest.raises(ValueError, match="quantile"):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError, match="quantile"):
+        h.quantile(1.1)

@@ -122,6 +122,44 @@ def test_wal_metrics_mirror_stats(bench_trace, bench_config, tmp_path):
     assert commit_h._solo().sum == stats.committed_records
 
 
+def test_spans_and_detector_do_not_perturb_controller_state(
+        bench_trace, bench_config):
+    """The PR's acceptance property extended to the new features:
+    span tracing and the misspeculation detector are read-only with
+    respect to speculation decisions, on both apply engines."""
+    for columnar in (True, False):
+        _, metrics_full, state_full = _run_service(
+            bench_trace, bench_config,
+            ServiceConfig(n_shards=2, columnar=columnar,
+                          spans=True, detect=True))
+        _, metrics_bare, state_bare = _run_service(
+            bench_trace, bench_config,
+            ServiceConfig(n_shards=2, columnar=columnar,
+                          spans=False, detect=False))
+        assert metrics_full == metrics_bare
+        assert state_full == state_bare
+        assert metrics_full == run_reactive(bench_trace,
+                                            bench_config).metrics
+
+
+def test_detector_sees_the_whole_stream(bench_trace, bench_config):
+    service, _, _ = _run_service(
+        bench_trace, bench_config, ServiceConfig(n_shards=2))
+    doc = service.detector.health_doc()
+    assert doc["events_observed"] == len(bench_trace)
+    evicts = service.trace.arc_counts()["evict"]
+    assert doc["time_to_evict"]["count"] <= evicts
+    assert service.registry.get("repro_detect_verdict") is not None
+
+
+def test_detect_off_leaves_detector_unbuilt(bench_trace, bench_config):
+    service, _, _ = _run_service(
+        bench_trace, bench_config,
+        ServiceConfig(n_shards=2, detect=False))
+    assert service.detector is None
+    assert service.registry.get("repro_detect_verdict") is None
+
+
 def test_trace_sampling_config_flows_through(bench_trace, bench_config):
     service, _, _ = _run_service(
         bench_trace, bench_config,

@@ -233,3 +233,14 @@ def _poll(predicate, timeout: float = 10.0) -> bool:
             return True
         time.sleep(0.01)
     return predicate()
+
+
+def test_follower_status_reports_detector_health(tmp_path):
+    # The follower runs its own misspeculation detector over the
+    # replicated stream; its verdict rides the status document even
+    # before any connection is made.
+    follower = _follower(tmp_path)
+    status = follower.status()
+    assert status["health"] == "ok"
+    assert status["peak_health"] == "ok"
+    assert status["connected"] is False

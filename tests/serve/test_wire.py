@@ -72,7 +72,7 @@ def test_apply_result_frame_roundtrip():
         changed_pcs=(5, 9, 1000), changed_deployed=(True, False, True))
     out = wire.decode_apply_result(frame)
     assert out == (7, 1000, 800, 3, 123456, (5, 9, 1000),
-                   (True, False, True), (), 0.0)
+                   (True, False, True), (), 0.0, 0.0, 0.0)
     with pytest.raises(wire.ProtocolError, match="length mismatch"):
         wire.decode_apply_result(frame[:-1])
 
@@ -83,14 +83,20 @@ def test_apply_result_frame_carries_transitions_and_latency():
     frame = wire.encode_apply_result(
         8, events=64, correct=50, incorrect=2, last_instr=777,
         changed_pcs=(5,), changed_deployed=(True,),
-        transitions=transitions, apply_seconds=0.0125)
+        transitions=transitions, apply_seconds=0.0125,
+        t_recv=100.5, t_done=100.75)
     (ticket, events, correct, incorrect, last_instr, changed,
-     deployed, out_trans, apply_seconds) = wire.decode_apply_result(frame)
+     deployed, out_trans, apply_seconds, t_recv,
+     t_done) = wire.decode_apply_result(frame)
     assert (ticket, events, correct, incorrect, last_instr) == (
         8, 64, 50, 2, 777)
     assert changed == (5,) and deployed == (True,)
     assert out_trans == transitions
     assert apply_seconds == pytest.approx(0.0125)
+    # The worker-side monotonic stamps ride along so the parent can
+    # attribute wire_out / wire_back span stages.
+    assert t_recv == pytest.approx(100.5)
+    assert t_done == pytest.approx(100.75)
     with pytest.raises(wire.ProtocolError, match="length mismatch"):
         wire.decode_apply_result(frame[:-1])
 

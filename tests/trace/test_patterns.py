@@ -161,3 +161,25 @@ class TestProperties:
         lo, hi = min(start, end), max(start, end)
         assert np.all(values >= lo - 1e-12)
         assert np.all(values <= hi + 1e-12)
+
+
+class TestTrainThenFlip:
+    def test_flip_is_exact_and_total(self):
+        from repro.trace.patterns import train_then_flip
+
+        p = probe(train_then_flip(train_for=10))
+        assert np.all(p[:10] == 1.0)
+        assert np.all(p[10:] == 0.0)
+
+    def test_training_bias_flips_to_complement(self):
+        from repro.trace.patterns import train_then_flip
+
+        p = probe(train_then_flip(train_for=5, p_train=0.0))
+        assert np.all(p[:5] == 0.0)
+        assert np.all(p[5:] == 1.0)
+
+    def test_rejects_bad_training_bias(self):
+        from repro.trace.patterns import train_then_flip
+
+        with pytest.raises(ValueError):
+            train_then_flip(p_train=1.5)

@@ -140,3 +140,36 @@ class TestTenantAssignment:
 
         np.testing.assert_array_equal(part.tenants,
                                       tenanted.tenants[10:30])
+
+
+class TestTrainThenFlipTrace:
+    def test_default_length_and_round_robin(self):
+        from repro.trace.synthetic import train_then_flip_trace
+
+        trace = train_then_flip_trace(n_branches=4, flip_at=16)
+        assert len(trace) == 3 * 16 * 4
+        assert trace.name == "train-then-flip"
+        assert set(trace.branch_ids.tolist()) == {0, 1, 2, 3}
+
+    def test_every_branch_flips_at_flip_at(self):
+        import numpy as np
+
+        from repro.trace.synthetic import train_then_flip_trace
+
+        flip_at = 32
+        trace = train_then_flip_trace(n_branches=3, flip_at=flip_at,
+                                      seed=0)
+        for b in range(3):
+            outcomes = trace.taken[trace.branch_ids == b]
+            assert np.all(outcomes[:flip_at])
+            assert not np.any(outcomes[flip_at:])
+
+    def test_deterministic_under_seed(self):
+        import numpy as np
+
+        from repro.trace.synthetic import train_then_flip_trace
+
+        a = train_then_flip_trace(n_branches=2, flip_at=8, seed=7)
+        b = train_then_flip_trace(n_branches=2, flip_at=8, seed=7)
+        assert np.array_equal(a.taken, b.taken)
+        assert np.array_equal(a.branch_ids, b.branch_ids)
