@@ -14,8 +14,8 @@ The gates themselves are declared next to each benchmark in
   (skipped, or failed with ``--strict``, below ``--min-cpus``),
 * ``wal``     — <= 15% fsync=batch overhead within the current run,
 * ``obs``     — <= 10% instrumentation overhead within the current run,
-* ``colpath`` — >= 2.5x wide-point and >= 0.9x narrow-point
-  columnar/loop ratios within the current run,
+* ``colpath`` — >= 2.5x wide-point, >= 0.9x narrow-point and >= 2x
+  adversarial evict-heavy columnar/loop ratios within the current run,
 * ``repl``    — <= 15% primary-side overhead within the current run,
 
 plus, for every benchmark: exactness (``exact: false`` in either file

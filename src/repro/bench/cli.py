@@ -30,8 +30,8 @@ from repro.bench.registry import all_suites, get_benchmark, iter_benchmarks
 #: check_bench-compatible override flags -> gate ``param`` keys.
 GATE_FLAGS = ("min_speedup", "max_wal_overhead", "max_obs_overhead",
               "max_span_overhead", "min_colpath_speedup",
-              "min_narrow_ratio", "max_repl_overhead",
-              "min_tenant_scaling", "tolerance")
+              "min_narrow_ratio", "min_evict_speedup",
+              "max_repl_overhead", "min_tenant_scaling", "tolerance")
 
 
 def _src_root() -> str:
@@ -76,6 +76,10 @@ def _add_gate_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--min-narrow-ratio", type=float, default=None,
                         help="colpath gate: lowest tolerated 1-PC "
                              "columnar/loop ratio (default: 0.9)")
+    parser.add_argument("--min-evict-speedup", type=float, default=None,
+                        help="colpath gate: required adversarial evict-"
+                             "heavy columnar-vs-loop speedup "
+                             "(default: 2.0)")
     parser.add_argument("--max-repl-overhead", type=float, default=None,
                         help="repl gate: highest tolerated primary-side "
                              "throughput loss (default: 0.15)")

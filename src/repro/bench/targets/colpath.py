@@ -5,6 +5,14 @@ The committed claims (docs/serving.md): >= 2.5x single-shard speedup at
 the wide (4096-PC) sweep point, no regression below 0.9x at the narrow
 (1-PC) point — both ratios measured within one run — and bit-identical
 ``export_state()`` across engines at every width.
+
+Since boundary resolution went columnar, the sweep also drives an
+*adversarial* point: a deterministic train-then-flip square wave over
+4,096 branches whose every window is dense with classify fires,
+deployment landings, misspeculation bursts and counter evictions — the
+traffic that previously fell back to the scalar engine per row.  The
+claim there: >= 2x over the per-PC loop engine with bit-identical
+``export_state`` *and* captured transition streams.
 """
 
 from __future__ import annotations
@@ -56,16 +64,42 @@ def _workload(n_events: int, width: int, seed: int):
     return pcs, taken, instrs
 
 
-def _drive(columnar: bool, pcs, taken, instrs, batch_events: int):
+def _adversarial_workload(n_events: int, width: int, flip_every: int):
+    """Deterministic round-robin train-then-flip square wave.
+
+    Every branch executes in lockstep and flips bias every
+    ``flip_every`` of its own executions: each cycle re-trains the
+    monitor, SELECTs, lands the deployment, suffers a misspeculation
+    burst and EVICTs — so *every* batch segment crosses FSM
+    boundaries.  This is the maximally evict-heavy traffic ROADMAP's
+    adversarial suite calls out, and the workload the boundary-
+    resolution loop exists for.
+    """
+    idx = np.arange(n_events, dtype=np.int64)
+    pcs = (idx % width).astype(np.int32)
+    exec_idx = idx // width
+    taken = ((exec_idx // flip_every) % 2) == 0
+    instrs = idx * 4 + 1
+    return pcs, taken, instrs
+
+
+def _drive(columnar: bool, pcs, taken, instrs, batch_events: int,
+           capture: bool = False):
     from repro.serve.shard import BankShard
 
     shard = BankShard(0, BENCH_CONFIG, columnar=columnar)
+    shard.capture = capture
     n = len(pcs)
+    fired: list = []
     started = time.perf_counter()
     for lo in range(0, n, batch_events):
         hi = min(n, lo + batch_events)
-        shard.apply(pcs[lo:hi], taken[lo:hi], instrs[lo:hi])
+        res = shard.apply(pcs[lo:hi], taken[lo:hi], instrs[lo:hi])
+        if capture:
+            fired.extend(res.transitions)
     elapsed = time.perf_counter() - started
+    if capture:
+        return n / elapsed, shard, fired
     return n / elapsed, shard
 
 
@@ -87,6 +121,13 @@ def extract(doc: dict) -> dict[str, Metric]:
         if narrow["loop_eps"]:
             metrics["narrow_speedup"] = ratio(
                 narrow["columnar_eps"] / narrow["loop_eps"])
+    adv = doc.get("adversarial")
+    if adv:
+        metrics["adversarial_loop_eps"] = eps(adv["loop_eps"])
+        metrics["adversarial_columnar_eps"] = eps(adv["columnar_eps"])
+        if adv["loop_eps"]:
+            metrics["evict_speedup"] = ratio(
+                adv["columnar_eps"] / adv["loop_eps"])
     metrics["exact"] = flag(doc.get("exact", False))
     return metrics
 
@@ -103,14 +144,18 @@ def extract(doc: dict) -> dict[str, Metric]:
               param="min_colpath_speedup"),
         floor("narrow_speedup", 0.9, label="narrow regression",
               param="min_narrow_ratio"),
+        floor("evict_speedup", 2.0, label="evict-heavy floor",
+              param="min_evict_speedup"),
     ),
     baseline="BENCH_colpath.json",
-    params={"events": 400_000},
-    smoke_params={"events": 24_000, "repeats": 1},
+    params={"events": 400_000, "adv_events": 1_200_000},
+    smoke_params={"events": 24_000, "adv_events": 64_000, "repeats": 1},
     timeout=900.0,
 )
 def run_colpath_bench(events: int = 400_000, batch_events: int = 8_192,
-                      repeats: int = 3, verbose: bool = True) -> dict:
+                      repeats: int = 3, adv_events: int = 1_200_000,
+                      adv_flip_every: int = 96,
+                      verbose: bool = True) -> dict:
     """Sweep distinct-PC counts; returns the CI gate's result document.
 
     Every events/sec figure is the best of ``repeats`` runs: the gate
@@ -143,10 +188,47 @@ def run_colpath_bench(events: int = 400_000, batch_events: int = 8_192,
             "events_fast": stats.get("events_fast", 0),
             "events_fallback": stats.get("events_fallback", 0),
         })
+    # Adversarial evict-heavy point: timed passes (best-of-repeats,
+    # capture off, matching the serving hot path) plus one capture-on
+    # pass per engine pinning the emitted transition streams.
+    adv_width = min(4_096, max(64, adv_events // 256))
+    pcs, taken, instrs = _adversarial_workload(adv_events, adv_width,
+                                               adv_flip_every)
+    adv_loop_eps = adv_col_eps = 0.0
+    adv_stats = {}
+    for _ in range(repeats):
+        rate, loop_shard = _drive(False, pcs, taken, instrs, batch_events)
+        adv_loop_eps = max(adv_loop_eps, rate)
+        rate, col_shard = _drive(True, pcs, taken, instrs, batch_events)
+        adv_col_eps = max(adv_col_eps, rate)
+        adv_stats = col_shard.col.stats()
+        if col_shard.export_state() != loop_shard.export_state():
+            exact_flag = False
+    _, loop_shard, loop_fired = _drive(False, pcs, taken, instrs,
+                                       batch_events, capture=True)
+    _, col_shard, col_fired = _drive(True, pcs, taken, instrs,
+                                     batch_events, capture=True)
+    capture_exact = (sorted(col_fired) == sorted(loop_fired)
+                     and col_shard.export_state()
+                     == loop_shard.export_state())
+    if not capture_exact:
+        exact_flag = False
+    adversarial = {
+        "distinct_pcs": adv_width,
+        "events": adv_events,
+        "flip_every": adv_flip_every,
+        "loop_eps": adv_loop_eps,
+        "columnar_eps": adv_col_eps,
+        "speedup": adv_col_eps / adv_loop_eps,
+        "events_fast": adv_stats.get("events_fast", 0),
+        "events_fallback": adv_stats.get("events_fallback", 0),
+        "arcs_fast": adv_stats.get("arcs_fast", 0),
+        "capture_exact": capture_exact,
+    }
     by_width = {p["distinct_pcs"]: p for p in sweep}
     result = {
         "kind": "repro.colpath.bench",
-        "schema": 1,
+        "schema": 2,
         "machine": {"cpus": os.cpu_count()},
         "config": {"monitor_period": BENCH_CONFIG.monitor_period,
                    "revisit_period": BENCH_CONFIG.revisit_period,
@@ -154,8 +236,10 @@ def run_colpath_bench(events: int = 400_000, batch_events: int = 8_192,
                        BENCH_CONFIG.optimization_latency},
         "batch_events": batch_events,
         "sweep": sweep,
+        "adversarial": adversarial,
         "wide_speedup": by_width[max(SWEEP_WIDTHS)]["speedup"],
         "narrow_speedup": by_width[min(SWEEP_WIDTHS)]["speedup"],
+        "evict_speedup": adversarial["speedup"],
         "exact": exact_flag,
     }
     if verbose:
@@ -163,11 +247,15 @@ def run_colpath_bench(events: int = 400_000, batch_events: int = 8_192,
               f"batch {batch_events:,}, {os.cpu_count()} cpu(s)")
         print(f"  {'distinct PCs':>12} {'loop ev/s':>13} "
               f"{'columnar ev/s':>14} {'speedup':>8} {'fast-path':>10}")
-        for p in sweep:
+        for p in sweep + [adversarial]:
             share = (p["events_fast"]
                      / max(1, p["events_fast"] + p["events_fallback"]))
-            print(f"  {p['distinct_pcs']:>12,} {p['loop_eps']:>13,.0f} "
+            tag = "*" if "flip_every" in p else " "
+            print(f" {tag}{p['distinct_pcs']:>12,} {p['loop_eps']:>13,.0f} "
                   f"{p['columnar_eps']:>14,.0f} {p['speedup']:>7.2f}x "
                   f"{share:>9.1%}")
+        print(f"  (* = adversarial train-then-flip, "
+              f"{adversarial['arcs_fast']:,} columnar arcs, capture "
+              f"exact: {capture_exact})")
         print(f"  exact across engines (all widths): {exact_flag}")
     return result

@@ -41,7 +41,40 @@ import numpy as np
 from repro.core.controller import ReactiveBranchController
 from repro.core.states import BranchState, TransitionKind
 
-__all__ = ["apply_chunk"]
+__all__ = ["apply_chunk", "classify_split", "deploy_delay"]
+
+
+def deploy_delay(cfg) -> int:
+    """Instruction delay until a scheduled re-optimization lands.
+
+    Mirrors ``ReactiveBranchController._schedule_deploy``: with zero
+    configured latency the new code still cannot affect the current
+    execution, so it lands one instruction later (stamps strictly
+    grow).
+    """
+    latency = cfg.optimization_latency
+    return latency if latency > 0 else 1
+
+
+def classify_split(taken_counts: np.ndarray, samples: np.ndarray,
+                   bias_entries: np.ndarray, cfg,
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray]:
+    """Vectorized monitor-classify decision over many branches at once.
+
+    The scalar arc lives in
+    ``ReactiveBranchController._classify_monitor``; this evaluates the
+    identical bias test (int64 counts, one float64 division — bit-equal
+    to Python's ``int / int``) for whole arrays, returning boolean
+    masks ``(select, reject, disable, direction)``.  ``select`` and
+    ``disable`` are disjoint; ``reject`` is their complement.
+    """
+    majority = np.maximum(taken_counts, samples - taken_counts)
+    biased = majority / samples >= cfg.selection_threshold
+    direction = (2 * taken_counts) >= samples
+    disable = biased & (bias_entries >= cfg.oscillation_limit)
+    select = biased & ~disable
+    return select, ~biased, disable, direction
 
 
 def apply_chunk(ctrl: ReactiveBranchController,

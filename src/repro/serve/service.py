@@ -682,7 +682,10 @@ class SpeculationService:
             if scfg.obs:
                 self.telemetry.record_apply(
                     shard_index, events, result.correct, result.incorrect,
-                    depth, apply_seconds=result.apply_seconds)
+                    depth, apply_seconds=result.apply_seconds,
+                    col_fast=result.col_fast,
+                    col_fallback=result.col_fallback,
+                    col_single=result.col_single)
                 if spans is not None:
                     t_ret = monotonic()
                     # Worker stamps share CLOCK_MONOTONIC with ours, so
@@ -717,7 +720,9 @@ class SpeculationService:
             else:
                 self.telemetry.record_apply(
                     shard_index, events, result.correct, result.incorrect,
-                    depth)
+                    depth, col_fast=result.col_fast,
+                    col_fallback=result.col_fallback,
+                    col_single=result.col_single)
             # Adapt the coalescing target to the observed queue depth.
             if depth >= target and target < scfg.max_batch_events:
                 self._targets[shard_index] = min(

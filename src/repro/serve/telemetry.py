@@ -160,6 +160,16 @@ class ServiceTelemetry:
             "repro_shard_batch_events",
             "Events per coalesced shard apply, per shard.",
             buckets=BATCH_EVENT_BUCKETS, labelnames=("shard",))
+        col_fam = r.counter(
+            "repro_colpath_events_total",
+            "Events by columnar-engine routing: advanced in the cross-"
+            "branch arrays (fast), through the true scalar fallback "
+            "(fallback), or in by-design single-branch batches (single). "
+            "fast / total is live fast-path residency.",
+            labelnames=("path",))
+        self._c_col_fast = col_fam.labels("fast")
+        self._c_col_fallback = col_fam.labels("fallback")
+        self._c_col_single = col_fam.labels("single")
         self._c_shard_events = [shard_fam.labels(s) for s in shards]
         self._g_depth = [depth_fam.labels(s) for s in shards]
         self._g_high = [high_fam.labels(s) for s in shards]
@@ -200,14 +210,25 @@ class ServiceTelemetry:
 
     def record_apply(self, shard: int, events: int, correct: int,
                      incorrect: int, depth_after: int,
-                     apply_seconds: float | None = None) -> None:
+                     apply_seconds: float | None = None,
+                     col_fast: int = 0, col_fallback: int = 0,
+                     col_single: int = 0) -> None:
         """Account one coalesced apply.  ``apply_seconds`` is the
         measured wall time when observability capture is on (None keeps
-        the histograms untouched — the obs-off fast path)."""
+        the histograms untouched — the obs-off fast path).
+        ``col_fast``/``col_fallback``/``col_single`` are the columnar
+        engine's event-routing split for the batch (all zero with the
+        engine off)."""
         self._c_events.inc(events)
         self._c_batches.inc()
         self._c_shard_events[shard].inc(events)
         self._g_depth[shard].set(depth_after)
+        if col_fast:
+            self._c_col_fast.inc(col_fast)
+        if col_fallback:
+            self._c_col_fallback.inc(col_fallback)
+        if col_single:
+            self._c_col_single.inc(col_single)
         if apply_seconds is not None:
             self._h_latency[shard].observe(apply_seconds)
             self._h_batch[shard].observe(events)

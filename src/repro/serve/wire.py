@@ -27,7 +27,9 @@ Frame catalogue (body layouts, all little-endian)::
     APPLY_RESULT uint64 ticket | uint32 events
                  | uint64 correct | uint64 incorrect
                  | int64 last_instr | uint32 n_changed
-                 | uint32 n_trans | float64 apply_seconds
+                 | uint32 n_trans | uint64 col_fast
+                 | uint64 col_fallback | uint64 col_single
+                 | float64 apply_seconds
                  | float64 t_recv | float64 t_done
                  | int64 key[n_changed] | uint8 deployed[n_changed]
                  | int64 trans_key[n_trans] | uint8 trans_arc[n_trans]
@@ -103,7 +105,7 @@ TRESTORE_ACK = 0x0F
 _HELLO = struct.Struct("<BHI")
 _APPLY = struct.Struct("<BQI")
 _TAPPLY = struct.Struct("<BQI")
-_RESULT = struct.Struct("<BQIQQqIIddd")
+_RESULT = struct.Struct("<BQIQQqIIQQQddd")
 _BARRIER = struct.Struct("<BQ")
 _LOAD = struct.Struct("<BI")
 _TSPILL = struct.Struct("<BQI")
@@ -207,18 +209,23 @@ def encode_apply_result(ticket: int, events: int, correct: int,
                         changed_pcs, changed_deployed,
                         transitions=(), apply_seconds: float = 0.0,
                         t_recv: float = 0.0, t_done: float = 0.0,
-                        ) -> bytes:
+                        col_fast: int = 0, col_fallback: int = 0,
+                        col_single: int = 0) -> bytes:
     """``transitions`` piggybacks the worker's FSM arc firings —
     ``(pc, arc_code, exec_index, instr)`` tuples — and
     ``apply_seconds`` its measured apply latency, so observability
     data rides the result frame instead of needing a side channel.
     ``t_recv``/``t_done`` are the worker's CLOCK_MONOTONIC stamps at
     frame receipt and apply completion (system-wide on Linux, so they
-    compare against parent-side stamps); 0.0 when capture is off."""
+    compare against parent-side stamps); 0.0 when capture is off.
+    ``col_fast``/``col_fallback``/``col_single`` report how the
+    columnar engine routed the batch's events (all zero with the
+    engine off)."""
     pcs = np.asarray(changed_pcs, dtype=np.int64)
     dep = np.asarray(changed_deployed, dtype=np.uint8)
     head = _RESULT.pack(APPLY_RESULT, ticket, events, correct, incorrect,
                         last_instr, len(pcs), len(transitions),
+                        col_fast, col_fallback, col_single,
                         apply_seconds, t_recv, t_done)
     body = head + pcs.tobytes() + dep.tobytes()
     if transitions:
@@ -238,10 +245,11 @@ def encode_apply_result(ticket: int, events: int, correct: int,
 def decode_apply_result(payload: bytes) -> tuple:
     """Returns ``(ticket, events, correct, incorrect, last_instr,
     changed_pcs, changed_deployed, transitions, apply_seconds,
-    t_recv, t_done)``."""
+    t_recv, t_done, col_fast, col_fallback, col_single)``."""
     _expect(payload, APPLY_RESULT, "APPLY_RESULT", min_len=_RESULT.size)
     (_, ticket, events, correct, incorrect, last_instr, n_changed,
-     n_trans, apply_seconds, t_recv, t_done) = _RESULT.unpack_from(payload)
+     n_trans, col_fast, col_fallback, col_single, apply_seconds,
+     t_recv, t_done) = _RESULT.unpack_from(payload)
     off = _RESULT.size
     if len(payload) != off + 9 * n_changed + 25 * n_trans:
         raise ProtocolError("APPLY_RESULT frame length mismatch")
@@ -266,7 +274,7 @@ def decode_apply_result(payload: bytes) -> tuple:
     return (ticket, events, correct, incorrect, last_instr,
             tuple(int(p) for p in pcs), tuple(bool(d) for d in dep),
             transitions, float(apply_seconds), float(t_recv),
-            float(t_done))
+            float(t_done), col_fast, col_fallback, col_single)
 
 
 # -- tenant frames ----------------------------------------------------------

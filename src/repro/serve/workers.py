@@ -159,7 +159,8 @@ def worker_main(index: int, config_dict: dict, endpoint, kind: str,
                 transport.send(wire.encode_apply_result(
                     ticket, res.events, res.correct, res.incorrect,
                     res.last_instr, res.changed, res.changed_deployed,
-                    res.transitions, res.apply_seconds, t_recv, t_done))
+                    res.transitions, res.apply_seconds, t_recv, t_done,
+                    res.col_fast, res.col_fallback, res.col_single))
             elif ftype == wire.TSPILL:
                 ticket, tenant = wire.decode_tspill(payload)
                 transport.send(wire.encode_tspill_result(
@@ -228,7 +229,8 @@ class _WorkerHandle:
         if ftype == wire.APPLY_RESULT:
             (ticket, events, correct, incorrect, last_instr,
              changed, deployed, transitions, apply_seconds,
-             t_recv, t_done) = wire.decode_apply_result(payload)
+             t_recv, t_done, col_fast, col_fallback,
+             col_single) = wire.decode_apply_result(payload)
             fut = self.pending.pop(ticket, None)
             if fut is not None and not fut.done():
                 fut.set_result(ShardApplyResult(
@@ -236,7 +238,8 @@ class _WorkerHandle:
                     incorrect=incorrect, changed=changed,
                     changed_deployed=deployed, last_instr=last_instr,
                     transitions=transitions, apply_seconds=apply_seconds,
-                    t_recv=t_recv, t_done=t_done))
+                    t_recv=t_recv, t_done=t_done, col_fast=col_fast,
+                    col_fallback=col_fallback, col_single=col_single))
         elif ftype == wire.BARRIER_ACK:
             fut = self.pending.pop(wire.decode_barrier(payload), None)
             if fut is not None and not fut.done():

@@ -9,6 +9,8 @@ Usage::
     python -m repro.trace gen gzip -o mt.npz --tenants 64 --tenant-mix zipf
     python -m repro.trace gen -o adv.npz --pattern train-then-flip \\
         --flip-at 4096 --branches 8
+    python -m repro.trace gen -o poison.npz --pattern slow-poison \\
+        --flip-at 4096 --poison-margin 0.9
     python -m repro.trace bias gcc --bins 10
 """
 
@@ -42,16 +44,28 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--output", required=True)
     gen.add_argument("--input", dest="input_name", default=None)
     gen.add_argument("--length", type=int, default=None)
-    gen.add_argument("--pattern", choices=("train-then-flip",),
+    gen.add_argument("--pattern",
+                     choices=("train-then-flip", "slow-poison"),
                      default=None,
                      help="generate a synthetic adversarial pattern "
                           "instead of a benchmark model")
     gen.add_argument("--flip-at", type=int, default=4096,
-                     help="train-then-flip: per-branch executions "
-                          "before the bias flips (default: 4096)")
+                     help="per-branch training executions before the "
+                          "bias flips (train-then-flip) or softens "
+                          "(slow-poison) (default: 4096)")
     gen.add_argument("--branches", type=int, default=8,
-                     help="train-then-flip: number of simultaneously "
-                          "flipping branches (default: 8)")
+                     help="number of simultaneously misbehaving "
+                          "branches (default: 8)")
+    gen.add_argument("--poison-margin", type=float, default=0.9,
+                     help="slow-poison: post-train miss rate as a "
+                          "fraction of the eviction walk's break-even "
+                          "drift (default: 0.9 — just under eviction)")
+    gen.add_argument("--misspec-increment", type=int, default=50,
+                     help="slow-poison: target controller's counter "
+                          "increment per miss (default: 50)")
+    gen.add_argument("--correct-decrement", type=int, default=1,
+                     help="slow-poison: target controller's counter "
+                          "decrement per hit (default: 1)")
     gen.add_argument("--seed", type=int, default=0,
                      help="synthetic pattern outcome seed (default: 0)")
     gen.add_argument("--tenants", type=int, default=None, metavar="N",
@@ -109,7 +123,16 @@ def main(argv: list[str] | None = None) -> int:
             print("error: gen needs a benchmark name or --pattern",
                   file=sys.stderr)
             return 2
-        if args.pattern is not None:
+        if args.pattern == "slow-poison":
+            from repro.trace.synthetic import slow_poison_trace
+
+            trace = slow_poison_trace(
+                n_branches=args.branches, train_for=args.flip_at,
+                length=args.length,
+                misspec_increment=args.misspec_increment,
+                correct_decrement=args.correct_decrement,
+                margin=args.poison_margin, seed=args.seed)
+        elif args.pattern is not None:
             from repro.trace.synthetic import train_then_flip_trace
 
             trace = train_then_flip_trace(

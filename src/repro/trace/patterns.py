@@ -32,6 +32,7 @@ __all__ = [
     "GlobalPhase",
     "induction_flip",
     "train_then_flip",
+    "slow_poison",
 ]
 
 
@@ -133,6 +134,51 @@ def train_then_flip(train_for: int = 4_096,
     """
     _check_probability(p_train, "p_train")
     return StepChange(p_train, 1.0 - p_train, train_for)
+
+
+def slow_poison(train_for: int = 4_096,
+                misspec_increment: int = 50,
+                correct_decrement: int = 1,
+                margin: float = 0.9,
+                p_train: float = 1.0) -> StepChange:
+    """Train-then-*soften*: the stealthy sibling of
+    :func:`train_then_flip`.
+
+    The branch trains perfectly biased for ``train_for`` executions,
+    then softens to a steady miss rate tuned to sit just *under* the
+    eviction counter's drift threshold.  The counter random-walks
+    ``+misspec_increment`` per miss and ``-correct_decrement`` per hit
+    (floored at zero), so its drift is non-positive — i.e. it never
+    reaches ``evict_counter_max`` in expectation — exactly when the
+    miss rate stays below ``correct_decrement / (correct_decrement +
+    misspec_increment)``.  ``margin`` scales the miss rate to that
+    fraction of break-even (1.0 = exactly break-even; above 1.0 the
+    walk drifts up and eventually evicts, just slowly).
+
+    This is the adversary the paper's hysteresis *tolerates by design*:
+    the branch extracts a permanent misspeculation tax while the
+    controller keeps it deployed.  It stresses the detectors (the
+    window misspec rate rises with no EVICT arc ever firing) and the
+    columnar engine's eviction-walk scan (every window bears misses
+    that never cross the threshold).
+    """
+    _check_probability(p_train, "p_train")
+    if misspec_increment <= 0 or correct_decrement <= 0:
+        raise ValueError("counter steps must be positive")
+    if margin < 0.0:
+        raise ValueError("margin must be non-negative")
+    break_even = correct_decrement / (correct_decrement + misspec_increment)
+    miss = margin * break_even
+    if not 0.0 <= miss <= 1.0:
+        raise ValueError(f"margin {margin} puts the miss rate at {miss}, "
+                         "outside [0, 1]")
+    # Misses are relative to the *trained* direction: taken when
+    # p_train >= 0.5, else not-taken.
+    if p_train >= 0.5:
+        p_soft = 1.0 - miss
+    else:
+        p_soft = miss
+    return StepChange(p_train, p_soft, train_for)
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.trace.model import BenchmarkModel, Region, StaticBranch
 from repro.trace.patterns import (BehaviorPattern, ConstantBias,
-                                  train_then_flip)
+                                  slow_poison, train_then_flip)
 from repro.trace.stream import Trace
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "round_robin_trace",
     "single_branch_trace",
     "train_then_flip_trace",
+    "slow_poison_trace",
     "uniform_model",
     "assign_tenants",
     "with_tenants",
@@ -154,6 +155,35 @@ def train_then_flip_trace(n_branches: int = 8, flip_at: int = 4_096,
     if length is None:
         length = 3 * flip_at * n_branches
     patterns = [train_then_flip(flip_at) for _ in range(n_branches)]
+    return round_robin_trace(patterns, length,
+                             instr_stride=instr_stride, seed=seed,
+                             name=name)
+
+
+def slow_poison_trace(n_branches: int = 8, train_for: int = 4_096,
+                      length: int | None = None,
+                      misspec_increment: int = 50,
+                      correct_decrement: int = 1,
+                      margin: float = 0.9,
+                      instr_stride: int = 8, seed: int = 0,
+                      name: str = "slow-poison") -> Trace:
+    """The stealthy adversarial workload: ``n_branches`` branches train
+    perfectly biased for ``train_for`` executions each, then soften to
+    a miss rate at ``margin`` × the eviction counter's break-even drift
+    (see :func:`repro.trace.patterns.slow_poison`) — a permanent
+    misspeculation tax that never triggers the EVICT arc.
+
+    ``misspec_increment``/``correct_decrement`` should match the
+    controller config under test so the tuned rate actually sits just
+    under *its* threshold.  The default length runs each branch for
+    ``3 * train_for`` executions, mirroring
+    :func:`train_then_flip_trace`.
+    """
+    if length is None:
+        length = 3 * train_for * n_branches
+    patterns = [slow_poison(train_for, misspec_increment,
+                            correct_decrement, margin)
+                for _ in range(n_branches)]
     return round_robin_trace(patterns, length,
                              instr_stride=instr_stride, seed=seed,
                              name=name)

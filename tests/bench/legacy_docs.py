@@ -64,11 +64,11 @@ def obs_doc(baseline: float = 2_500_000.0, obs: float = 2_400_000.0,
 
 
 def colpath_doc(wide_speedup: float = 4.0, narrow_ratio: float = 1.0,
-                exact: bool = True) -> dict:
+                evict_speedup: float = 8.0, exact: bool = True) -> dict:
     loop = 1_000_000.0
     return {
         "kind": "repro.colpath.bench",
-        "schema": 1,
+        "schema": 2,
         "machine": {"cpus": 4},
         "sweep": [
             {"distinct_pcs": 1, "loop_eps": loop,
@@ -78,8 +78,15 @@ def colpath_doc(wide_speedup: float = 4.0, narrow_ratio: float = 1.0,
             {"distinct_pcs": 4096, "loop_eps": loop,
              "columnar_eps": loop * wide_speedup},
         ],
+        "adversarial": {
+            "distinct_pcs": 4096, "flip_every": 96,
+            "loop_eps": loop * 0.5,
+            "columnar_eps": loop * 0.5 * evict_speedup,
+            "capture_exact": exact,
+        },
         "wide_speedup": wide_speedup,
         "narrow_ratio": narrow_ratio,
+        "evict_speedup": evict_speedup,
         "exact": exact,
     }
 

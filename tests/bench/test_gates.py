@@ -163,6 +163,12 @@ def _doctored_colpath_narrow():
     return doc
 
 
+def _doctored_colpath_evict():
+    doc = colpath_doc(evict_speedup=1.2)  # < 2.0x floor
+    doc["evict_speedup"] = 8.0
+    return doc
+
+
 def _doctored_repl():
     doc = repl_doc(baseline=2_500_000.0, repl=1_500_000.0)  # 40% > 15%
     doc["repl_overhead"] = 0.05
@@ -176,6 +182,8 @@ DOCTORED_CASES = [
     ("colpath", colpath_doc, _doctored_colpath_wide, "columnar floor"),
     ("colpath", colpath_doc, _doctored_colpath_narrow,
      "narrow regression"),
+    ("colpath", colpath_doc, _doctored_colpath_evict,
+     "evict-heavy floor"),
     ("repl", repl_doc, _doctored_repl, "replication overhead"),
 ]
 

@@ -142,6 +142,137 @@ def test_fast_path_engages_on_steady_state():
     assert shard.export_state() == loop.export_state()
 
 
+def _boundary_dense(n_events: int, n_branches: int, seed: int):
+    """Interleaved events whose biases flip on short per-branch phases.
+
+    Short flip periods put classify fires (both directions), revisits,
+    landings and mid-segment eviction walks *inside* nearly every
+    batch segment — the traffic the boundary-resolution loop exists
+    for (steady-state traces barely exercise it).
+    """
+    rng = np.random.default_rng(seed)
+    pcs = rng.integers(0, n_branches, n_events).astype(np.int32)
+    flip = rng.integers(5, 60, n_branches)
+    noise = rng.uniform(size=n_events) < 0.05
+    count = np.zeros(n_branches, dtype=np.int64)
+    taken = np.zeros(n_events, dtype=bool)
+    for i in range(n_events):
+        b = pcs[i]
+        phase = (count[b] // flip[b]) % 2 == 0
+        taken[i] = phase != noise[i]
+        count[b] += 1
+    instrs = np.cumsum(rng.integers(1, 9, n_events)).astype(np.int64)
+    return pcs, taken, instrs
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_boundary_dense_three_engine_parity(config_name, seed):
+    """Bit-exactness where arcs fire *inside* segments, for every
+    config family: classify both directions, revisit re-entry,
+    latency landings and counter evictions mid-segment."""
+    config = CONFIGS[config_name]
+    pcs, taken, instrs = _boundary_dense(5_000, 11, seed)
+    rng = np.random.default_rng(seed + 31)
+    bounds = _batch_bounds(len(pcs), rng)
+    ref_bank, ref_deltas = _scalar_deltas(config, pcs, taken, instrs, bounds)
+    col = BankShard(0, config, columnar=True)
+    loop = BankShard(0, config, columnar=False)
+    col.capture = loop.capture = True
+    col_trans: list = []
+    loop_trans: list = []
+    for (lo, hi), (ref_c, ref_x) in zip(bounds, ref_deltas):
+        rc = col.apply(pcs[lo:hi], taken[lo:hi], instrs[lo:hi])
+        rl = loop.apply(pcs[lo:hi], taken[lo:hi], instrs[lo:hi])
+        assert (rc.correct, rc.incorrect) == (ref_c, ref_x)
+        assert (rl.correct, rl.incorrect) == (ref_c, ref_x)
+        assert sorted(rc.changed) == sorted(rl.changed)
+        assert (dict(zip(rc.changed, rc.changed_deployed))
+                == dict(zip(rl.changed, rl.changed_deployed)))
+        col_trans.extend(rc.transitions)
+        loop_trans.extend(rl.transitions)
+    # The captured arc stream matches event-for-event (order within a
+    # batch may interleave differently across branches; per-branch
+    # streams are identical, so the sorted streams are equal).
+    assert sorted(col_trans) == sorted(loop_trans)
+    assert col.export_state() == loop.export_state()
+    assert (col.export_state()["bank"]
+            == sorted(ref_bank.export_state(),
+                      key=lambda s: s["branch"]))
+    assert col.decisions == loop.decisions
+
+
+def test_events_fallback_near_zero_on_train_then_flip():
+    """Regression: the boundary loop keeps adversarial evict-heavy
+    traffic columnar — no per-row scalar fallbacks at stride 1 with
+    counter eviction."""
+    from repro.trace.synthetic import train_then_flip_trace
+
+    config = scaled_config()
+    trace = train_then_flip_trace(n_branches=64, flip_at=700, seed=2)
+    shard = BankShard(0, config, columnar=True)
+    loop = BankShard(0, config, columnar=False)
+    for lo in range(0, len(trace), 8_192):
+        hi = lo + 8_192
+        shard.apply(trace.branch_ids[lo:hi], trace.taken[lo:hi],
+                    trace.instrs[lo:hi])
+        loop.apply(trace.branch_ids[lo:hi], trace.taken[lo:hi],
+                   trace.instrs[lo:hi])
+    stats = shard.col.stats()
+    assert stats["events_fallback"] == 0
+    assert stats["rows_fallback"] == 0
+    assert stats["events_fast"] == len(trace)
+    # The trace actually drove the arcs the loop resolves: every
+    # branch selected, suffered the flip, and evicted.
+    assert stats["arcs_fast"] >= 64 * 2
+    assert stats["lands_fast"] >= 64 * 2
+    state = shard.export_state()
+    assert all(s["evictions"] >= 1 for s in state["bank"])
+    assert state == loop.export_state()
+
+
+def test_stats_split_single_vs_fallback():
+    """Single-branch batches are counted apart from true fallbacks."""
+    config = CONFIGS["tiny"]
+    shard = BankShard(0, config, columnar=True)
+    one = np.full(50, 7, dtype=np.int32)
+    taken = np.ones(50, dtype=bool)
+    instrs = np.arange(1, 51, dtype=np.int64) * 8
+    res = shard.apply(one, taken, instrs)
+    stats = shard.col.stats()
+    assert stats["rows_single"] == 1
+    assert stats["events_single"] == 50
+    assert stats["rows_fallback"] == 0
+    assert stats["events_fallback"] == 0
+    assert (res.col_fast, res.col_fallback, res.col_single) == (0, 0, 50)
+    # A strided-monitor config routes multi-branch batches through the
+    # true fallback instead.
+    strided = BankShard(0, CONFIGS["tiny-stride"], columnar=True)
+    pcs = np.tile(np.array([1, 2], dtype=np.int32), 25)
+    res = strided.apply(pcs, taken, instrs)
+    stats = strided.col.stats()
+    assert stats["rows_fallback"] == 2
+    assert stats["events_fallback"] == 50
+    assert stats["rows_single"] == 0
+    assert res.col_fallback == 50 and res.col_single == 0
+    # The loop engine reports no columnar routing at all.
+    plain = BankShard(0, config, columnar=False)
+    res = plain.apply(pcs, taken, instrs)
+    assert (res.col_fast, res.col_fallback, res.col_single) == (0, 0, 0)
+
+
+def test_apply_result_routing_covers_every_event():
+    """fast + fallback + single always adds up to the batch size."""
+    config = CONFIGS["tiny-latency"]
+    pcs, taken, instrs = _boundary_dense(3_000, 9, 6)
+    shard = BankShard(0, config, columnar=True)
+    rng = np.random.default_rng(8)
+    for lo, hi in _batch_bounds(len(pcs), rng):
+        res = shard.apply(pcs[lo:hi], taken[lo:hi], instrs[lo:hi])
+        assert (res.col_fast + res.col_fallback + res.col_single
+                == res.events)
+
+
 def test_empty_batch_is_a_noop():
     """Regression: apply([]) used to raise IndexError on instrs[-1]."""
     shard = BankShard(0, scaled_config())

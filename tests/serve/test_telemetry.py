@@ -84,6 +84,19 @@ def test_registry_sharing_and_histogram_gating():
     assert registry.get("repro_events_applied_total").value == 128
 
 
+def test_colpath_routing_counters_export_fast_path_residency():
+    registry = MetricsRegistry()
+    t = ServiceTelemetry(n_shards=1, registry=registry)
+    t.record_apply(0, 100, 50, 1, depth_after=0,
+                   col_fast=80, col_fallback=15, col_single=5)
+    t.record_apply(0, 40, 20, 0, depth_after=0, col_fast=40)
+    t.record_apply(0, 10, 5, 0, depth_after=0)   # columnar engine off
+    fam = registry.get("repro_colpath_events_total")
+    assert fam.labels("fast").value == 120
+    assert fam.labels("fallback").value == 15
+    assert fam.labels("single").value == 5
+
+
 def test_reading_dataclass_and_wal_defaults():
     reading = ServiceTelemetry(n_shards=1).reading()
     assert isinstance(reading, TelemetryReading)

@@ -69,10 +69,11 @@ def test_apply_frame_roundtrip():
 def test_apply_result_frame_roundtrip():
     frame = wire.encode_apply_result(
         7, events=1000, correct=800, incorrect=3, last_instr=123456,
-        changed_pcs=(5, 9, 1000), changed_deployed=(True, False, True))
+        changed_pcs=(5, 9, 1000), changed_deployed=(True, False, True),
+        col_fast=900, col_fallback=36, col_single=64)
     out = wire.decode_apply_result(frame)
     assert out == (7, 1000, 800, 3, 123456, (5, 9, 1000),
-                   (True, False, True), (), 0.0, 0.0, 0.0)
+                   (True, False, True), (), 0.0, 0.0, 0.0, 900, 36, 64)
     with pytest.raises(wire.ProtocolError, match="length mismatch"):
         wire.decode_apply_result(frame[:-1])
 
@@ -87,7 +88,8 @@ def test_apply_result_frame_carries_transitions_and_latency():
         t_recv=100.5, t_done=100.75)
     (ticket, events, correct, incorrect, last_instr, changed,
      deployed, out_trans, apply_seconds, t_recv,
-     t_done) = wire.decode_apply_result(frame)
+     t_done, col_fast, col_fallback, col_single) = \
+        wire.decode_apply_result(frame)
     assert (ticket, events, correct, incorrect, last_instr) == (
         8, 64, 50, 2, 777)
     assert changed == (5,) and deployed == (True,)
@@ -97,6 +99,8 @@ def test_apply_result_frame_carries_transitions_and_latency():
     # attribute wire_out / wire_back span stages.
     assert t_recv == pytest.approx(100.5)
     assert t_done == pytest.approx(100.75)
+    # Columnar routing counters default to zero when not supplied.
+    assert (col_fast, col_fallback, col_single) == (0, 0, 0)
     with pytest.raises(wire.ProtocolError, match="length mismatch"):
         wire.decode_apply_result(frame[:-1])
 

@@ -183,3 +183,49 @@ class TestTrainThenFlip:
 
         with pytest.raises(ValueError):
             train_then_flip(p_train=1.5)
+
+
+class TestSlowPoison:
+    def test_miss_rate_sits_under_break_even(self):
+        from repro.trace.patterns import slow_poison
+
+        p = probe(slow_poison(train_for=10, misspec_increment=50,
+                              correct_decrement=1, margin=0.9), 40)
+        assert np.all(p[:10] == 1.0)
+        # Post-train miss rate (vs the trained taken direction) is
+        # 0.9 * 1/51 — below break-even, so the eviction walk's drift
+        # 50*miss - 1*(1-miss) stays negative.
+        miss = 1.0 - p[10]
+        assert miss == pytest.approx(0.9 / 51)
+        drift = 50 * miss - 1 * (1 - miss)
+        assert drift < 0
+        assert np.all(p[10:] == p[10])
+
+    def test_margin_above_one_crosses_break_even(self):
+        from repro.trace.patterns import slow_poison
+
+        p = probe(slow_poison(train_for=5, misspec_increment=50,
+                              correct_decrement=1, margin=1.5), 10)
+        miss = 1.0 - p[5]
+        assert 50 * miss - 1 * (1 - miss) > 0
+
+    def test_not_taken_training_softens_toward_taken(self):
+        from repro.trace.patterns import slow_poison
+
+        p = probe(slow_poison(train_for=5, p_train=0.0,
+                              misspec_increment=9,
+                              correct_decrement=1, margin=1.0), 10)
+        assert np.all(p[:5] == 0.0)
+        # Misses are *taken* outcomes when trained not-taken.
+        assert p[5] == pytest.approx(0.1)
+
+    def test_rejects_bad_parameters(self):
+        from repro.trace.patterns import slow_poison
+
+        with pytest.raises(ValueError):
+            slow_poison(misspec_increment=0)
+        with pytest.raises(ValueError):
+            slow_poison(margin=-0.5)
+        with pytest.raises(ValueError):
+            slow_poison(misspec_increment=1, correct_decrement=9,
+                        margin=2.0)   # miss rate would exceed 1.0
